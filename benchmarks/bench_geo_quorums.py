@@ -1,0 +1,87 @@
+"""E14 (supplementary) — geo-replicated deployment and quorum choice.
+
+The paper's quorums are "any subset with 2f+1 replicas" — which subset a
+client uses is a deployment decision.  This bench places the 3f+1 replicas
+in three sites with different client RTTs and compares:
+
+* broadcast-to-all (waits for the 2f+1 fastest replies), vs
+* a preferred *near* quorum (2f+1 lowest-latency replicas), vs
+* a preferred *far* quorum (pessimal choice).
+
+Expected shape: broadcast ≈ near-preferred (the fast replicas dominate
+either way) while the far quorum pays the distant sites' RTT on every phase
+— quorum placement, not protocol structure, governs wide-area latency.
+"""
+
+from __future__ import annotations
+
+from repro import LinkProfile, build_cluster
+from repro.analysis import format_table
+from repro.sim import write_script
+
+from benchmarks.conftest import run_once
+
+OPS = 6
+
+#: replica index -> one-way delay to the client ("site" placement):
+#: replicas 0-1 are local (2 ms), 2 regional (15 ms), 3 remote (40 ms).
+SITE_DELAY = {0: 0.002, 1: 0.002, 2: 0.015, 3: 0.040}
+
+
+def _cluster(prefer: bool, reverse_sites: bool, seed: int = 1400):
+    cluster = build_cluster(
+        f=1,
+        seed=seed,
+        prefer_quorum=prefer,
+        profile=LinkProfile(min_delay=0.002, max_delay=0.002),
+    )
+    for index, delay in SITE_DELAY.items():
+        # With reverse_sites the *preferred* (lowest-index) replicas are the
+        # distant ones: the pessimal quorum choice.
+        effective = SITE_DELAY[3 - index] if reverse_sites else delay
+        profile = LinkProfile(min_delay=effective, max_delay=effective)
+        rid = f"replica:{index}"
+        cluster.network.set_link_profile("client:w", rid, profile)
+        cluster.network.set_link_profile(rid, "client:w", profile)
+    return cluster
+
+
+def _latency(prefer: bool, reverse_sites: bool) -> float:
+    cluster = _cluster(prefer, reverse_sites)
+    node = cluster.add_client("w")
+    node.run_script(write_script("client:w", OPS))
+    cluster.run(max_time=300)
+    return cluster.metrics.latency_summary("write").p50 * 1000
+
+
+def test_e14_geo_quorum_placement(benchmark):
+    def experiment():
+        broadcast = _latency(prefer=False, reverse_sites=False)
+        near = _latency(prefer=True, reverse_sites=False)
+        far = _latency(prefer=True, reverse_sites=True)
+        rows = [
+            ["broadcast all (fastest 2f+1 win)", broadcast],
+            ["preferred quorum: 2 local + 1 regional", near],
+            ["preferred quorum: remote-first (pessimal)", far],
+        ]
+        print()
+        print(
+            format_table(
+                ["strategy", "write latency p50 (ms)"],
+                rows,
+                title="E14: geo-replicated sites (2/15/40 ms) — quorum "
+                "placement governs WAN latency",
+            )
+        )
+        return broadcast, near, far
+
+    broadcast, near, far = run_once(benchmark, experiment)
+    # The near quorum's slowest member is the 15 ms regional replica: each
+    # phase costs ~30 ms RTT; broadcast is bounded by the same 2f+1-th reply.
+    assert abs(broadcast - near) < 5, (broadcast, near)
+    # The pessimal quorum is slower — but not by the full 40 ms-site RTT:
+    # the retransmission tick (50 ms) widens each phase to the fast
+    # replicas, capping the damage at ~one retransmit interval per phase.
+    # Quorum placement matters; retransmit-widening bounds how much.
+    assert far > near * 1.5, (far, near)
+    assert far < near * 3.0, (far, near)

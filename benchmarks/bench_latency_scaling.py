@@ -1,0 +1,75 @@
+"""E11 (supplementary figure) — Operation latency and traffic vs f.
+
+The paper's efficiency argument is phrased in phases and round-trips; this
+bench renders it as the latency/scale series a systems evaluation would
+plot: per-operation latency (in units of one network round-trip) and traffic
+as the fault threshold grows, for all three variants.
+
+Expected shape: latency is flat in f (phases × RTT, independent of group
+size), while traffic grows linearly — the protocol pays for bigger groups in
+bandwidth, not time.
+"""
+
+from __future__ import annotations
+
+from repro import LinkProfile, build_cluster
+from repro.analysis import fit_power_law, format_table
+from repro.sim import read_script, write_script
+
+from benchmarks.conftest import run_once
+
+DELAY = 0.005
+RTT = 2 * DELAY
+OPS = 6
+
+
+def _run(variant: str, f: int, seed: int = 1100):
+    cluster = build_cluster(
+        f=f,
+        variant=variant,
+        seed=seed,
+        profile=LinkProfile(min_delay=DELAY, max_delay=DELAY),
+    )
+    node = cluster.add_client("w")
+    node.run_script(write_script("client:w", OPS) + read_script(OPS))
+    cluster.run(max_time=300)
+    writes = cluster.metrics.latency_summary("write")
+    reads = cluster.metrics.latency_summary("read")
+    msgs = cluster.network.stats.messages_sent / (2 * OPS)
+    return writes.p50 / RTT, reads.p50 / RTT, msgs
+
+
+def test_e11_latency_and_traffic_vs_f(benchmark):
+    def experiment():
+        rows = []
+        series: dict[str, list[tuple[int, float, float, float]]] = {}
+        for variant in ("base", "optimized", "strong"):
+            series[variant] = []
+            for f in (1, 2, 3):
+                w_rtt, r_rtt, msgs = _run(variant, f)
+                series[variant].append((f, w_rtt, r_rtt, msgs))
+                rows.append([variant, f, 3 * f + 1, w_rtt, r_rtt, msgs])
+        print()
+        print(
+            format_table(
+                ["variant", "f", "replicas", "write RTTs", "read RTTs", "msgs/op"],
+                rows,
+                title="E11: latency (round-trips) and traffic vs fault threshold",
+            )
+        )
+        return series
+
+    series = run_once(benchmark, experiment)
+    for variant, points in series.items():
+        write_rtts = [p[1] for p in points]
+        # Latency is flat in f: same phase count regardless of group size.
+        assert max(write_rtts) - min(write_rtts) < 0.5, (variant, write_rtts)
+        # Traffic grows ~linearly with n.
+        ns = [float(3 * p[0] + 1) for p in points]
+        msgs = [p[3] for p in points]
+        k = fit_power_law(ns, msgs)
+        assert 0.8 < k < 1.2, (variant, k)
+    # Variant ordering is preserved at every f: optimized < base <= strong.
+    for i in range(3):
+        assert series["optimized"][i][1] < series["base"][i][1]
+        assert series["base"][i][1] <= series["strong"][i][1] + 0.01

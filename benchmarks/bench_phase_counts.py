@@ -1,0 +1,77 @@
+"""E1 — Phases per operation (Abstract, §3, §6).
+
+Paper claims: writes take 3 phases (base) / mostly 2 (optimized; 3 under
+contention); strong takes 3 normally.  Reads take 1 phase normally and never
+more than 2, no matter what bad clients do.
+"""
+
+from __future__ import annotations
+
+from repro import build_cluster
+from repro.analysis import format_table
+from repro.sim import read_script, write_script
+
+from benchmarks.conftest import run_once
+
+
+def _run_variant(variant: str, f: int, writers: int, seed: int):
+    cluster = build_cluster(f=f, variant=variant, seed=seed)
+    scripts = {
+        f"w{i}": write_script(f"client:w{i}", 6) + read_script(3)
+        for i in range(writers)
+    }
+    cluster.run_scripts(scripts, max_time=300)
+    return cluster.metrics
+
+
+def test_e1_phase_counts(benchmark):
+    def experiment():
+        rows = []
+        results = {}
+        for variant in ("base", "optimized", "strong"):
+            for writers in (1, 3):
+                metrics = _run_variant(variant, f=1, writers=writers, seed=100)
+                wp = metrics.phases_summary("write")
+                rp = metrics.phases_summary("read")
+                results[(variant, writers)] = (wp, rp, metrics)
+                rows.append(
+                    [
+                        variant,
+                        writers,
+                        wp.p50,
+                        wp.maximum,
+                        rp.p50,
+                        rp.maximum,
+                        f"{metrics.fast_path_rate():.0%}"
+                        if variant == "optimized"
+                        else "-",
+                    ]
+                )
+        print()
+        print(
+            format_table(
+                ["variant", "writers", "write p50", "write max",
+                 "read p50", "read max", "fast-path"],
+                rows,
+                title="E1: phases per operation (paper: base=3, optimized≈2, read=1..2)",
+            )
+        )
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    # Paper-shape assertions.
+    base_solo = results[("base", 1)]
+    assert base_solo[0].p50 == 3 and base_solo[0].maximum == 3
+    assert base_solo[1].p50 == 1
+
+    opt_solo = results[("optimized", 1)]
+    assert opt_solo[0].p50 == 2  # "mostly 2 phases"
+    assert opt_solo[2].fast_path_rate() > 0.9
+
+    strong_solo = results[("strong", 1)]
+    assert strong_solo[0].p50 == 3
+
+    # Reads never exceed 2 phases in any configuration.
+    for (variant, writers), (wp, rp, metrics) in results.items():
+        assert rp.maximum <= 2, (variant, writers)

@@ -1,0 +1,72 @@
+"""E12 (ablation) — broadcast-to-all vs preferred-quorum messaging.
+
+§3.3.1 counts "three RPCs to a quorum of replicas" — O(|Q|) messages.  The
+robust default broadcasts each phase to all 3f+1 replicas instead.  This
+ablation quantifies the tradeoff:
+
+* preferred quorum: fewer messages (exactly the paper's 2·phases·|Q|), but
+  a crashed preferred replica costs a retransmission-timeout stall;
+* broadcast: ~n/|Q| more messages, latency immune to any f crashes.
+"""
+
+from __future__ import annotations
+
+from repro import build_cluster
+from repro.analysis import format_table
+from repro.sim import write_script
+
+from benchmarks.conftest import run_once
+
+OPS = 8
+
+
+def _run(prefer: bool, crashed: bool, seed: int = 1200):
+    cluster = build_cluster(f=1, seed=seed, prefer_quorum=prefer)
+    if crashed:
+        cluster.network.crash("replica:0")  # inside the preferred quorum
+    node = cluster.add_client("w")
+    node.run_script(write_script("client:w", OPS))
+    cluster.run(max_time=120)
+    cluster.settle()
+    return (
+        cluster.network.stats.messages_sent / OPS,
+        cluster.metrics.latency_summary("write").p50 * 1000,
+    )
+
+
+def test_e12_quorum_discipline(benchmark):
+    def experiment():
+        rows = []
+        results = {}
+        for prefer in (False, True):
+            for crashed in (False, True):
+                msgs, latency = _run(prefer, crashed)
+                results[(prefer, crashed)] = (msgs, latency)
+                rows.append(
+                    [
+                        "preferred quorum" if prefer else "broadcast all",
+                        "1 crashed" if crashed else "all up",
+                        msgs,
+                        latency,
+                    ]
+                )
+        print()
+        print(
+            format_table(
+                ["discipline", "replicas", "msgs/write", "latency p50 (ms)"],
+                rows,
+                title="E12: §3.3.1's O(|Q|) message discipline vs robustness",
+            )
+        )
+        return results
+
+    results = run_once(benchmark, experiment)
+    # Paper's message count achieved exactly: 2 RPCs x 3 phases x |Q|.
+    assert results[(True, False)][0] == 18.0
+    assert results[(False, False)][0] == 24.0
+    # Fault-free latency: the quorum discipline waits for the *slowest* of
+    # exactly |Q| replies instead of the |Q|-th fastest of n, so it is
+    # slightly slower on a jittery network — but in the same ballpark.
+    assert results[(True, False)][1] <= results[(False, False)][1] * 1.5
+    # With a crashed preferred replica it pays the retransmission stall.
+    assert results[(True, True)][1] > results[(False, True)][1] * 1.5

@@ -1,0 +1,132 @@
+"""E3 — Replica state size (§3.3.1).
+
+Paper claims: the only non-constant state is the prepare list, O(|C|)
+entries (one per writer), kept small by garbage collection via piggybacked
+write certificates, plus the stored prepare certificate of size O(|Q|).
+We measure prepare-list high-water marks as the writer population grows,
+with GC on and off (the ablation DESIGN.md calls out).
+"""
+
+from __future__ import annotations
+
+from repro import build_cluster
+from repro.analysis import format_table
+from repro.sim import write_script
+
+from benchmarks.conftest import run_once
+
+WRITES_EACH = 4
+
+
+def _run(writers: int, gc: bool, seed: int = 300):
+    cluster = build_cluster(f=1, seed=seed, gc_plist=gc)
+    high_water = {rid: 0 for rid in cluster.replicas}
+
+    def watch():
+        for rid, replica in cluster.replicas.items():
+            high_water[rid] = max(high_water[rid], len(replica.plist))
+        cluster.scheduler.call_later(0.01, watch)
+
+    cluster.scheduler.call_later(0.01, watch)
+    scripts = {
+        f"w{i}": write_script(f"client:w{i}", WRITES_EACH) for i in range(writers)
+    }
+    try:
+        cluster.run_scripts(scripts, max_time=120)
+    finally:
+        pass
+    cluster.settle(0.1)
+    final = max(len(r.plist) for r in cluster.replicas.values())
+    peak = max(high_water.values())
+    return peak, final
+
+
+def test_e3_prepare_list_size(benchmark):
+    def experiment():
+        rows = []
+        peaks_gc = {}
+        for writers in (1, 2, 4, 8):
+            peak_gc, final_gc = _run(writers, gc=True)
+            peaks_gc[writers] = peak_gc
+            rows.append([writers, peak_gc, final_gc])
+        print()
+        print(
+            format_table(
+                ["writers |C|", "plist peak (GC on)", "plist final"],
+                rows,
+                title="E3: prepare-list size vs writer population (paper: O(|C|))",
+            )
+        )
+        return peaks_gc
+
+    peaks = run_once(benchmark, experiment)
+    # O(|C|): the peak never exceeds the number of writers ...
+    for writers, peak in peaks.items():
+        assert peak <= writers, (writers, peak)
+    # ... and grows with it.
+    assert peaks[8] > peaks[1]
+
+
+def test_e3_gc_ablation(benchmark):
+    """Without certificate-based GC, completed writes lodge permanently in
+    the prepare list (the list only shrinks via phase-2 pruning)."""
+
+    def experiment():
+        peak_gc, final_gc = _run(6, gc=True, seed=301)
+        peak_nogc, final_nogc = _run_nogc_single_writes(seed=301)
+        print()
+        print(
+            format_table(
+                ["mode", "peak", "after workload"],
+                [["gc on", peak_gc, final_gc], ["gc off", peak_nogc, final_nogc]],
+                title="E3 ablation: prepare-list GC via write certificates",
+            )
+        )
+        return final_gc, final_nogc
+
+    final_gc, final_nogc = run_once(benchmark, experiment)
+    assert final_nogc >= final_gc
+
+
+def _run_nogc_single_writes(seed: int):
+    """One write per client (repeat writes would dead-lock with GC off,
+    which is itself the point of the mechanism)."""
+    cluster = build_cluster(f=1, seed=seed, gc_plist=False)
+    scripts = {f"w{i}": write_script(f"client:w{i}", 1) for i in range(6)}
+    cluster.run_scripts(scripts, max_time=120)
+    cluster.settle(0.1)
+    final = max(len(r.plist) for r in cluster.replicas.values())
+    return final, final
+
+
+def test_e3_piggyback_ablation(benchmark):
+    """§3.3.1's further suggestion: piggybacking write certificates on read
+    requests drains the prepare lists without extra phase-2 traffic."""
+    from repro.sim import read_script
+
+    def residual(piggyback: bool) -> int:
+        cluster = build_cluster(
+            f=1, seed=302, piggyback_write_certs=piggyback
+        )
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 1) + read_script(1))
+        cluster.run(max_time=120)
+        cluster.settle(0.1)
+        return sum(len(r.plist) for r in cluster.replicas.values())
+
+    def experiment():
+        without = residual(False)
+        with_pgb = residual(True)
+        print()
+        print(
+            format_table(
+                ["mode", "plist entries after write+read"],
+                [["no piggyback", without], ["piggyback on reads", with_pgb]],
+                title="E3b: §3.3.1 read-request certificate piggyback",
+            )
+        )
+        return without, with_pgb
+
+    without, with_pgb = run_once(benchmark, experiment)
+    assert with_pgb == 0
+    assert without > 0

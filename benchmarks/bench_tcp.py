@@ -1,0 +1,79 @@
+"""Real-network microbenchmark: throughput over the asyncio TCP transport.
+
+Not a paper experiment (the authors report no testbed numbers), but the
+number a downstream user asks first: how many operations per second does the
+implementation sustain on real sockets?  Runs the base and optimized
+protocols on localhost with four replica servers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.analysis import format_table
+from repro.core import (
+    BftBcClient,
+    BftBcReplica,
+    OptimizedBftBcClient,
+    OptimizedBftBcReplica,
+    make_system,
+)
+from repro.net.asyncio_transport import AsyncClient, ReplicaServer
+
+from benchmarks.conftest import run_once
+
+OPS = 25
+
+
+async def _throughput(variant: str) -> tuple[float, float]:
+    config = make_system(f=1, seed=b"tcp-bench-" + variant.encode())
+    replica_cls = OptimizedBftBcReplica if variant == "optimized" else BftBcReplica
+    client_cls = OptimizedBftBcClient if variant == "optimized" else BftBcClient
+    servers, addrs = [], {}
+    for rid in config.quorums.replica_ids:
+        server = ReplicaServer(replica_cls(rid, config))
+        host, port = await server.start()
+        addrs[rid] = (host, port)
+        servers.append(server)
+    client = AsyncClient(client_cls("client:bench", config), addrs)
+    await client.connect()
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    for seq in range(OPS):
+        await client.write(("client:bench", seq, None))
+    write_elapsed = loop.time() - start
+    start = loop.time()
+    for _ in range(OPS):
+        await client.read()
+    read_elapsed = loop.time() - start
+    await client.close()
+    for server in servers:
+        await server.stop()
+    return OPS / write_elapsed, OPS / read_elapsed
+
+
+def test_tcp_throughput(benchmark):
+    def experiment():
+        results = {}
+        for variant in ("base", "optimized"):
+            results[variant] = asyncio.run(_throughput(variant))
+        rows = [
+            [variant, w, r] for variant, (w, r) in results.items()
+        ]
+        print()
+        print(
+            format_table(
+                ["variant", "writes/s", "reads/s"],
+                rows,
+                title=f"TCP localhost throughput (f=1, {OPS} sequential ops, "
+                "one client)",
+            )
+        )
+        return results
+
+    results = run_once(benchmark, experiment)
+    for variant, (writes_per_s, reads_per_s) in results.items():
+        assert writes_per_s > 20, (variant, writes_per_s)
+        assert reads_per_s > 40, (variant, reads_per_s)
+    # Fewer phases => more writes per second.
+    assert results["optimized"][0] > results["base"][0]

@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` / ``test_*`` function regenerates one experiment from
+DESIGN.md §3 (the paper's analytical evaluation) and prints the paper-style
+table; run with ``pytest benchmarks/ --benchmark-only -s`` to see them.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:  # pragma: no cover
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run a whole experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

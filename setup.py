@@ -1,0 +1,10 @@
+"""Setup shim (metadata lives in setup.cfg).
+
+The legacy setup.py/setup.cfg layout is deliberate: it keeps
+``pip install -e .`` working on offline environments whose pip/setuptools
+lack PEP 660 editable-wheel support (which needs the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

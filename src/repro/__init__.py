@@ -1,0 +1,90 @@
+"""BFT-BC: Byzantine quorum replication that tolerates Byzantine clients.
+
+A full reproduction of Liskov & Rodrigues, "Tolerating Byzantine Faulty
+Clients in a Quorum System" (ICDCS 2006): the base three-phase protocol, the
+two-phase optimized protocol (§6), the strong BFT-linearizable+ variant
+(§7), the BQS and Phalanx baselines it compares against, the §4 correctness
+conditions as executable checkers, a deterministic simulation harness, and
+an asyncio TCP deployment.
+
+Quickstart::
+
+    from repro import build_cluster, write_script
+
+    cluster = build_cluster(f=1, variant="optimized")
+    alice = cluster.add_client("alice")
+    alice.run_script(write_script("client:alice", 3) + [("read", None)])
+    cluster.run()
+    print(alice.client.last_result)
+"""
+
+from repro.core import (
+    BftBcClient,
+    BftBcReplica,
+    OptimizedBftBcClient,
+    OptimizedBftBcReplica,
+    PrepareCertificate,
+    QuorumSystem,
+    StrongBftBcClient,
+    SystemConfig,
+    Timestamp,
+    WriteCertificate,
+    ZERO_TS,
+    make_system,
+)
+from repro.net.simnet import LinkProfile, SimNetwork
+from repro.sim import (
+    Cluster,
+    ClusterOptions,
+    FaultSchedule,
+    MetricsCollector,
+    Scheduler,
+    build_cluster,
+    read_script,
+    value_for,
+    write_script,
+)
+from repro.spec import (
+    History,
+    check_bft_linearizable,
+    check_bft_linearizable_plus,
+    check_register_linearizable,
+    count_lurking_writes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "make_system",
+    "SystemConfig",
+    "QuorumSystem",
+    "Timestamp",
+    "ZERO_TS",
+    "PrepareCertificate",
+    "WriteCertificate",
+    "BftBcClient",
+    "OptimizedBftBcClient",
+    "StrongBftBcClient",
+    "BftBcReplica",
+    "OptimizedBftBcReplica",
+    # networking / simulation
+    "LinkProfile",
+    "SimNetwork",
+    "Scheduler",
+    "Cluster",
+    "ClusterOptions",
+    "build_cluster",
+    "FaultSchedule",
+    "MetricsCollector",
+    "write_script",
+    "read_script",
+    "value_for",
+    # correctness
+    "History",
+    "check_register_linearizable",
+    "check_bft_linearizable",
+    "check_bft_linearizable_plus",
+    "count_lurking_writes",
+]

@@ -1,0 +1,192 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``      — write/read workload on each protocol variant, with metrics.
+* ``attacks``   — run the §3.2 Byzantine-client attack catalogue.
+* ``compare``   — BFT-BC vs BQS vs Phalanx on one workload (E8-style table).
+* ``simulate``  — a configurable workload (clients, ops, loss, f, variant).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import LinkProfile, build_cluster
+from repro.analysis import format_table
+from repro.sim import make_scripts, read_script, write_script
+from repro.spec import check_register_linearizable
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    rows = []
+    for variant in ("base", "optimized", "strong"):
+        cluster = build_cluster(f=args.f, variant=variant, seed=args.seed)
+        node = cluster.add_client("demo")
+        node.run_script(write_script("client:demo", 5) + read_script(3))
+        cluster.run()
+        rows.append(
+            [
+                variant,
+                cluster.metrics.phases_summary("write").p50,
+                cluster.metrics.phases_summary("read").p50,
+                cluster.network.stats.messages_sent,
+                "yes" if check_register_linearizable(cluster.history).ok else "NO",
+            ]
+        )
+    print(
+        format_table(
+            ["variant", "write phases", "read phases", "messages", "atomic"],
+            rows,
+            title=f"BFT-BC demo (f={args.f}, 5 writes + 3 reads)",
+        )
+    )
+    return 0
+
+
+def cmd_attacks(args: argparse.Namespace) -> int:
+    from repro.byzantine import (
+        Colluder,
+        EquivocationAttack,
+        LurkingWriteAttack,
+        TimestampExhaustionAttack,
+    )
+    from repro import count_lurking_writes
+
+    rows = []
+
+    cluster = build_cluster(f=args.f, seed=args.seed)
+    eq = EquivocationAttack(cluster, "evil")
+    eq.start()
+    cluster.run(max_time=60)
+    rows.append(["equivocation", f"{eq.quorums_reached} certificates", "blocked"])
+
+    cluster = build_cluster(f=args.f, seed=args.seed)
+    tx = TimestampExhaustionAttack(cluster, "evil")
+    tx.start()
+    cluster.run(max_time=60)
+    rows.append(["ts-exhaustion", f"{tx.replies} prepare replies", "blocked"])
+
+    cluster = build_cluster(f=args.f, seed=args.seed)
+    lw = LurkingWriteAttack(cluster, "evil", warmup=1, extra_attempts=2)
+    lw.start()
+    cluster.run(max_time=60)
+    lw.stop()
+    Colluder(cluster, "colluder", lw.hoard).start()
+    reader = cluster.add_client("reader")
+    reader.run_script(read_script(2), start_delay=0.5, think_time=0.1)
+    cluster.run(max_time=60)
+    lurking = count_lurking_writes(cluster.history, "client:evil")
+    rows.append(
+        ["lurking-writes", f"hoard {len(lw.hoard)}, seen {lurking}", "bounded at 1"]
+    )
+
+    print(
+        format_table(
+            ["attack", "attacker achieved", "verdict"],
+            rows,
+            title=f"§3.2 attack catalogue vs BFT-BC (f={args.f})",
+        )
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.baselines.runner import build_bqs_cluster, build_phalanx_cluster
+
+    ops = 6
+    rows = []
+    systems = {
+        "BQS": build_bqs_cluster(f=args.f, seed=args.seed),
+        "Phalanx": build_phalanx_cluster(f=args.f, seed=args.seed),
+        "BFT-BC": build_cluster(f=args.f, seed=args.seed),
+        "BFT-BC opt": build_cluster(f=args.f, variant="optimized", seed=args.seed),
+    }
+    for name, cluster in systems.items():
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", ops) + read_script(ops))
+        cluster.run()
+        rows.append(
+            [
+                name,
+                cluster.config.n,
+                cluster.metrics.phases_summary("write").p50,
+                cluster.network.stats.messages_sent / (2 * ops),
+                cluster.network.stats.bytes_sent // (2 * ops),
+            ]
+        )
+    print(
+        format_table(
+            ["system", "replicas", "write phases", "msgs/op", "bytes/op"],
+            rows,
+            title=f"protocol comparison (f={args.f})",
+        )
+    )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    profile = LinkProfile(
+        drop_rate=args.loss, max_delay=args.max_delay, duplicate_rate=args.dup
+    )
+    cluster = build_cluster(
+        f=args.f, variant=args.variant, seed=args.seed, profile=profile
+    )
+    names = [f"client:w{i}" for i in range(args.clients)]
+    scripts = make_scripts(
+        names, args.ops, write_fraction=args.write_fraction, seed=args.seed
+    )
+    cluster.run_scripts(
+        {name.split(":")[1]: s for name, s in scripts.items()},
+        max_time=600,
+    )
+    report = check_register_linearizable(cluster.history)
+    print(f"completed {cluster.metrics.operations} operations "
+          f"in {cluster.scheduler.now:.2f}s virtual time")
+    print(f"write latency p50/p95: "
+          f"{cluster.metrics.latency_summary('write').p50 * 1000:.1f} / "
+          f"{cluster.metrics.latency_summary('write').p95 * 1000:.1f} ms")
+    print(f"messages: {cluster.network.stats.messages_sent} "
+          f"({cluster.network.stats.messages_dropped} dropped)")
+    if args.variant == "optimized":
+        print(f"fast-path rate: {cluster.metrics.fast_path_rate():.0%}")
+    print(f"linearizable: {report.ok}")
+    return 0 if report.ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="BFT-BC (Liskov & Rodrigues, ICDCS 2006) demonstrations",
+    )
+    parser.add_argument("--f", type=int, default=1, help="fault threshold")
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="workload on each protocol variant")
+    sub.add_parser("attacks", help="the §3.2 attack catalogue")
+    sub.add_parser("compare", help="BFT-BC vs BQS vs Phalanx")
+
+    sim = sub.add_parser("simulate", help="configurable workload")
+    sim.add_argument("--variant", choices=("base", "optimized", "strong"),
+                     default="base")
+    sim.add_argument("--clients", type=int, default=3)
+    sim.add_argument("--ops", type=int, default=10)
+    sim.add_argument("--write-fraction", type=float, default=0.5)
+    sim.add_argument("--loss", type=float, default=0.05)
+    sim.add_argument("--dup", type=float, default=0.0)
+    sim.add_argument("--max-delay", type=float, default=0.01)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "demo": cmd_demo,
+        "attacks": cmd_attacks,
+        "compare": cmd_compare,
+        "simulate": cmd_simulate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

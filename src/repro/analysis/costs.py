@@ -1,0 +1,120 @@
+"""Closed-form cost model of §3.3, used to cross-check measured numbers.
+
+§3.3.1: an operation is O(|Q|) messages and O(|Q|^2) total bytes (some
+messages carry certificates of size O(|Q|)); replica state is O(|C|) prepare
+list entries plus an O(|Q|) certificate.  §3.3.2: each write costs two
+public-key signatures per replica (phase-2 and phase-3 replies), and the
+phase-3 signature can be produced in the background.
+
+The model's absolute byte numbers are parameterised by measured constants
+(signature size, value size) so experiments fit only the *shape*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.quorum import QuorumSystem
+
+__all__ = ["CostModel", "WRITE_PHASES", "READ_PHASES"]
+
+#: Phases per operation by variant (normal case / worst case).
+WRITE_PHASES = {"base": (3, 3), "optimized": (2, 3), "strong": (3, 5)}
+READ_PHASES = (1, 2)
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Analytical message/byte/signature counts for one configuration.
+
+    Attributes:
+        quorums: the deployment shape.
+        signature_bytes: wire size of one signature (measured).
+        header_bytes: fixed per-message overhead (measured).
+        value_bytes: size of the application value (workload parameter).
+    """
+
+    quorums: QuorumSystem
+    signature_bytes: int = 80
+    header_bytes: int = 64
+    value_bytes: int = 32
+
+    @property
+    def certificate_bytes(self) -> int:
+        """A certificate is a quorum of signatures: O(|Q|)."""
+        return self.quorums.quorum_size * self.signature_bytes + self.header_bytes
+
+    # -- message counts (reliable network, no retransmissions) -----------------
+
+    def write_messages(self, variant: str = "base") -> int:
+        """Messages for one write: one RPC (request+reply to all n) per phase."""
+        phases = WRITE_PHASES[variant][0]
+        return 2 * phases * self.quorums.n
+
+    def read_messages(self, *, write_back: bool = False) -> int:
+        messages = 2 * self.quorums.n
+        if write_back:
+            # Write-back goes only to replicas that are behind; bound by n.
+            messages += 2 * self.quorums.n
+        return messages
+
+    # -- byte counts -----------------------------------------------------------
+
+    def write_bytes(self, variant: str = "base") -> int:
+        """Total bytes for one write; certificate-bearing messages dominate.
+
+        Phase-1 replies, the phase-2 request, and the phase-3 request all
+        carry certificates, each O(|Q|), to O(|Q|) replicas: O(|Q|^2) total.
+        """
+        n = self.quorums.n
+        cert = self.certificate_bytes
+        hdr = self.header_bytes
+        if variant == "optimized":
+            # READ-TS-PREP req/replies (replies carry certificate), then
+            # WRITE request with certificate + value, and small replies.
+            return (
+                n * hdr  # merged phase-1 requests
+                + n * (cert + hdr)  # replies with stored certificate
+                + n * (cert + self.value_bytes + hdr)  # phase-3 requests
+                + n * hdr  # write replies
+            )
+        return (
+            n * hdr  # READ-TS requests
+            + n * (cert + hdr)  # READ-TS replies with certificate
+            + n * (cert + hdr)  # PREPARE requests carry Pmax (+ Wcert)
+            + n * hdr  # PREPARE replies
+            + n * (cert + self.value_bytes + hdr)  # WRITE requests
+            + n * hdr  # WRITE replies
+        )
+
+    def read_bytes(self, *, write_back: bool = False) -> int:
+        n = self.quorums.n
+        total = n * self.header_bytes + n * (
+            self.certificate_bytes + self.value_bytes + self.header_bytes
+        )
+        if write_back:
+            total += n * (
+                self.certificate_bytes + self.value_bytes + self.header_bytes
+            ) + n * self.header_bytes
+        return total
+
+    # -- state sizes ------------------------------------------------------------
+
+    def replica_state_bytes(self, writers: int) -> int:
+        """data + certificate + prepare list: O(1) + O(|Q|) + O(|C|)."""
+        plist_entry = 16 + 32  # timestamp + hash
+        return (
+            self.value_bytes
+            + self.certificate_bytes
+            + writers * plist_entry
+        )
+
+    # -- signature counts --------------------------------------------------------
+
+    def write_signatures_per_replica(self) -> dict[str, int]:
+        """Public-key signatures a replica performs for one write (§3.3.2)."""
+        return {"foreground": 1, "background_eligible": 1}
+
+    def write_signatures_client(self) -> int:
+        """Client signatures per write: PREPARE and WRITE requests."""
+        return 2

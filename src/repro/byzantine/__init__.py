@@ -1,0 +1,63 @@
+"""Adversaries: Byzantine clients and replicas.
+
+The client attacks implement the four misbehaviours enumerated in §3.2;
+the replica behaviours cover crash, staleness, collusion, and fabrication.
+BQS-specific attacks demonstrate that the same misbehaviours succeed against
+the unprotected baseline.
+"""
+
+from repro.byzantine.bqs_attacks import (
+    BqsEquivocationAttack,
+    BqsTimestampExhaustionAttack,
+)
+from repro.byzantine.phalanx_attacks import (
+    PhalanxEquivocationAttack,
+    PhalanxTimestampExhaustionAttack,
+)
+from repro.byzantine.clients import (
+    CollusionChainAttack,
+    ByzantineActor,
+    CapturedWrite,
+    Colluder,
+    EquivocationAttack,
+    LurkingWriteAttack,
+    OptimizedLurkingWriteAttack,
+    PartialWriteAttack,
+    PrepareOnlyWriteOperation,
+    TimestampExhaustionAttack,
+)
+from repro.byzantine.replicas import (
+    CorruptingReplica,
+    DelayingReplica,
+    TwoFacedReplica,
+    CrashedReplica,
+    ForgingReplica,
+    PromiscuousReplica,
+    SilentOptimizedReplica,
+    StaleReplica,
+)
+
+__all__ = [
+    "ByzantineActor",
+    "CapturedWrite",
+    "PrepareOnlyWriteOperation",
+    "LurkingWriteAttack",
+    "OptimizedLurkingWriteAttack",
+    "EquivocationAttack",
+    "PartialWriteAttack",
+    "TimestampExhaustionAttack",
+    "Colluder",
+    "CollusionChainAttack",
+    "CrashedReplica",
+    "SilentOptimizedReplica",
+    "StaleReplica",
+    "PromiscuousReplica",
+    "CorruptingReplica",
+    "ForgingReplica",
+    "DelayingReplica",
+    "TwoFacedReplica",
+    "BqsEquivocationAttack",
+    "BqsTimestampExhaustionAttack",
+    "PhalanxEquivocationAttack",
+    "PhalanxTimestampExhaustionAttack",
+]

@@ -1,0 +1,185 @@
+"""Prepare and write certificates (§3.2).
+
+A certificate is "a collection of 2f + 1 authenticated messages from
+different replicas that vouch for some fact".  Certificates are the paper's
+central mechanism: they let a client prove to replicas (and to *other*
+clients, via phase-1 replies) that a fact holds without those replicas having
+to hear it from a quorum directly.
+
+* A **prepare certificate** for ``(ts, h)`` is a quorum of
+  ``<PREPARE-REPLY, ts, h>_sigma_r`` statements: it proves the write of a
+  value with hash ``h`` at timestamp ``ts`` was approved.
+* A **write certificate** for ``ts`` is a quorum of
+  ``<WRITE-REPLY, ts>_sigma_r`` statements: it proves a write with
+  timestamp ``ts`` completed at a quorum.
+
+The genesis prepare certificate bootstraps the system: every replica starts
+with ``data = None`` at the zero timestamp, and validators accept the (empty)
+genesis certificate for exactly that state and no other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.quorum import QuorumSystem
+from repro.core.statements import prepare_reply_statement, write_reply_statement
+from repro.core.timestamp import ZERO_TS, Timestamp
+from repro.crypto.hashing import hash_value
+from repro.crypto.signatures import Signature, SignatureScheme
+from repro.errors import CertificateError
+
+__all__ = [
+    "PrepareCertificate",
+    "WriteCertificate",
+    "GENESIS_VALUE",
+    "genesis_prepare_certificate",
+]
+
+#: The value every replica holds before the first write.
+GENESIS_VALUE = None
+
+
+def _signatures_from_wire(wire: Any) -> tuple[Signature, ...]:
+    if not isinstance(wire, tuple):
+        raise CertificateError(f"malformed signature list: {wire!r}")
+    return tuple(Signature.from_wire(item) for item in wire)
+
+
+@dataclass(frozen=True)
+class PrepareCertificate:
+    """A quorum of ``PREPARE-REPLY`` statements for one ``(ts, h)`` pair."""
+
+    ts: Timestamp
+    value_hash: bytes
+    signatures: tuple[Signature, ...]
+
+    @property
+    def h(self) -> bytes:
+        """The paper's ``c.h`` accessor."""
+        return self.value_hash
+
+    @property
+    def is_genesis(self) -> bool:
+        return self.ts == ZERO_TS and not self.signatures
+
+    def signers(self) -> frozenset[str]:
+        """The distinct replica identities that signed this certificate."""
+        return frozenset(sig.signer for sig in self.signatures)
+
+    def to_wire(self) -> tuple[Any, ...]:
+        """Canonical wire representation (nested in messages)."""
+        return (
+            self.ts.to_wire(),
+            self.value_hash,
+            tuple(sig.to_wire() for sig in self.signatures),
+        )
+
+    @classmethod
+    def from_wire(cls, wire: Any) -> "PrepareCertificate":
+        """Parse the wire form; raises CertificateError when malformed."""
+        if not isinstance(wire, tuple) or len(wire) != 3:
+            raise CertificateError(f"malformed prepare certificate: {wire!r}")
+        ts_wire, value_hash, sigs_wire = wire
+        if not isinstance(value_hash, bytes):
+            raise CertificateError("prepare certificate hash is not bytes")
+        return cls(
+            ts=Timestamp.from_wire(ts_wire),
+            value_hash=value_hash,
+            signatures=_signatures_from_wire(sigs_wire),
+        )
+
+    def validate(self, scheme: SignatureScheme, quorums: QuorumSystem) -> None:
+        """Check well-formedness and all signatures.
+
+        Raises:
+            CertificateError: if the certificate does not contain a quorum of
+                valid, distinct replica signatures over the same statement
+                (or is a non-genuine genesis certificate).
+        """
+        if self.is_genesis:
+            if self.value_hash != hash_value(GENESIS_VALUE):
+                raise CertificateError("genesis certificate with wrong value hash")
+            return
+        if self.ts == ZERO_TS:
+            raise CertificateError("non-genesis certificate with zero timestamp")
+        signers = self.signers()
+        if len(signers) != len(self.signatures):
+            raise CertificateError("duplicate signer in prepare certificate")
+        if not quorums.is_quorum(signers):
+            raise CertificateError(
+                f"prepare certificate signers {sorted(signers)} do not form a quorum"
+            )
+        statement = prepare_reply_statement(self.ts, self.value_hash)
+        for sig in self.signatures:
+            if not scheme.verify_statement(sig, statement):
+                raise CertificateError(
+                    f"invalid prepare-certificate signature from {sig.signer}"
+                )
+
+    def is_valid(self, scheme: SignatureScheme, quorums: QuorumSystem) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate(scheme, quorums)
+        except CertificateError:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class WriteCertificate:
+    """A quorum of ``WRITE-REPLY`` statements for one timestamp."""
+
+    ts: Timestamp
+    signatures: tuple[Signature, ...]
+
+    def signers(self) -> frozenset[str]:
+        """The distinct replica identities that signed this certificate."""
+        return frozenset(sig.signer for sig in self.signatures)
+
+    def to_wire(self) -> tuple[Any, ...]:
+        """Canonical wire representation (nested in messages)."""
+        return (self.ts.to_wire(), tuple(sig.to_wire() for sig in self.signatures))
+
+    @classmethod
+    def from_wire(cls, wire: Any) -> "WriteCertificate":
+        """Parse the wire form; raises CertificateError when malformed."""
+        if not isinstance(wire, tuple) or len(wire) != 2:
+            raise CertificateError(f"malformed write certificate: {wire!r}")
+        ts_wire, sigs_wire = wire
+        return cls(
+            ts=Timestamp.from_wire(ts_wire),
+            signatures=_signatures_from_wire(sigs_wire),
+        )
+
+    def validate(self, scheme: SignatureScheme, quorums: QuorumSystem) -> None:
+        """Check well-formedness and all signatures (see PrepareCertificate)."""
+        signers = self.signers()
+        if len(signers) != len(self.signatures):
+            raise CertificateError("duplicate signer in write certificate")
+        if not quorums.is_quorum(signers):
+            raise CertificateError(
+                f"write certificate signers {sorted(signers)} do not form a quorum"
+            )
+        statement = write_reply_statement(self.ts)
+        for sig in self.signatures:
+            if not scheme.verify_statement(sig, statement):
+                raise CertificateError(
+                    f"invalid write-certificate signature from {sig.signer}"
+                )
+
+    def is_valid(self, scheme: SignatureScheme, quorums: QuorumSystem) -> bool:
+        """Boolean form of :meth:`validate`."""
+        try:
+            self.validate(scheme, quorums)
+        except CertificateError:
+            return False
+        return True
+
+
+def genesis_prepare_certificate() -> PrepareCertificate:
+    """The certificate every replica's state starts from."""
+    return PrepareCertificate(
+        ts=ZERO_TS, value_hash=hash_value(GENESIS_VALUE), signatures=()
+    )

@@ -1,0 +1,146 @@
+"""System-wide configuration shared by clients and replicas.
+
+A :class:`SystemConfig` bundles the quorum system, the key registry, the
+signature scheme, and the protocol options the design calls out for ablation
+(§3.3.2 background signing, §3.3.1 prepare-list garbage collection, §4.1.1
+strict-stop access control, §7 strong mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.quorum import QuorumSystem
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.signatures import (
+    HmacSignatureScheme,
+    RsaSignatureScheme,
+    SignatureScheme,
+)
+from repro.errors import QuorumConfigError
+
+__all__ = ["SystemConfig", "make_system"]
+
+
+@dataclass
+class SystemConfig:
+    """Everything a node needs to participate in one BFT-BC deployment.
+
+    Attributes:
+        quorums: the (n, f, |Q|) quorum system.
+        registry: the simulated PKI (key derivation + revocation).
+        scheme: signature backend used for all authenticated statements.
+        strong: enable the §7 variant (PREPARE carries a justify write
+            certificate; phase-1 replies carry timestamp vouches).
+        background_signing: replicas pre-sign phase-3 (WRITE-REPLY)
+            statements at prepare time so the signature is off the write
+            path, per §3.3.2.
+        gc_plist: replicas prune prepare-list entries using piggybacked
+            write certificates, per §3.3.1.
+        strict_stop: replicas additionally reject requests whose *signer*
+            has been revoked (the stronger stop notion of §4.1.1 where even
+            replays are discarded).  Off by default, as in the paper.
+        piggyback_write_certs: clients attach their latest write certificate
+            to READ / READ-TS requests so replicas can prune their prepare
+            lists sooner — §3.3.1's optional speed-up.
+        prefer_quorum: clients send each phase's request to a preferred
+            quorum of 2f+1 replicas first, expanding to the full group only
+            on retransmission.  This is the messaging discipline §3.3.1's
+            O(|Q|) message count assumes ("three RPCs to a quorum of
+            replicas"); off by default because broadcasting to all 3f+1 is
+            more robust to slow replicas.
+        authorized_writers: the access-control list.  ``None`` authorises
+            every registered client.
+    """
+
+    quorums: QuorumSystem
+    registry: KeyRegistry
+    scheme: SignatureScheme
+    strong: bool = False
+    background_signing: bool = False
+    gc_plist: bool = True
+    strict_stop: bool = False
+    piggyback_write_certs: bool = False
+    prefer_quorum: bool = False
+    authorized_writers: Optional[set[str]] = field(default=None)
+
+    @property
+    def f(self) -> int:
+        return self.quorums.f
+
+    @property
+    def n(self) -> int:
+        return self.quorums.n
+
+    @property
+    def quorum_size(self) -> int:
+        return self.quorums.quorum_size
+
+    def is_authorized_writer(self, client: str) -> bool:
+        """ACL check used by replicas on signed client requests."""
+        if not self.registry.is_registered(client):
+            return False
+        if self.authorized_writers is None:
+            return True
+        return client in self.authorized_writers
+
+    def authorize_writer(self, client: str) -> None:
+        if self.authorized_writers is None:
+            self.authorized_writers = set()
+        self.authorized_writers.add(client)
+
+    def revoke_writer(self, client: str) -> None:
+        """Administrative stop: revoke the key and drop ACL membership."""
+        self.registry.revoke(client)
+        if self.authorized_writers is not None:
+            self.authorized_writers.discard(client)
+
+
+def make_system(
+    f: int = 1,
+    *,
+    scheme: str = "hmac",
+    seed: bytes = b"repro-default-seed",
+    quorums: Optional[QuorumSystem] = None,
+    strong: bool = False,
+    background_signing: bool = False,
+    gc_plist: bool = True,
+    strict_stop: bool = False,
+    piggyback_write_certs: bool = False,
+    prefer_quorum: bool = False,
+) -> SystemConfig:
+    """Build a ready-to-use configuration with registered replica keys.
+
+    Args:
+        f: fault threshold; defaults to the paper's 3f+1 quorum system.
+        scheme: ``"hmac"`` (fast PKI simulation) or ``"rsa"`` (textbook
+            RSA-FDH with public-key verification).
+        seed: master seed for deterministic key derivation.
+        quorums: override the quorum system (e.g. for Phalanx baselines).
+
+    Returns:
+        A :class:`SystemConfig` with all replica keys already registered;
+        clients register via ``config.registry.register(client_id)``.
+    """
+    quorum_system = quorums if quorums is not None else QuorumSystem.bft_bc(f)
+    registry = KeyRegistry(master_seed=seed)
+    if scheme == "hmac":
+        signature_scheme: SignatureScheme = HmacSignatureScheme(registry)
+    elif scheme == "rsa":
+        signature_scheme = RsaSignatureScheme(registry)
+    else:
+        raise QuorumConfigError(f"unknown signature scheme {scheme!r}")
+    for rid in quorum_system.replica_ids:
+        registry.register(rid)
+    return SystemConfig(
+        quorums=quorum_system,
+        registry=registry,
+        scheme=signature_scheme,
+        strong=strong,
+        background_signing=background_signing,
+        gc_plist=gc_plist,
+        strict_stop=strict_stop,
+        piggyback_write_certs=piggyback_write_certs,
+        prefer_quorum=prefer_quorum,
+    )

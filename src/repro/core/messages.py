@@ -1,0 +1,411 @@
+"""Protocol messages for BFT-BC (base §3.2, optimized §6.2, strong §7.2).
+
+Every message is an immutable dataclass with a ``KIND`` tag and a symmetric
+``to_wire`` / ``from_wire`` pair.  The wire form is a plain dict of
+canonically encodable values, so any message round-trips through
+:func:`repro.encoding.canonical_encode`.
+
+The module keeps a registry mapping kind tags to classes; baseline protocols
+register their own message types through :func:`register_message`.
+
+Per the paper, replicas silently discard invalid requests — there are no
+negative acknowledgements — so the message set is exactly the requests and
+replies named in Figures 1 and 2 plus the optimized/strong variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, ClassVar, Optional, TypeVar
+
+from repro.core.certificates import PrepareCertificate, WriteCertificate
+from repro.core.timestamp import Timestamp
+from repro.crypto.signatures import Signature
+from repro.errors import ProtocolError
+
+__all__ = [
+    "Message",
+    "register_message",
+    "message_to_wire",
+    "message_from_wire",
+    "ReadTsRequest",
+    "ReadTsReply",
+    "PrepareRequest",
+    "PrepareReply",
+    "WriteRequest",
+    "WriteReply",
+    "ReadRequest",
+    "ReadReply",
+    "ReadTsPrepRequest",
+    "ReadTsPrepReply",
+]
+
+
+class Message:
+    """Base class for all protocol messages."""
+
+    KIND: ClassVar[str] = ""
+
+    def to_wire(self) -> dict[str, Any]:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "Message":  # pragma: no cover
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, type[Message]] = {}
+
+M = TypeVar("M", bound=type[Message])
+
+
+def register_message(cls: M) -> M:
+    """Class decorator adding a message type to the wire registry."""
+    if not cls.KIND:
+        raise ProtocolError(f"{cls.__name__} has no KIND tag")
+    if cls.KIND in _REGISTRY:
+        raise ProtocolError(f"duplicate message kind {cls.KIND!r}")
+    _REGISTRY[cls.KIND] = cls
+    return cls
+
+
+def message_to_wire(message: Message) -> dict[str, Any]:
+    """Serialise any registered message to its wire dict."""
+    wire = message.to_wire()
+    wire["kind"] = message.KIND
+    return wire
+
+
+def message_from_wire(wire: Any) -> Message:
+    """Parse a wire dict back into a message instance.
+
+    Raises:
+        ProtocolError: if the kind is unknown or the body is malformed.
+    """
+    if not isinstance(wire, dict) or "kind" not in wire:
+        raise ProtocolError(f"malformed message wire: {wire!r}")
+    kind = wire["kind"]
+    cls = _REGISTRY.get(kind)
+    if cls is None:
+        raise ProtocolError(f"unknown message kind {kind!r}")
+    try:
+        return cls.from_wire(wire)
+    except ProtocolError:
+        raise
+    except Exception as exc:
+        raise ProtocolError(f"malformed {kind} message: {exc}") from exc
+
+
+def _opt(wire_value: Any, parse: Callable[[Any], Any]) -> Any:
+    return None if wire_value is None else parse(wire_value)
+
+
+def _sig(wire_value: Any) -> Signature:
+    return Signature.from_wire(wire_value)
+
+
+# ---------------------------------------------------------------------------
+# Base protocol (Figures 1 and 2)
+# ---------------------------------------------------------------------------
+
+
+@register_message
+@dataclass(frozen=True)
+class ReadTsRequest(Message):
+    """Phase-1 request: ``<READ-TS, nonce>``.
+
+    ``write_cert`` implements §3.3.1's optional speed-up ("we could speed up
+    removing entries from the list if we propagated write certificates in
+    more messages, e.g., in read requests"): a self-certifying write
+    certificate the replica may apply to prune its prepare list.
+    """
+
+    KIND: ClassVar[str] = "READ-TS"
+    nonce: bytes
+    write_cert: Optional[WriteCertificate] = None
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "nonce": self.nonce,
+            "wcert": None if self.write_cert is None else self.write_cert.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "ReadTsRequest":
+        return cls(
+            nonce=wire["nonce"],
+            write_cert=_opt(wire.get("wcert"), WriteCertificate.from_wire),
+        )
+
+
+@register_message
+@dataclass(frozen=True)
+class ReadTsReply(Message):
+    """Phase-1 reply: ``<READ-TS-REPLY, Pcert, nonce>_sigma_r``.
+
+    ``ts_vouch`` is only present in the §7 strong variant: a signature over
+    ``<WRITE-REPLY, cert.ts>`` vouching that this replica has stored a write
+    with that timestamp, from which clients assemble the justify certificate.
+    """
+
+    KIND: ClassVar[str] = "READ-TS-REPLY"
+    cert: PrepareCertificate
+    nonce: bytes
+    signature: Signature
+    ts_vouch: Optional[Signature] = None
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "cert": self.cert.to_wire(),
+            "nonce": self.nonce,
+            "sig": self.signature.to_wire(),
+            "vouch": None if self.ts_vouch is None else self.ts_vouch.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "ReadTsReply":
+        return cls(
+            cert=PrepareCertificate.from_wire(wire["cert"]),
+            nonce=wire["nonce"],
+            signature=_sig(wire["sig"]),
+            ts_vouch=_opt(wire["vouch"], _sig),
+        )
+
+
+@register_message
+@dataclass(frozen=True)
+class PrepareRequest(Message):
+    """Phase-2 request: ``<PREPARE, Pmax, t, h(val), Wcert>_sigma_c``.
+
+    ``justify_cert`` is None in the base protocol; the strong variant (§7)
+    carries a write certificate with ``ts = succ(justify_cert.ts, c)``.
+    """
+
+    KIND: ClassVar[str] = "PREPARE"
+    prev_cert: PrepareCertificate
+    ts: Timestamp
+    value_hash: bytes
+    write_cert: Optional[WriteCertificate]
+    justify_cert: Optional[WriteCertificate]
+    signature: Signature
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "prev": self.prev_cert.to_wire(),
+            "ts": self.ts.to_wire(),
+            "hash": self.value_hash,
+            "wcert": None if self.write_cert is None else self.write_cert.to_wire(),
+            "jcert": None if self.justify_cert is None else self.justify_cert.to_wire(),
+            "sig": self.signature.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "PrepareRequest":
+        return cls(
+            prev_cert=PrepareCertificate.from_wire(wire["prev"]),
+            ts=Timestamp.from_wire(wire["ts"]),
+            value_hash=wire["hash"],
+            write_cert=_opt(wire["wcert"], WriteCertificate.from_wire),
+            justify_cert=_opt(wire["jcert"], WriteCertificate.from_wire),
+            signature=_sig(wire["sig"]),
+        )
+
+
+@register_message
+@dataclass(frozen=True)
+class PrepareReply(Message):
+    """Phase-2 reply: ``<PREPARE-REPLY, t, h>_sigma_r``."""
+
+    KIND: ClassVar[str] = "PREPARE-REPLY"
+    ts: Timestamp
+    value_hash: bytes
+    signature: Signature
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "ts": self.ts.to_wire(),
+            "hash": self.value_hash,
+            "sig": self.signature.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "PrepareReply":
+        return cls(
+            ts=Timestamp.from_wire(wire["ts"]),
+            value_hash=wire["hash"],
+            signature=_sig(wire["sig"]),
+        )
+
+
+@register_message
+@dataclass(frozen=True)
+class WriteRequest(Message):
+    """Phase-3 request: ``<WRITE, val, Pnew>_sigma_c``."""
+
+    KIND: ClassVar[str] = "WRITE"
+    value: Any
+    prepare_cert: PrepareCertificate
+    signature: Signature
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "value": self.value,
+            "cert": self.prepare_cert.to_wire(),
+            "sig": self.signature.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "WriteRequest":
+        return cls(
+            value=wire["value"],
+            prepare_cert=PrepareCertificate.from_wire(wire["cert"]),
+            signature=_sig(wire["sig"]),
+        )
+
+
+@register_message
+@dataclass(frozen=True)
+class WriteReply(Message):
+    """Phase-3 reply: ``<WRITE-REPLY, t>_sigma_r``."""
+
+    KIND: ClassVar[str] = "WRITE-REPLY"
+    ts: Timestamp
+    signature: Signature
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"ts": self.ts.to_wire(), "sig": self.signature.to_wire()}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "WriteReply":
+        return cls(ts=Timestamp.from_wire(wire["ts"]), signature=_sig(wire["sig"]))
+
+
+@register_message
+@dataclass(frozen=True)
+class ReadRequest(Message):
+    """Read phase-1 request: ``<READ, nonce>``.
+
+    ``write_cert``: optional §3.3.1 piggyback, as on :class:`ReadTsRequest`.
+    """
+
+    KIND: ClassVar[str] = "READ"
+    nonce: bytes
+    write_cert: Optional[WriteCertificate] = None
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "nonce": self.nonce,
+            "wcert": None if self.write_cert is None else self.write_cert.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "ReadRequest":
+        return cls(
+            nonce=wire["nonce"],
+            write_cert=_opt(wire.get("wcert"), WriteCertificate.from_wire),
+        )
+
+
+@register_message
+@dataclass(frozen=True)
+class ReadReply(Message):
+    """Read reply: value, prepare certificate, and nonce, signed by replica."""
+
+    KIND: ClassVar[str] = "READ-REPLY"
+    value: Any
+    cert: PrepareCertificate
+    nonce: bytes
+    signature: Signature
+    ts_vouch: Optional[Signature] = None
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "value": self.value,
+            "cert": self.cert.to_wire(),
+            "nonce": self.nonce,
+            "sig": self.signature.to_wire(),
+            "vouch": None if self.ts_vouch is None else self.ts_vouch.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "ReadReply":
+        return cls(
+            value=wire["value"],
+            cert=PrepareCertificate.from_wire(wire["cert"]),
+            nonce=wire["nonce"],
+            signature=_sig(wire["sig"]),
+            ts_vouch=_opt(wire["vouch"], _sig),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Optimized protocol (§6.2)
+# ---------------------------------------------------------------------------
+
+
+@register_message
+@dataclass(frozen=True)
+class ReadTsPrepRequest(Message):
+    """Merged phase-1/2 request carrying the proposed value's hash."""
+
+    KIND: ClassVar[str] = "READ-TS-PREP"
+    value_hash: bytes
+    write_cert: Optional[WriteCertificate]
+    nonce: bytes
+    signature: Signature
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "hash": self.value_hash,
+            "wcert": None if self.write_cert is None else self.write_cert.to_wire(),
+            "nonce": self.nonce,
+            "sig": self.signature.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "ReadTsPrepRequest":
+        return cls(
+            value_hash=wire["hash"],
+            write_cert=_opt(wire["wcert"], WriteCertificate.from_wire),
+            nonce=wire["nonce"],
+            signature=_sig(wire["sig"]),
+        )
+
+
+@register_message
+@dataclass(frozen=True)
+class ReadTsPrepReply(Message):
+    """Merged phase-1/2 reply.
+
+    Always carries the replica's stored prepare certificate (the normal
+    phase-1 payload).  When the replica performed the prepare on the client's
+    behalf, ``prepared_ts`` holds the predicted timestamp and ``prep_sig`` the
+    ``<PREPARE-REPLY, prepared_ts, h>`` signature that contributes to the
+    optimistic prepare certificate.
+    """
+
+    KIND: ClassVar[str] = "READ-TS-PREP-REPLY"
+    cert: PrepareCertificate
+    prepared_ts: Optional[Timestamp]
+    prep_sig: Optional[Signature]
+    nonce: bytes
+    signature: Signature
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "cert": self.cert.to_wire(),
+            "pts": None if self.prepared_ts is None else self.prepared_ts.to_wire(),
+            "psig": None if self.prep_sig is None else self.prep_sig.to_wire(),
+            "nonce": self.nonce,
+            "sig": self.signature.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "ReadTsPrepReply":
+        return cls(
+            cert=PrepareCertificate.from_wire(wire["cert"]),
+            prepared_ts=_opt(wire["pts"], Timestamp.from_wire),
+            prep_sig=_opt(wire["psig"], _sig),
+            nonce=wire["nonce"],
+            signature=_sig(wire["sig"]),
+        )

@@ -1,0 +1,121 @@
+"""Quorum-system configuration and intersection math.
+
+BFT-BC uses ``n = 3f + 1`` replicas with quorums of any ``2f + 1`` replicas
+(§3.2), which guarantees that any two quorums intersect in at least ``f + 1``
+replicas — hence at least one correct one.  The baselines use different
+shapes: the original BQS construction also uses ``3f + 1`` / ``2f + 1``,
+while Phalanx [10] uses ``n = 4f + 1`` with quorums of ``3f + 1``.
+
+:class:`QuorumSystem` captures (n, f, quorum size), validates the shape, and
+provides the intersection arithmetic the correctness arguments rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QuorumConfigError
+
+__all__ = ["QuorumSystem", "replica_id", "client_id"]
+
+
+def replica_id(index: int) -> str:
+    """Canonical node id for replica ``index``."""
+    return f"replica:{index}"
+
+
+def client_id(name: str | int) -> str:
+    """Canonical node id for a client."""
+    return f"client:{name}"
+
+
+@dataclass(frozen=True)
+class QuorumSystem:
+    """A (n, f, q) masking quorum configuration.
+
+    Attributes:
+        n: total number of replicas.
+        f: maximum number of Byzantine replicas tolerated.
+        quorum_size: number of replicas in every quorum.
+    """
+
+    n: int
+    f: int
+    quorum_size: int
+
+    def __post_init__(self) -> None:
+        if self.f < 0:
+            raise QuorumConfigError(f"f must be non-negative, got {self.f}")
+        if self.n < 1:
+            raise QuorumConfigError(f"n must be positive, got {self.n}")
+        if not 0 < self.quorum_size <= self.n:
+            raise QuorumConfigError(
+                f"quorum size {self.quorum_size} out of range for n={self.n}"
+            )
+        # Liveness: a quorum must be reachable with f replicas silent.
+        if self.quorum_size > self.n - self.f:
+            raise QuorumConfigError(
+                f"quorum size {self.quorum_size} unreachable with f={self.f} "
+                f"silent replicas out of n={self.n}"
+            )
+        # Safety: two quorums must intersect in more than f replicas so the
+        # intersection contains at least one correct replica.
+        if self.min_intersection <= self.f:
+            raise QuorumConfigError(
+                f"quorums of {self.quorum_size} out of {self.n} intersect in only "
+                f"{self.min_intersection} replicas; need > f={self.f}"
+            )
+
+    @classmethod
+    def bft_bc(cls, f: int) -> "QuorumSystem":
+        """The paper's configuration: ``n = 3f + 1``, quorums of ``2f + 1``."""
+        return cls(n=3 * f + 1, f=f, quorum_size=2 * f + 1)
+
+    @classmethod
+    def bqs(cls, f: int) -> "QuorumSystem":
+        """Original BQS register [9]: same shape as BFT-BC."""
+        return cls.bft_bc(f)
+
+    @classmethod
+    def phalanx(cls, f: int) -> "QuorumSystem":
+        """Phalanx [10] Byzantine-client protocol: ``4f + 1`` / ``3f + 1``."""
+        return cls(n=4 * f + 1, f=f, quorum_size=3 * f + 1)
+
+    @property
+    def min_intersection(self) -> int:
+        """Minimum overlap between any two quorums."""
+        return 2 * self.quorum_size - self.n
+
+    @property
+    def min_correct_intersection(self) -> int:
+        """Minimum number of *correct* replicas shared by any two quorums."""
+        return self.min_intersection - self.f
+
+    @property
+    def replica_ids(self) -> tuple[str, ...]:
+        """Canonical node ids of all replicas, numbered 0 .. n-1 (§3.2)."""
+        return tuple(replica_id(i) for i in range(self.n))
+
+    def is_replica(self, node_id: str) -> bool:
+        """True if ``node_id`` names one of this system's replicas."""
+        if not node_id.startswith("replica:"):
+            return False
+        try:
+            index = int(node_id.split(":", 1)[1])
+        except ValueError:
+            return False
+        return 0 <= index < self.n
+
+    def is_quorum(self, nodes: set[str] | frozenset[str]) -> bool:
+        """True if ``nodes`` are distinct valid replicas forming a quorum."""
+        return len(nodes) >= self.quorum_size and all(
+            self.is_replica(node) for node in nodes
+        )
+
+    def describe(self) -> str:
+        """One-line human summary of the quorum geometry."""
+        return (
+            f"n={self.n}, f={self.f}, |Q|={self.quorum_size}, "
+            f"min quorum intersection={self.min_intersection} "
+            f"(>= {self.min_correct_intersection} correct)"
+        )

@@ -1,0 +1,406 @@
+"""BFT-BC replica state machines (Figure 2, §6.2, §7.2).
+
+Replicas are sans-I/O: :meth:`BftBcReplica.handle` consumes one decoded
+request and returns the reply message (or ``None`` — per the paper, invalid
+requests are discarded *silently*, with the reason recorded in
+:class:`ReplicaStats` for observability).
+
+The same class runs on the deterministic simulator and on the asyncio TCP
+transport.
+
+State per Figure 2:
+
+* ``data`` — the value of the object,
+* ``pcert`` — a valid prepare certificate for ``h(data)``,
+* ``plist`` — at most one proposed write ``(t, h)`` per client,
+* ``write_ts`` — the timestamp of the latest write known to have completed
+  at a quorum.
+
+:class:`OptimizedBftBcReplica` (§6) adds the second prepare list
+(``optlist``), performs prepares on the client's behalf in the merged
+phase-1/2, and breaks equal-timestamp ties in phase 3 by larger value hash.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.certificates import (
+    GENESIS_VALUE,
+    PrepareCertificate,
+    WriteCertificate,
+    genesis_prepare_certificate,
+)
+from repro.core.config import SystemConfig
+from repro.core.messages import (
+    Message,
+    PrepareReply,
+    PrepareRequest,
+    ReadReply,
+    ReadRequest,
+    ReadTsPrepReply,
+    ReadTsPrepRequest,
+    ReadTsReply,
+    ReadTsRequest,
+    WriteReply,
+    WriteRequest,
+)
+from repro.core.statements import (
+    prepare_reply_statement,
+    prepare_request_statement,
+    read_reply_statement,
+    read_ts_prep_reply_statement,
+    read_ts_prep_request_statement,
+    read_ts_reply_statement,
+    write_reply_statement,
+    write_request_statement,
+)
+from repro.core.timestamp import ZERO_TS, Timestamp
+from repro.crypto.hashing import hash_value
+from repro.crypto.signatures import Signature
+
+__all__ = ["PlistEntry", "ReplicaStats", "BftBcReplica", "OptimizedBftBcReplica"]
+
+
+@dataclass(frozen=True)
+class PlistEntry:
+    """One proposed write: the ``(t, h)`` of a client's prepare."""
+
+    ts: Timestamp
+    value_hash: bytes
+
+
+@dataclass
+class ReplicaStats:
+    """Counters exposed for tests and the benchmark harness."""
+
+    handled: Counter = field(default_factory=Counter)
+    discards: Counter = field(default_factory=Counter)
+    replies: int = 0
+    foreground_signs: int = 0
+    background_signs: int = 0
+    writes_installed: int = 0
+
+    def discard(self, reason: str) -> None:
+        self.discards[reason] += 1
+
+    @property
+    def total_discards(self) -> int:
+        return sum(self.discards.values())
+
+
+class BftBcReplica:
+    """Base-protocol replica (Figure 2), plus the §7 strong-mode checks."""
+
+    def __init__(self, node_id: str, config: SystemConfig) -> None:
+        self.node_id = node_id
+        self.config = config
+        self.data = GENESIS_VALUE
+        self.pcert: PrepareCertificate = genesis_prepare_certificate()
+        self.plist: dict[str, PlistEntry] = {}
+        self.write_ts: Timestamp = ZERO_TS
+        self.stats = ReplicaStats()
+        # §3.3.2: WRITE-REPLY signatures pre-computed at prepare time.
+        self._presigned: dict[Timestamp, Signature] = {}
+        # Signing logs used by the executable Lemma 1 invariants
+        # (repro.spec.invariants): every WRITE-REPLY timestamp and every
+        # PREPARE-REPLY (ts, hash, client) this replica ever signed.
+        self.signed_write_replies: set[Timestamp] = set()
+        self.signed_prepare_replies: set[tuple[Timestamp, bytes, str]] = set()
+
+    # -- helpers ----------------------------------------------------------
+
+    def _sign(self, statement: object) -> Signature:
+        self.stats.foreground_signs += 1
+        return self.config.scheme.sign_statement(self.node_id, statement)
+
+    def _write_reply_signature(self, ts: Timestamp) -> Signature:
+        """Signature for ``<WRITE-REPLY, ts>``, using the §3.3.2 cache."""
+        self.signed_write_replies.add(ts)
+        cached = self._presigned.pop(ts, None)
+        if cached is not None:
+            return cached
+        return self._sign(write_reply_statement(ts))
+
+    def _presign_write_reply(self, ts: Timestamp) -> None:
+        if self.config.background_signing and ts not in self._presigned:
+            # NOTE: the presigned signature is *not* logged as released —
+            # it leaves the replica only when the phase-3 request arrives
+            # (via _write_reply_signature), which is what Lemma 1's
+            # signature-counting argument is about.
+            self._presigned[ts] = self.config.scheme.sign_statement(
+                self.node_id, write_reply_statement(ts)
+            )
+            self.stats.background_signs += 1
+
+    def _client_request_ok(self, client: str, signature: Signature) -> bool:
+        """ACL and (optionally) strict-stop checks on a signed request."""
+        if signature.signer != client:
+            return False
+        if not self.config.is_authorized_writer(client):
+            self.stats.discard("unauthorized")
+            return False
+        if self.config.strict_stop and self.config.registry.is_revoked(client):
+            self.stats.discard("revoked")
+            return False
+        return True
+
+    def _ts_vouch(self) -> Optional[Signature]:
+        """§7: vouch that a write with ``pcert.ts`` is stored at this replica."""
+        if not self.config.strong:
+            return None
+        self.signed_write_replies.add(self.pcert.ts)
+        return self._sign(write_reply_statement(self.pcert.ts))
+
+    def _apply_write_certificate(self, wcert: Optional[WriteCertificate]) -> bool:
+        """Figure 2 phase-2 step 2: advance write_ts and prune prepare lists.
+
+        Returns False if a present certificate is invalid (caller discards).
+        """
+        if wcert is None:
+            return True
+        if not wcert.is_valid(self.config.scheme, self.config.quorums):
+            self.stats.discard("bad-write-cert")
+            return False
+        if wcert.ts > self.write_ts:
+            self.write_ts = wcert.ts
+        if self.config.gc_plist:
+            self._gc_prepare_lists()
+        return True
+
+    def _gc_prepare_lists(self) -> None:
+        stale = [c for c, e in self.plist.items() if e.ts <= self.write_ts]
+        for c in stale:
+            del self.plist[c]
+
+    # -- dispatch ----------------------------------------------------------
+
+    def handle(self, sender: str, message: Message) -> Optional[Message]:
+        """Process one request; return the reply or None (silent discard)."""
+        self.stats.handled[message.KIND] += 1
+        if isinstance(message, ReadTsRequest):
+            reply = self._handle_read_ts(message)
+        elif isinstance(message, PrepareRequest):
+            reply = self._handle_prepare(message)
+        elif isinstance(message, WriteRequest):
+            reply = self._handle_write(message)
+        elif isinstance(message, ReadRequest):
+            reply = self._handle_read(message)
+        else:
+            self.stats.discard("unknown-kind")
+            reply = None
+        if reply is not None:
+            self.stats.replies += 1
+        return reply
+
+    # -- phase 1: READ-TS --------------------------------------------------
+
+    def _handle_read_ts(self, message: ReadTsRequest) -> ReadTsReply:
+        # §3.3.1 piggyback: an attached write certificate is a free hint for
+        # pruning the prepare list; an invalid one is simply ignored (the
+        # read itself is still served).
+        if message.write_cert is not None:
+            self._apply_write_certificate(message.write_cert)
+        cert_wire = self.pcert.to_wire()
+        signature = self._sign(read_ts_reply_statement(cert_wire, message.nonce))
+        return ReadTsReply(
+            cert=self.pcert,
+            nonce=message.nonce,
+            signature=signature,
+            ts_vouch=self._ts_vouch(),
+        )
+
+    # -- phase 2: PREPARE ----------------------------------------------------
+
+    def _handle_prepare(self, message: PrepareRequest) -> Optional[PrepareReply]:
+        client = message.signature.signer
+        if not self._client_request_ok(client, message.signature):
+            return None
+        statement = prepare_request_statement(
+            message.prev_cert.to_wire(),
+            message.ts,
+            message.value_hash,
+            None if message.write_cert is None else message.write_cert.to_wire(),
+            None if message.justify_cert is None else message.justify_cert.to_wire(),
+        )
+        if not self.config.scheme.verify_statement(message.signature, statement):
+            self.stats.discard("bad-signature")
+            return None
+        if not message.prev_cert.is_valid(self.config.scheme, self.config.quorums):
+            self.stats.discard("bad-prepare-cert")
+            return None
+        # Timestamp succession: t = succ(prepC.ts, c).  This is what stops a
+        # bad client from exhausting the timestamp space (§3.2 issue 3).
+        if message.ts != message.prev_cert.ts.succ(client):
+            self.stats.discard("bad-ts")
+            return None
+        if self.config.strong:
+            # §7: the proposed timestamp must succeed a *completed* write.
+            if message.justify_cert is None:
+                self.stats.discard("missing-justify")
+                return None
+            if not message.justify_cert.is_valid(self.config.scheme, self.config.quorums):
+                self.stats.discard("bad-justify-cert")
+                return None
+            if message.ts != message.justify_cert.ts.succ(client):
+                self.stats.discard("bad-justify-ts")
+                return None
+        if not self._apply_write_certificate(message.write_cert):
+            return None
+        entry = self.plist.get(client)
+        if entry is not None and (
+            entry.ts != message.ts or entry.value_hash != message.value_hash
+        ):
+            # One outstanding prepare per client: the client must complete
+            # (or the write certificate must clear) its previous write first.
+            self.stats.discard("plist-conflict")
+            return None
+        if entry is None and message.ts > self.write_ts:
+            self.plist[client] = PlistEntry(ts=message.ts, value_hash=message.value_hash)
+        self._presign_write_reply(message.ts)
+        self.signed_prepare_replies.add((message.ts, message.value_hash, client))
+        signature = self._sign(prepare_reply_statement(message.ts, message.value_hash))
+        return PrepareReply(
+            ts=message.ts, value_hash=message.value_hash, signature=signature
+        )
+
+    # -- phase 3: WRITE ------------------------------------------------------
+
+    def _handle_write(self, message: WriteRequest) -> Optional[WriteReply]:
+        client = message.signature.signer
+        if not self._client_request_ok(client, message.signature):
+            return None
+        statement = write_request_statement(
+            message.value, message.prepare_cert.to_wire()
+        )
+        if not self.config.scheme.verify_statement(message.signature, statement):
+            self.stats.discard("bad-signature")
+            return None
+        cert = message.prepare_cert
+        if not cert.is_valid(self.config.scheme, self.config.quorums):
+            self.stats.discard("bad-prepare-cert")
+            return None
+        if cert.h != hash_value(message.value):
+            self.stats.discard("bad-hash")
+            return None
+        if self._should_install(cert):
+            self.data = message.value
+            self.pcert = cert
+            self.stats.writes_installed += 1
+        signature = self._write_reply_signature(cert.ts)
+        return WriteReply(ts=cert.ts, signature=signature)
+
+    def _should_install(self, cert: PrepareCertificate) -> bool:
+        """Figure 2 phase-3 step 2: overwrite only on a larger timestamp."""
+        return cert.ts > self.pcert.ts
+
+    # -- reads ---------------------------------------------------------------
+
+    def _handle_read(self, message: ReadRequest) -> ReadReply:
+        if message.write_cert is not None:
+            self._apply_write_certificate(message.write_cert)  # §3.3.1 hint
+        cert_wire = self.pcert.to_wire()
+        signature = self._sign(
+            read_reply_statement(self.data, cert_wire, message.nonce)
+        )
+        return ReadReply(
+            value=self.data,
+            cert=self.pcert,
+            nonce=message.nonce,
+            signature=signature,
+            ts_vouch=self._ts_vouch(),
+        )
+
+
+class OptimizedBftBcReplica(BftBcReplica):
+    """§6 replica: merged phase-1/2, second prepare list, hash tie-break."""
+
+    def __init__(self, node_id: str, config: SystemConfig) -> None:
+        super().__init__(node_id, config)
+        self.optlist: dict[str, PlistEntry] = {}
+
+    def handle(self, sender: str, message: Message) -> Optional[Message]:
+        if isinstance(message, ReadTsPrepRequest):
+            self.stats.handled[message.KIND] += 1
+            reply = self._handle_read_ts_prep(message)
+            if reply is not None:
+                self.stats.replies += 1
+            return reply
+        return super().handle(sender, message)
+
+    def _gc_prepare_lists(self) -> None:
+        super()._gc_prepare_lists()
+        stale = [c for c, e in self.optlist.items() if e.ts <= self.write_ts]
+        for c in stale:
+            del self.optlist[c]
+
+    def _handle_read_ts_prep(
+        self, message: ReadTsPrepRequest
+    ) -> Optional[ReadTsPrepReply]:
+        client = message.signature.signer
+        if not self._client_request_ok(client, message.signature):
+            return None
+        statement = read_ts_prep_request_statement(
+            message.value_hash,
+            None if message.write_cert is None else message.write_cert.to_wire(),
+            message.nonce,
+        )
+        if not self.config.scheme.verify_statement(message.signature, statement):
+            self.stats.discard("bad-signature")
+            return None
+        if not self._apply_write_certificate(message.write_cert):
+            return None
+        predicted = self.pcert.ts.succ(client)
+        prepared_ts: Optional[Timestamp] = None
+        prep_sig: Optional[Signature] = None
+        if self._may_opt_prepare(client, predicted, message.value_hash):
+            if client not in self.optlist:
+                self.optlist[client] = PlistEntry(
+                    ts=predicted, value_hash=message.value_hash
+                )
+            self._presign_write_reply(predicted)
+            self.signed_prepare_replies.add(
+                (predicted, message.value_hash, client)
+            )
+            prepared_ts = predicted
+            prep_sig = self._sign(
+                prepare_reply_statement(predicted, message.value_hash)
+            )
+        cert_wire = self.pcert.to_wire()
+        signature = self._sign(
+            read_ts_prep_reply_statement(
+                cert_wire,
+                None if prepared_ts is None else prepared_ts.to_wire(),
+                message.nonce,
+            )
+        )
+        return ReadTsPrepReply(
+            cert=self.pcert,
+            prepared_ts=prepared_ts,
+            prep_sig=prep_sig,
+            nonce=message.nonce,
+            signature=signature,
+        )
+
+    def _may_opt_prepare(
+        self, client: str, predicted: Timestamp, value_hash: bytes
+    ) -> bool:
+        """§6.2: prepare on the client's behalf unless it already has an
+        entry in either prepare list for a different timestamp or hash."""
+        if predicted <= self.write_ts:
+            return False
+        for entries in (self.plist, self.optlist):
+            entry = entries.get(client)
+            if entry is not None and (
+                entry.ts != predicted or entry.value_hash != value_hash
+            ):
+                return False
+        return True
+
+    def _should_install(self, cert: PrepareCertificate) -> bool:
+        """§6.2 phase 3: on an equal timestamp keep the larger hash."""
+        if cert.ts > self.pcert.ts:
+            return True
+        return cert.ts == self.pcert.ts and cert.h > self.pcert.h

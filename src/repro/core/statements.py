@@ -1,0 +1,97 @@
+"""Canonical statement builders for everything the protocol signs.
+
+Keeping every signed byte-string's construction in one module guarantees
+that clients, replicas, and certificate validators all agree on exactly what
+a signature covers.  A *statement* is a canonically encodable tuple whose
+first element names the statement type.
+
+Statement inventory (paper notation on the left):
+
+* ``<PREPARE-REPLY, ts, h>_sigma_r``      -> :func:`prepare_reply_statement`
+* ``<WRITE-REPLY, ts>_sigma_r``           -> :func:`write_reply_statement`
+* ``<READ-TS-REPLY, P, nonce>_sigma_r``   -> :func:`read_ts_reply_statement`
+* ``<READ-REPLY, val, P, nonce>_sigma_r`` -> :func:`read_reply_statement`
+* ``<PREPARE, ...>_sigma_c``              -> :func:`prepare_request_statement`
+* ``<WRITE, val, P>_sigma_c``             -> :func:`write_request_statement`
+* optimized ``READ-TS-PREP`` reply        -> reuses the two reply statements
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.timestamp import Timestamp
+
+__all__ = [
+    "prepare_reply_statement",
+    "write_reply_statement",
+    "read_ts_reply_statement",
+    "read_reply_statement",
+    "prepare_request_statement",
+    "write_request_statement",
+    "read_ts_prep_request_statement",
+    "read_ts_prep_reply_statement",
+]
+
+
+def prepare_reply_statement(ts: Timestamp, value_hash: bytes) -> tuple[Any, ...]:
+    """Body of a phase-2 reply; a quorum of these is a prepare certificate."""
+    return ("PREPARE-REPLY", ts.to_wire(), value_hash)
+
+
+def write_reply_statement(ts: Timestamp) -> tuple[Any, ...]:
+    """Body of a phase-3 reply; a quorum of these is a write certificate."""
+    return ("WRITE-REPLY", ts.to_wire())
+
+
+def read_ts_reply_statement(cert_wire: Any, nonce: bytes) -> tuple[Any, ...]:
+    """Phase-1 reply envelope: binds the returned certificate to the nonce."""
+    return ("READ-TS-REPLY", cert_wire, nonce)
+
+
+def read_reply_statement(value: Any, cert_wire: Any, nonce: bytes) -> tuple[Any, ...]:
+    """Read reply envelope: binds value + certificate to the nonce."""
+    return ("READ-REPLY", value, cert_wire, nonce)
+
+
+def prepare_request_statement(
+    prev_cert_wire: Any,
+    ts: Timestamp,
+    value_hash: bytes,
+    write_cert_wire: Any,
+    justify_cert_wire: Any,
+) -> tuple[Any, ...]:
+    """Body of the client-signed PREPARE request.
+
+    ``justify_cert_wire`` is ``None`` except in the §7 strong variant, where
+    it carries the write certificate proving the proposed timestamp succeeds
+    a completed write.
+    """
+    return (
+        "PREPARE",
+        prev_cert_wire,
+        ts.to_wire(),
+        value_hash,
+        write_cert_wire,
+        justify_cert_wire,
+    )
+
+
+def write_request_statement(value: Any, prepare_cert_wire: Any) -> tuple[Any, ...]:
+    """Body of the client-signed WRITE request."""
+    return ("WRITE", value, prepare_cert_wire)
+
+
+def read_ts_prep_request_statement(
+    value_hash: bytes, write_cert_wire: Any, nonce: bytes
+) -> tuple[Any, ...]:
+    """Body of the optimized protocol's merged phase-1/2 request (§6.2)."""
+    return ("READ-TS-PREP", value_hash, write_cert_wire, nonce)
+
+
+def read_ts_prep_reply_statement(
+    cert_wire: Any, prepared_ts_wire: Any, nonce: bytes
+) -> tuple[Any, ...]:
+    """Envelope of the merged phase-1/2 reply (the transferable part is the
+    inner ``PREPARE-REPLY`` signature; this binds the rest to the nonce)."""
+    return ("READ-TS-PREP-REPLY", cert_wire, prepared_ts_wire, nonce)

@@ -1,0 +1,72 @@
+"""Protocol timestamps: ``ts = (ts.val, ts.id)`` (§3.2.1).
+
+Different clients must choose different timestamps, so a timestamp is a
+sequence number concatenated with the writer's client identifier.  The
+successor function used by client ``c`` is ``succ(ts, c) = (ts.val + 1, c)``;
+comparison is lexicographic (value first, then client id), which totally
+orders all timestamps because client ids are unique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Any
+
+from repro.errors import TimestampError
+
+__all__ = ["Timestamp", "ZERO_TS", "succ"]
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Timestamp:
+    """An immutable, totally ordered protocol timestamp."""
+
+    val: int
+    client_id: str
+
+    def __post_init__(self) -> None:
+        if self.val < 0:
+            raise TimestampError(f"timestamp value must be non-negative, got {self.val}")
+
+    def _key(self) -> tuple[int, str]:
+        return (self.val, self.client_id)
+
+    def __lt__(self, other: object) -> bool:
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return self._key() < other._key()
+
+    def succ(self, client_id: str) -> "Timestamp":
+        """The paper's ``succ(ts, c) = (ts.val + 1, c)``."""
+        return Timestamp(val=self.val + 1, client_id=client_id)
+
+    def to_wire(self) -> tuple[int, str]:
+        """Canonical wire representation."""
+        return (self.val, self.client_id)
+
+    @classmethod
+    def from_wire(cls, wire: Any) -> "Timestamp":
+        """Parse the wire form; raises TimestampError when malformed."""
+        if (
+            not isinstance(wire, tuple)
+            or len(wire) != 2
+            or not isinstance(wire[0], int)
+            or isinstance(wire[0], bool)
+            or not isinstance(wire[1], str)
+        ):
+            raise TimestampError(f"malformed wire timestamp: {wire!r}")
+        return cls(val=wire[0], client_id=wire[1])
+
+    def __str__(self) -> str:
+        return f"<{self.val},{self.client_id or '∅'}>"
+
+
+#: The initial timestamp stored by every replica before any write.
+ZERO_TS = Timestamp(val=0, client_id="")
+
+
+def succ(ts: Timestamp, client_id: str) -> Timestamp:
+    """Module-level alias for :meth:`Timestamp.succ`, matching the paper."""
+    return ts.succ(client_id)

@@ -1,0 +1,36 @@
+"""Cryptographic substrate: hashing, keys, signatures, MACs, nonces.
+
+The paper (§2) assumes unforgeable digital signatures, a collision-resistant
+hash function, and non-repeating nonces.  This package supplies all three,
+with two signature backends (a fast HMAC-based PKI simulation and a
+self-contained textbook RSA-FDH) behind one interface.
+"""
+
+from repro.crypto.authenticators import MacAuthenticator
+from repro.crypto.hashing import DIGEST_SIZE, digest, digest_bytes, hash_value
+from repro.crypto.keys import KeyRegistry, PrivateCredential
+from repro.crypto.nonces import NonceSource, NonceTracker
+from repro.crypto.signatures import (
+    HmacSignatureScheme,
+    RsaSignatureScheme,
+    SchemeStats,
+    Signature,
+    SignatureScheme,
+)
+
+__all__ = [
+    "DIGEST_SIZE",
+    "digest",
+    "digest_bytes",
+    "hash_value",
+    "KeyRegistry",
+    "PrivateCredential",
+    "NonceSource",
+    "NonceTracker",
+    "Signature",
+    "SignatureScheme",
+    "SchemeStats",
+    "HmacSignatureScheme",
+    "RsaSignatureScheme",
+    "MacAuthenticator",
+]

@@ -1,0 +1,58 @@
+"""Point-to-point MAC authenticators.
+
+§3.3.2 observes that only phase-2 and phase-3 replies need public-key
+signatures (they become certificate entries shown to third parties); all
+other messages can be authenticated with cheaper symmetric MACs over pairwise
+session keys.  This module provides that cheaper primitive.
+
+Session keys are derived deterministically from the two endpoints' registry
+secrets so that either endpoint can compute the same key without a key
+exchange round (a stand-in for an authenticated Diffie-Hellman handshake).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.crypto.keys import KeyRegistry
+
+__all__ = ["MacAuthenticator"]
+
+
+class MacAuthenticator:
+    """Compute and check pairwise MACs between registered nodes."""
+
+    def __init__(self, registry: KeyRegistry) -> None:
+        self._registry = registry
+        self._session_keys: dict[tuple[str, str], bytes] = {}
+        self.macs_computed = 0
+        self.macs_checked = 0
+
+    def session_key(self, a: str, b: str) -> bytes:
+        """Deterministic symmetric key shared by nodes ``a`` and ``b``."""
+        pair = (a, b) if a <= b else (b, a)
+        key = self._session_keys.get(pair)
+        if key is None:
+            material = (
+                b"session|"
+                + self._registry.secret_for(pair[0])
+                + b"|"
+                + self._registry.secret_for(pair[1])
+            )
+            key = hashlib.sha256(material).digest()
+            self._session_keys[pair] = key
+        return key
+
+    def mac(self, sender: str, receiver: str, message: bytes) -> bytes:
+        """MAC ``message`` under the (sender, receiver) session key."""
+        self.macs_computed += 1
+        return hmac.new(self.session_key(sender, receiver), message, hashlib.sha256).digest()
+
+    def check(self, sender: str, receiver: str, message: bytes, tag: bytes) -> bool:
+        """Verify a MAC produced by :meth:`mac`."""
+        self.macs_checked += 1
+        expected = hmac.new(
+            self.session_key(sender, receiver), message, hashlib.sha256
+        ).digest()
+        return hmac.compare_digest(expected, tag)

@@ -1,0 +1,97 @@
+"""Key management for the simulated public-key infrastructure.
+
+The paper assumes every node holds a private key and that any node can verify
+any other node's signatures (§2).  :class:`KeyRegistry` models the PKI: it
+derives per-node key material deterministically from a master seed, tracks
+revocations, and hands out :class:`PrivateCredential` objects that are the
+*only* way to produce signatures.
+
+Revocation models the paper's ``stop`` event (§4.1.1): once an administrator
+revokes a client's key, no *new* signatures can be produced on its behalf,
+but messages signed before the revocation still verify — which is exactly
+what lets a colluder replay a stopped client's lurking writes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.errors import KeyRevokedError, UnknownSignerError
+
+__all__ = ["PrivateCredential", "KeyRegistry"]
+
+
+@dataclass(frozen=True)
+class PrivateCredential:
+    """A node's private key material.
+
+    Holding one of these is what it means to "know the private key" in the
+    paper's model.  Simulated adversaries receive only their own credential.
+    """
+
+    node_id: str
+    secret: bytes
+
+
+@dataclass
+class KeyRegistry:
+    """Deterministic key derivation plus revocation tracking.
+
+    Args:
+        master_seed: root entropy; the same seed always produces the same
+            per-node keys, keeping simulations reproducible.
+    """
+
+    master_seed: bytes = b"repro-default-seed"
+    _secrets: dict[str, bytes] = field(default_factory=dict, repr=False)
+    _revoked: set[str] = field(default_factory=set, repr=False)
+
+    def register(self, node_id: str) -> PrivateCredential:
+        """Create (or re-derive) key material for ``node_id``."""
+        if node_id not in self._secrets:
+            self._secrets[node_id] = hashlib.sha256(
+                b"node-key|" + self.master_seed + b"|" + node_id.encode("utf-8")
+            ).digest()
+        return PrivateCredential(node_id=node_id, secret=self._secrets[node_id])
+
+    def secret_for(self, node_id: str) -> bytes:
+        """Return the secret for ``node_id`` (registry-internal use).
+
+        Raises:
+            UnknownSignerError: if the node was never registered.
+        """
+        try:
+            return self._secrets[node_id]
+        except KeyError:
+            raise UnknownSignerError(f"no key registered for {node_id!r}") from None
+
+    def is_registered(self, node_id: str) -> bool:
+        return node_id in self._secrets
+
+    def revoke(self, node_id: str) -> None:
+        """Revoke ``node_id``'s key: no further signing allowed.
+
+        Previously produced signatures continue to verify; see module docs.
+        """
+        if node_id not in self._secrets:
+            raise UnknownSignerError(f"cannot revoke unknown node {node_id!r}")
+        self._revoked.add(node_id)
+
+    def is_revoked(self, node_id: str) -> bool:
+        return node_id in self._revoked
+
+    def check_may_sign(self, node_id: str) -> None:
+        """Raise unless ``node_id`` is registered and not revoked."""
+        if node_id not in self._secrets:
+            raise UnknownSignerError(f"no key registered for {node_id!r}")
+        if node_id in self._revoked:
+            raise KeyRevokedError(f"key for {node_id!r} has been revoked")
+
+    @property
+    def registered_nodes(self) -> frozenset[str]:
+        return frozenset(self._secrets)
+
+    @property
+    def revoked_nodes(self) -> frozenset[str]:
+        return frozenset(self._revoked)

@@ -1,0 +1,70 @@
+"""Nonce generation and replay tracking.
+
+§2: "To avoid replay attacks we tag certain messages with nonces that are
+signed in the replies.  We assume that when clients pick nonces they will
+not choose a repeated nonce."
+
+:class:`NonceSource` produces nonces that are unique per (node, counter) and
+unpredictable to other nodes (derived from the node's secret), satisfying
+that assumption deterministically.  :class:`NonceTracker` is the matching
+receiver-side replay filter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+__all__ = ["NonceSource", "NonceTracker"]
+
+
+class NonceSource:
+    """Deterministic, never-repeating nonce generator for one node."""
+
+    def __init__(self, node_id: str, secret: bytes = b"") -> None:
+        self._node_id = node_id
+        self._secret = secret
+        self._counter = 0
+
+    def next(self) -> bytes:
+        """Return a fresh 16-byte nonce."""
+        self._counter += 1
+        return hashlib.sha256(
+            b"nonce|"
+            + self._secret
+            + b"|"
+            + self._node_id.encode("utf-8")
+            + b"|"
+            + self._counter.to_bytes(8, "big")
+        ).digest()[:16]
+
+    @property
+    def issued(self) -> int:
+        """Number of nonces issued so far."""
+        return self._counter
+
+
+class NonceTracker:
+    """Bounded-memory set of recently seen nonces for replay detection."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._seen: OrderedDict[bytes, None] = OrderedDict()
+
+    def check_and_record(self, nonce: bytes) -> bool:
+        """Record ``nonce``; return True if fresh, False if a replay."""
+        if nonce in self._seen:
+            self._seen.move_to_end(nonce)
+            return False
+        self._seen[nonce] = None
+        if len(self._seen) > self._capacity:
+            self._seen.popitem(last=False)
+        return True
+
+    def __contains__(self, nonce: bytes) -> bool:
+        return nonce in self._seen
+
+    def __len__(self) -> int:
+        return len(self._seen)

@@ -1,0 +1,164 @@
+"""Self-contained textbook RSA with full-domain-hash signatures.
+
+This backend exists so the library exercises a *real* public-key verify path
+(verification uses only public material), unlike the fast HMAC-registry
+simulation.  It is textbook RSA-FDH: fine for a protocol study, not for
+production cryptography (no constant-time arithmetic, small default modulus
+for speed).
+
+Key generation is deterministic given a seed, which keeps simulations
+reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import CryptoError
+
+__all__ = ["RsaPublicKey", "RsaPrivateKey", "generate_rsa_keypair", "rsa_sign", "rsa_verify"]
+
+# Default modulus size.  512 bits keeps deterministic key generation fast in
+# tests while still exercising multi-precision arithmetic.
+DEFAULT_BITS = 512
+
+_E = 65537
+
+# Small primes for quick trial division before Miller-Rabin.
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149,
+]
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """RSA public key ``(n, e)``."""
+
+    n: int
+    e: int
+
+    @property
+    def byte_length(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    """RSA private key; carries the matching public key for convenience."""
+
+    n: int
+    d: int
+    public: RsaPublicKey
+
+
+class _DeterministicStream:
+    """Deterministic byte stream derived from a seed via SHA-256 in counter mode."""
+
+    def __init__(self, seed: bytes) -> None:
+        self._seed = seed
+        self._counter = 0
+
+    def take(self, nbytes: int) -> bytes:
+        out = bytearray()
+        while len(out) < nbytes:
+            block = hashlib.sha256(
+                self._seed + self._counter.to_bytes(8, "big")
+            ).digest()
+            self._counter += 1
+            out.extend(block)
+        return bytes(out[:nbytes])
+
+    def take_int(self, bits: int) -> int:
+        nbytes = (bits + 7) // 8
+        value = int.from_bytes(self.take(nbytes), "big")
+        excess = nbytes * 8 - bits
+        return value >> excess
+
+
+def _is_probable_prime(n: int, stream: _DeterministicStream, rounds: int = 24) -> bool:
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = 2 + stream.take_int(n.bit_length()) % (n - 3)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def _generate_prime(bits: int, stream: _DeterministicStream) -> int:
+    while True:
+        candidate = stream.take_int(bits)
+        candidate |= (1 << (bits - 1)) | 1  # full bit-length, odd
+        if candidate % _E == 1:
+            continue
+        if _is_probable_prime(candidate, stream):
+            return candidate
+
+
+def generate_rsa_keypair(seed: bytes, bits: int = DEFAULT_BITS) -> RsaPrivateKey:
+    """Deterministically generate an RSA key pair from ``seed``.
+
+    The same seed always yields the same key pair, keeping simulated
+    deployments reproducible.
+    """
+    if bits < 128:
+        raise CryptoError(f"modulus of {bits} bits is too small")
+    stream = _DeterministicStream(b"rsa-keygen|" + seed)
+    half = bits // 2
+    p = _generate_prime(half, stream)
+    q = _generate_prime(bits - half, stream)
+    while q == p:
+        q = _generate_prime(bits - half, stream)
+    n = p * q
+    phi = (p - 1) * (q - 1)
+    d = pow(_E, -1, phi)
+    public = RsaPublicKey(n=n, e=_E)
+    return RsaPrivateKey(n=n, d=d, public=public)
+
+
+def _full_domain_hash(message: bytes, n: int) -> int:
+    """Hash ``message`` into Z_n* using SHA-256 in counter mode (FDH)."""
+    nbytes = (n.bit_length() + 7) // 8
+    out = bytearray()
+    counter = 0
+    while len(out) < nbytes:
+        out.extend(hashlib.sha256(counter.to_bytes(4, "big") + message).digest())
+        counter += 1
+    value = int.from_bytes(bytes(out[:nbytes]), "big")
+    return value % n
+
+
+def rsa_sign(key: RsaPrivateKey, message: bytes) -> bytes:
+    """Produce an RSA-FDH signature over ``message``."""
+    m = _full_domain_hash(message, key.n)
+    signature = pow(m, key.d, key.n)
+    return signature.to_bytes(key.public.byte_length, "big")
+
+
+def rsa_verify(key: RsaPublicKey, message: bytes, signature: bytes) -> bool:
+    """Check an RSA-FDH signature using public material only."""
+    if len(signature) != key.byte_length:
+        return False
+    s = int.from_bytes(signature, "big")
+    if s >= key.n:
+        return False
+    return pow(s, key.e, key.n) == _full_domain_hash(message, key.n)

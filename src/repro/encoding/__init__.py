@@ -1,0 +1,23 @@
+"""Deterministic canonical encoding and wire framing.
+
+The protocol signs *statements* (e.g. ``PREPARE-REPLY`` bodies) and those
+signatures must verify at nodes other than the one that produced them, so the
+byte representation of a statement has to be canonical: the same logical
+value always encodes to the same bytes, on every node.
+
+:mod:`repro.encoding.canonical` provides that canonical encoding (a
+bencoding-style, self-delimiting, fully round-trippable format), and
+:mod:`repro.encoding.codec` provides length-prefixed framing for stream
+transports.
+"""
+
+from repro.encoding.canonical import canonical_decode, canonical_encode
+from repro.encoding.codec import FrameDecoder, decode_frame, encode_frame
+
+__all__ = [
+    "canonical_encode",
+    "canonical_decode",
+    "encode_frame",
+    "decode_frame",
+    "FrameDecoder",
+]

@@ -1,0 +1,208 @@
+"""Canonical, deterministic, round-trippable value encoding.
+
+Signatures in BFT-BC cover protocol statements such as
+``("PREPARE-REPLY", ts, h)``.  For a signature produced at replica *r* to be
+verifiable at any other node, both nodes must derive exactly the same bytes
+from the same logical statement.  This module defines that byte format.
+
+The format is a superset of bencoding, extended with the extra types the
+protocol needs.  Every value is self-delimiting, so encodings compose and
+concatenations parse unambiguously:
+
+========  =======================================  ==========================
+tag       type                                     encoding
+========  =======================================  ==========================
+``n``     None                                     ``n``
+``t``     True                                     ``t``
+``f``     False                                    ``f``
+``i``     int                                      ``i<decimal>;``
+``u``     str (UTF-8)                              ``u<len>:<bytes>``
+``b``     bytes                                    ``b<len>:<bytes>``
+``l``     list / tuple                             ``l<items>e``
+``d``     dict (str keys, sorted)                  ``d<k1><v1>...e``
+``F``     float                                    ``F<len>:<repr bytes>``
+========  =======================================  ==========================
+
+Dictionaries are encoded with keys sorted by their UTF-8 bytes, which is what
+makes the format canonical.  Lists and tuples encode identically (decoding
+always yields tuples, keeping decoded values hashable).
+
+Floats are included for completeness (metrics snapshots); protocol statements
+themselves never contain floats.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import EncodingError
+
+__all__ = ["canonical_encode", "canonical_decode"]
+
+# A conservative bound that protects decoders from hostile length prefixes.
+_MAX_LENGTH = 1 << 30
+
+
+def canonical_encode(value: Any) -> bytes:
+    """Encode ``value`` to its unique canonical byte representation.
+
+    Raises:
+        EncodingError: if ``value`` (or anything nested inside it) is not one
+            of the supported types, or a dict has non-string keys.
+    """
+    parts: list[bytes] = []
+    _encode_into(value, parts)
+    return b"".join(parts)
+
+
+def _encode_into(value: Any, parts: list[bytes]) -> None:
+    if value is None:
+        parts.append(b"n")
+    elif value is True:
+        parts.append(b"t")
+    elif value is False:
+        parts.append(b"f")
+    elif isinstance(value, int):
+        parts.append(b"i%d;" % value)
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        parts.append(b"u%d:" % len(raw))
+        parts.append(raw)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        raw = bytes(value)
+        parts.append(b"b%d:" % len(raw))
+        parts.append(raw)
+    elif isinstance(value, (list, tuple)):
+        parts.append(b"l")
+        for item in value:
+            _encode_into(item, parts)
+        parts.append(b"e")
+    elif isinstance(value, dict):
+        parts.append(b"d")
+        try:
+            keys = sorted(value.keys(), key=lambda k: k.encode("utf-8"))
+        except AttributeError as exc:
+            raise EncodingError(
+                f"dict keys must be str, got {sorted(type(k).__name__ for k in value)}"
+            ) from exc
+        for key in keys:
+            _encode_into(key, parts)
+            _encode_into(value[key], parts)
+        parts.append(b"e")
+    elif isinstance(value, float):
+        raw = repr(value).encode("ascii")
+        parts.append(b"F%d:" % len(raw))
+        parts.append(raw)
+    else:
+        raise EncodingError(f"cannot canonically encode {type(value).__name__!r}")
+
+
+def canonical_decode(data: bytes) -> Any:
+    """Decode bytes produced by :func:`canonical_encode`.
+
+    Lists and tuples both decode to tuples.  The entire input must be
+    consumed; trailing bytes are an error.
+
+    Raises:
+        EncodingError: if ``data`` is not a valid canonical encoding.
+    """
+    value, offset = _decode_at(data, 0)
+    if offset != len(data):
+        raise EncodingError(f"trailing bytes after canonical value at offset {offset}")
+    return value
+
+
+def _decode_at(data: bytes, offset: int) -> tuple[Any, int]:
+    if offset >= len(data):
+        raise EncodingError("truncated canonical encoding")
+    tag = data[offset : offset + 1]
+    if tag == b"n":
+        return None, offset + 1
+    if tag == b"t":
+        return True, offset + 1
+    if tag == b"f":
+        return False, offset + 1
+    if tag == b"i":
+        end = data.find(b";", offset + 1)
+        if end < 0:
+            raise EncodingError("unterminated int")
+        body = data[offset + 1 : end]
+        _check_int_body(body)
+        return int(body), end + 1
+    if tag == b"u":
+        raw, end = _decode_sized(data, offset + 1)
+        try:
+            return raw.decode("utf-8"), end
+        except UnicodeDecodeError as exc:
+            raise EncodingError("invalid UTF-8 in string") from exc
+    if tag == b"b":
+        raw, end = _decode_sized(data, offset + 1)
+        return raw, end
+    if tag == b"F":
+        raw, end = _decode_sized(data, offset + 1)
+        try:
+            return float(raw.decode("ascii")), end
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise EncodingError("invalid float body") from exc
+    if tag == b"l":
+        items: list[Any] = []
+        offset += 1
+        while True:
+            if offset >= len(data):
+                raise EncodingError("unterminated list")
+            if data[offset : offset + 1] == b"e":
+                return tuple(items), offset + 1
+            item, offset = _decode_at(data, offset)
+            items.append(item)
+    if tag == b"d":
+        result: dict[str, Any] = {}
+        offset += 1
+        previous_key: bytes | None = None
+        while True:
+            if offset >= len(data):
+                raise EncodingError("unterminated dict")
+            if data[offset : offset + 1] == b"e":
+                return result, offset + 1
+            key, offset = _decode_at(data, offset)
+            if not isinstance(key, str):
+                raise EncodingError("dict key is not a string")
+            raw_key = key.encode("utf-8")
+            if previous_key is not None and raw_key <= previous_key:
+                raise EncodingError("dict keys not in canonical order")
+            previous_key = raw_key
+            value, offset = _decode_at(data, offset)
+            result[key] = value
+    raise EncodingError(f"unknown canonical tag {tag!r} at offset {offset}")
+
+
+def _decode_sized(data: bytes, offset: int) -> tuple[bytes, int]:
+    end = data.find(b":", offset)
+    if end < 0:
+        raise EncodingError("missing length separator")
+    body = data[offset:end]
+    _check_length_body(body)
+    length = int(body)
+    if length > _MAX_LENGTH:
+        raise EncodingError(f"declared length {length} exceeds limit")
+    start = end + 1
+    stop = start + length
+    if stop > len(data):
+        raise EncodingError("truncated sized value")
+    return data[start:stop], stop
+
+
+def _check_int_body(body: bytes) -> None:
+    digits = body[1:] if body[:1] == b"-" else body
+    if not digits or not digits.isdigit():
+        raise EncodingError(f"invalid int body {body!r}")
+    if digits != b"0" and digits[:1] == b"0":
+        raise EncodingError(f"non-canonical int body {body!r}")
+    if body == b"-0":
+        raise EncodingError("non-canonical int body b'-0'")
+
+
+def _check_length_body(body: bytes) -> None:
+    if not body.isdigit():
+        raise EncodingError(f"invalid length {body!r}")
+    if body != b"0" and body[:1] == b"0":
+        raise EncodingError(f"non-canonical length {body!r}")

@@ -1,0 +1,86 @@
+"""Length-prefixed framing for stream transports.
+
+The asyncio TCP transport carries canonical-encoded protocol messages over a
+byte stream, so messages need framing.  A frame is::
+
+    MAGIC (2 bytes) | length (4 bytes, big-endian) | payload (length bytes)
+
+The magic bytes catch stream desynchronisation early, and the length bound
+protects against hostile or corrupted prefixes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.errors import EncodingError
+
+__all__ = ["encode_frame", "decode_frame", "FrameDecoder", "MAX_FRAME_SIZE"]
+
+_MAGIC = b"\xbf\xbc"  # "BFT-BC"
+_HEADER = struct.Struct(">2sI")
+
+#: Upper bound on a single frame's payload.  Certificates are O(|Q|) and
+#: values are application-bounded, so 16 MiB is generous.
+MAX_FRAME_SIZE = 16 * 1024 * 1024
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """Wrap ``payload`` in a frame header."""
+    if len(payload) > MAX_FRAME_SIZE:
+        raise EncodingError(f"payload of {len(payload)} bytes exceeds frame limit")
+    return _HEADER.pack(_MAGIC, len(payload)) + payload
+
+
+def decode_frame(data: bytes) -> tuple[bytes, bytes]:
+    """Decode one frame from ``data``; return ``(payload, remainder)``.
+
+    Raises:
+        EncodingError: if the header is malformed or the frame is incomplete.
+    """
+    if len(data) < _HEADER.size:
+        raise EncodingError("incomplete frame header")
+    magic, length = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise EncodingError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME_SIZE:
+        raise EncodingError(f"frame length {length} exceeds limit")
+    end = _HEADER.size + length
+    if len(data) < end:
+        raise EncodingError("incomplete frame payload")
+    return data[_HEADER.size : end], data[end:]
+
+
+class FrameDecoder:
+    """Incremental frame decoder for streaming input.
+
+    Feed arbitrary chunks with :meth:`feed`; complete payloads come back in
+    order.  This is what the asyncio transport uses on its read path.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, chunk: bytes) -> Iterator[bytes]:
+        """Add ``chunk`` to the buffer and yield every completed payload."""
+        self._buffer.extend(chunk)
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return
+            magic, length = _HEADER.unpack_from(self._buffer)
+            if magic != _MAGIC:
+                raise EncodingError(f"bad frame magic {bytes(magic)!r}")
+            if length > MAX_FRAME_SIZE:
+                raise EncodingError(f"frame length {length} exceeds limit")
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                return
+            payload = bytes(self._buffer[_HEADER.size : end])
+            del self._buffer[:end]
+            yield payload
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buffer)

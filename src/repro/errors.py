@@ -1,0 +1,64 @@
+"""Exception hierarchy for the BFT-BC reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish protocol violations from infrastructure problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class EncodingError(ReproError):
+    """A value could not be canonically encoded or decoded."""
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class UnknownSignerError(CryptoError):
+    """A signature names a signer that is not in the key registry."""
+
+
+class InvalidSignatureError(CryptoError):
+    """A signature failed verification."""
+
+
+class KeyRevokedError(CryptoError):
+    """An operation was attempted with a revoked key."""
+
+
+class CertificateError(ReproError):
+    """A certificate is malformed or fails validation."""
+
+
+class QuorumConfigError(ReproError):
+    """A quorum-system configuration is invalid (e.g. n != 3f + 1)."""
+
+
+class ProtocolError(ReproError):
+    """A protocol message violates the protocol's rules."""
+
+
+class TimestampError(ProtocolError):
+    """A timestamp is malformed or violates the succession rule."""
+
+
+class OperationFailedError(ReproError):
+    """A client operation could not complete (e.g. retries exhausted)."""
+
+
+class NetworkError(ReproError):
+    """A transport-level failure."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was used incorrectly."""
+
+
+class HistoryError(ReproError):
+    """A recorded history is malformed (e.g. not well-formed per §4.1)."""

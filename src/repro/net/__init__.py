@@ -1,0 +1,12 @@
+"""Network substrates.
+
+* :mod:`repro.net.simnet` — the seeded unreliable network used by the
+  deterministic simulator (loss, delay, duplication, reordering,
+  corruption), matching the §2 model.
+* :mod:`repro.net.asyncio_transport` — a real length-prefixed TCP transport
+  so the same protocol state machines can run as asyncio services.
+"""
+
+from repro.net.simnet import LinkProfile, NetworkStats, SimNetwork
+
+__all__ = ["SimNetwork", "LinkProfile", "NetworkStats"]

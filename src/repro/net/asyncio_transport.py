@@ -1,0 +1,214 @@
+"""Real asyncio TCP transport for the sans-I/O protocol state machines.
+
+The same replica and client classes that run on the deterministic simulator
+run here over real sockets:
+
+* :class:`ReplicaServer` hosts one replica behind a TCP listener.
+* :class:`AsyncClient` connects to every replica and exposes
+  ``await write(value)`` / ``await read()``, driving the sans-I/O client
+  with real timers for retransmission.
+
+Framing is the length-prefixed canonical codec; each frame carries an
+envelope ``{"src": <node-id>, "msg": <message wire dict>}``.  The transport
+tolerates connection loss: sends to broken connections are dropped and the
+protocol's retransmission recovers, matching the §2 fair-loss model.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Optional
+
+from repro.core.client import BftBcClient
+from repro.core.messages import Message, message_from_wire, message_to_wire
+from repro.core.operations import Send
+from repro.core.replica import BftBcReplica
+from repro.encoding import FrameDecoder, canonical_decode, canonical_encode, encode_frame
+from repro.errors import EncodingError, NetworkError, OperationFailedError, ProtocolError
+
+__all__ = ["ReplicaServer", "AsyncClient"]
+
+
+def _encode_envelope(src: str, message: Message) -> bytes:
+    return encode_frame(
+        canonical_encode({"src": src, "msg": message_to_wire(message)})
+    )
+
+
+def _decode_envelope(payload: bytes) -> tuple[str, Message]:
+    wire = canonical_decode(payload)
+    if not isinstance(wire, dict) or "src" not in wire or "msg" not in wire:
+        raise EncodingError(f"malformed envelope: {wire!r}")
+    return wire["src"], message_from_wire(wire["msg"])
+
+
+class ReplicaServer:
+    """Hosts one replica state machine behind a TCP listener."""
+
+    def __init__(
+        self, replica: BftBcReplica, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.replica = replica
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> tuple[str, int]:
+        """Start listening; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                for payload in decoder.feed(chunk):
+                    await self._handle_frame(payload, writer)
+        except (ConnectionError, EncodingError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            # Close without awaiting: at interpreter shutdown the surrounding
+            # task may already be cancelled, and waiting here would raise.
+            writer.close()
+
+    async def _handle_frame(
+        self, payload: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            src, message = _decode_envelope(payload)
+        except (EncodingError, ProtocolError):
+            return  # corrupted or malformed input is silently discarded
+        reply = self.replica.handle(src, message)
+        if reply is not None:
+            writer.write(_encode_envelope(self.replica.node_id, reply))
+            await writer.drain()
+
+
+class AsyncClient:
+    """Async facade over a sans-I/O client, for real-network deployments."""
+
+    def __init__(
+        self,
+        client: BftBcClient,
+        replica_addrs: dict[str, tuple[str, int]],
+        *,
+        retransmit_interval: float = 0.2,
+        op_timeout: float = 30.0,
+    ) -> None:
+        self.client = client
+        self.replica_addrs = dict(replica_addrs)
+        self.retransmit_interval = retransmit_interval
+        self.op_timeout = op_timeout
+        self._writers: dict[str, asyncio.StreamWriter] = {}
+        self._reader_tasks: list[asyncio.Task] = []
+        self._inbox: asyncio.Queue[tuple[str, Message]] = asyncio.Queue()
+
+    async def connect(self) -> None:
+        """Open a connection to every reachable replica."""
+        for node_id, (host, port) in self.replica_addrs.items():
+            await self._try_connect(node_id, host, port)
+        if not self._writers:
+            raise NetworkError("could not connect to any replica")
+
+    async def _try_connect(self, node_id: str, host: str, port: int) -> bool:
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+        except OSError:
+            return False
+        self._writers[node_id] = writer
+        task = asyncio.create_task(self._read_loop(node_id, reader))
+        self._reader_tasks.append(task)
+        return True
+
+    async def _read_loop(self, node_id: str, reader: asyncio.StreamReader) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                for payload in decoder.feed(chunk):
+                    try:
+                        src, message = _decode_envelope(payload)
+                    except (EncodingError, ProtocolError):
+                        continue
+                    await self._inbox.put((src, message))
+        except (ConnectionError, EncodingError):
+            pass
+        finally:
+            self._writers.pop(node_id, None)
+
+    async def close(self) -> None:
+        for task in self._reader_tasks:
+            task.cancel()
+        for writer in list(self._writers.values()):
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+        self._writers.clear()
+        self._reader_tasks.clear()
+
+    # -- operations ----------------------------------------------------------
+
+    async def write(self, value: Any) -> Any:
+        """Perform one write; returns the committed timestamp."""
+        return await self._run_op(self.client.begin_write(value))
+
+    async def read(self) -> Any:
+        """Perform one read; returns the value."""
+        return await self._run_op(self.client.begin_read())
+
+    async def _run_op(self, initial_sends: list[Send]) -> Any:
+        await self._send_all(initial_sends)
+        deadline = asyncio.get_running_loop().time() + self.op_timeout
+        while self.client.busy:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise OperationFailedError(
+                    f"operation timed out after {self.op_timeout}s"
+                )
+            timeout = min(self.retransmit_interval, remaining)
+            try:
+                src, message = await asyncio.wait_for(
+                    self._inbox.get(), timeout=timeout
+                )
+            except asyncio.TimeoutError:
+                await self._send_all(self.client.retransmit())
+                continue
+            await self._send_all(self.client.deliver(src, message))
+        assert self.client.op is not None
+        return self.client.op.result
+
+    async def _send_all(self, sends: list[Send]) -> None:
+        for send in sends:
+            writer = self._writers.get(send.dest)
+            if writer is None:
+                # Lazily reconnect; a failure is just message loss.
+                addr = self.replica_addrs.get(send.dest)
+                if addr is None or not await self._try_connect(send.dest, *addr):
+                    continue
+                writer = self._writers[send.dest]
+            try:
+                writer.write(
+                    _encode_envelope(self.client.node_id, send.message)
+                )
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                self._writers.pop(send.dest, None)

@@ -1,0 +1,243 @@
+"""Seeded simulation of an unreliable asynchronous network.
+
+Implements the §2 network model: messages "may fail to deliver, delay them,
+duplicate them, corrupt them, or deliver them out of order", with no bound on
+delays.  The fair-loss liveness assumption ("if a client keeps retransmitting
+a request to a correct server, the reply ... will eventually be received")
+holds as long as ``drop_rate < 1``.
+
+Every message is serialised through the canonical codec on send and parsed
+again on delivery, so byte counts are the real wire sizes and corruption is
+applied to actual bytes.  Reordering arises naturally from randomly drawn
+per-message delays.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.messages import Message, message_from_wire, message_to_wire
+from repro.encoding import canonical_decode, canonical_encode
+from repro.errors import NetworkError, ProtocolError, EncodingError
+
+if TYPE_CHECKING:  # imported lazily to avoid a package cycle with repro.sim
+    from repro.sim.scheduler import Scheduler
+
+__all__ = ["LinkProfile", "NetworkStats", "SimNetwork"]
+
+Handler = Callable[[str, Message], None]
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Stochastic behaviour of a link (or of the whole network).
+
+    Attributes:
+        min_delay / max_delay: one-way delay drawn uniformly per message.
+        drop_rate: probability a message is silently lost.
+        duplicate_rate: probability a message is delivered twice.
+        corrupt_rate: probability one byte of the encoding is flipped.
+    """
+
+    min_delay: float = 0.001
+    max_delay: float = 0.010
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    corrupt_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.drop_rate <= 1:
+            raise NetworkError(f"drop_rate {self.drop_rate} out of range")
+        if not 0 <= self.duplicate_rate <= 1:
+            raise NetworkError(f"duplicate_rate {self.duplicate_rate} out of range")
+        if not 0 <= self.corrupt_rate <= 1:
+            raise NetworkError(f"corrupt_rate {self.corrupt_rate} out of range")
+        if self.min_delay < 0 or self.max_delay < self.min_delay:
+            raise NetworkError(
+                f"invalid delay range [{self.min_delay}, {self.max_delay}]"
+            )
+
+    @classmethod
+    def reliable(cls) -> "LinkProfile":
+        """Loss-free, low-jitter profile for baseline measurements."""
+        return cls()
+
+    @classmethod
+    def lossy(cls, drop_rate: float = 0.05) -> "LinkProfile":
+        return cls(drop_rate=drop_rate, max_delay=0.02)
+
+    @classmethod
+    def harsh(cls) -> "LinkProfile":
+        """Aggressive loss, duplication, corruption and jitter."""
+        return cls(
+            min_delay=0.001,
+            max_delay=0.050,
+            drop_rate=0.10,
+            duplicate_rate=0.05,
+            corrupt_rate=0.02,
+        )
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters (experiments E2/E8 read these)."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_corrupted: int = 0
+    bytes_sent: int = 0
+    bytes_delivered: int = 0
+    sent_by_kind: dict[str, int] = field(default_factory=dict)
+    bytes_by_kind: dict[str, int] = field(default_factory=dict)
+
+    def record_send(self, kind: str, size: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.sent_by_kind[kind] = self.sent_by_kind.get(kind, 0) + 1
+        self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + size
+
+    def reset(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.messages_duplicated = 0
+        self.messages_corrupted = 0
+        self.bytes_sent = 0
+        self.bytes_delivered = 0
+        self.sent_by_kind.clear()
+        self.bytes_by_kind.clear()
+
+
+class SimNetwork:
+    """The simulated network: point-to-point, unreliable, asynchronous."""
+
+    def __init__(
+        self,
+        scheduler: "Scheduler",
+        profile: LinkProfile | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.scheduler = scheduler
+        self.profile = profile if profile is not None else LinkProfile.reliable()
+        self._rng = random.Random(seed)
+        self._handlers: dict[str, Handler] = {}
+        self._link_overrides: dict[tuple[str, str], LinkProfile] = {}
+        self._partitioned: set[tuple[str, str]] = set()
+        self._crashed: set[str] = set()
+        self.stats = NetworkStats()
+        #: Optional observer called as ``tap(event, src, dst, message_kind)``
+        #: with event in {"sent", "dropped", "corrupted", "delivered"}.
+        #: Used by repro.sim.tracing.MessageTrace.
+        self.tap: Callable[[str, str, str, str], None] | None = None
+
+    # -- topology management -------------------------------------------------
+
+    def register(self, node_id: str, handler: Handler) -> None:
+        """Attach a node; ``handler(src, message)`` runs on each delivery."""
+        if node_id in self._handlers:
+            raise NetworkError(f"node {node_id!r} already registered")
+        self._handlers[node_id] = handler
+
+    def set_link_profile(self, src: str, dst: str, profile: LinkProfile) -> None:
+        """Override the stochastic profile of one directed link."""
+        self._link_overrides[(src, dst)] = profile
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut both directions between ``a`` and ``b`` until healed."""
+        self._partitioned.add((a, b))
+        self._partitioned.add((b, a))
+
+    def heal(self, a: str, b: str) -> None:
+        self._partitioned.discard((a, b))
+        self._partitioned.discard((b, a))
+
+    def crash(self, node_id: str) -> None:
+        """Stop delivering anything to/from ``node_id`` (benign crash)."""
+        self._crashed.add(node_id)
+
+    def recover(self, node_id: str) -> None:
+        self._crashed.discard(node_id)
+
+    def is_crashed(self, node_id: str) -> bool:
+        return node_id in self._crashed
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(self, src: str, dst: str, message: Message) -> None:
+        """Send ``message`` from ``src`` to ``dst`` through the lossy fabric."""
+        encoded = canonical_encode(message_to_wire(message))
+        self.stats.record_send(message.KIND, len(encoded))
+        if self.tap is not None:
+            self.tap("sent", src, dst, message.KIND)
+        if src in self._crashed or dst in self._crashed:
+            self._drop(src, dst, message.KIND)
+            return
+        if (src, dst) in self._partitioned:
+            self._drop(src, dst, message.KIND)
+            return
+        profile = self._link_overrides.get((src, dst), self.profile)
+        if self._rng.random() < profile.drop_rate:
+            self._drop(src, dst, message.KIND)
+            return
+        if profile.corrupt_rate and self._rng.random() < profile.corrupt_rate:
+            encoded = self._flip_byte(encoded)
+            self.stats.messages_corrupted += 1
+            if self.tap is not None:
+                self.tap("corrupted", src, dst, message.KIND)
+        copies = 1
+        if profile.duplicate_rate and self._rng.random() < profile.duplicate_rate:
+            copies = 2
+            self.stats.messages_duplicated += 1
+        for _ in range(copies):
+            delay = self._rng.uniform(profile.min_delay, profile.max_delay)
+            self.scheduler.call_later(
+                delay, lambda data=encoded: self._deliver(src, dst, data)
+            )
+
+    def _drop(self, src: str, dst: str, kind: str) -> None:
+        self.stats.messages_dropped += 1
+        if self.tap is not None:
+            self.tap("dropped", src, dst, kind)
+
+    def _flip_byte(self, data: bytes) -> bytes:
+        if not data:
+            return data
+        index = self._rng.randrange(len(data))
+        mutated = bytearray(data)
+        mutated[index] ^= 1 << self._rng.randrange(8)
+        return bytes(mutated)
+
+    def _deliver(self, src: str, dst: str, encoded: bytes) -> None:
+        if dst in self._crashed:
+            self._drop(src, dst, "?")
+            return
+        handler = self._handlers.get(dst)
+        if handler is None:
+            self._drop(src, dst, "?")
+            return
+        try:
+            message = message_from_wire(canonical_decode(encoded))
+        except (EncodingError, ProtocolError):
+            # A corrupted message fails to parse and is discarded, exactly
+            # like a loss — the retransmission machinery recovers.
+            self._drop(src, dst, "?")
+            return
+        self.stats.messages_delivered += 1
+        self.stats.bytes_delivered += len(encoded)
+        if self.tap is not None:
+            self.tap("delivered", src, dst, message.KIND)
+        handler(src, message)
+
+    # -- convenience -------------------------------------------------------------
+
+    def broadcast(self, src: str, dests: tuple[str, ...], message: Message) -> None:
+        for dst in dests:
+            self.send(src, dst, message)
+
+    @property
+    def node_ids(self) -> frozenset[str]:
+        return frozenset(self._handlers)

@@ -1,0 +1,77 @@
+"""Declarative fault schedules for the simulated network.
+
+A :class:`FaultSchedule` is a list of timed actions (crash, recover,
+partition, heal, degrade a link) applied to a :class:`~repro.net.simnet.SimNetwork`
+when the simulation reaches the given virtual time.  Experiments use these to
+exercise the asynchrony and fault assumptions of §2 without hand-writing
+scheduler callbacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.net.simnet import LinkProfile, SimNetwork
+from repro.sim.scheduler import Scheduler
+
+__all__ = ["FaultAction", "FaultSchedule"]
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One timed fault-injection step."""
+
+    time: float
+    description: str
+    apply: Callable[[SimNetwork], None]
+
+
+@dataclass
+class FaultSchedule:
+    """A composable schedule of fault actions."""
+
+    actions: list[FaultAction] = field(default_factory=list)
+
+    def crash(self, time: float, node_id: str) -> "FaultSchedule":
+        self.actions.append(
+            FaultAction(time, f"crash {node_id}", lambda net: net.crash(node_id))
+        )
+        return self
+
+    def recover(self, time: float, node_id: str) -> "FaultSchedule":
+        self.actions.append(
+            FaultAction(time, f"recover {node_id}", lambda net: net.recover(node_id))
+        )
+        return self
+
+    def partition(self, time: float, a: str, b: str) -> "FaultSchedule":
+        self.actions.append(
+            FaultAction(time, f"partition {a} | {b}", lambda net: net.partition(a, b))
+        )
+        return self
+
+    def heal(self, time: float, a: str, b: str) -> "FaultSchedule":
+        self.actions.append(
+            FaultAction(time, f"heal {a} | {b}", lambda net: net.heal(a, b))
+        )
+        return self
+
+    def degrade_link(
+        self, time: float, src: str, dst: str, profile: LinkProfile
+    ) -> "FaultSchedule":
+        self.actions.append(
+            FaultAction(
+                time,
+                f"degrade {src}->{dst}",
+                lambda net: net.set_link_profile(src, dst, profile),
+            )
+        )
+        return self
+
+    def install(self, scheduler: Scheduler, network: SimNetwork) -> None:
+        """Arm every action on the scheduler."""
+        for action in self.actions:
+            scheduler.call_at(
+                action.time, lambda a=action: a.apply(network)
+            )

@@ -1,0 +1,215 @@
+"""Adapters that attach sans-I/O protocol state machines to the simulator.
+
+:class:`ReplicaNode` is trivial — replicas are reactive.  :class:`ClientNode`
+drives a client through a scripted sequence of operations, manages the
+retransmission timer (the protocol's only liveness mechanism), records
+history events, and reports per-operation metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.client import BftBcClient, OptimizedBftBcClient
+from repro.core.messages import Message
+from repro.core.operations import Send
+from repro.core.replica import BftBcReplica
+from repro.net.simnet import SimNetwork
+from repro.sim.metrics import MetricsCollector, OperationSample
+from repro.sim.recorder import HistoryRecorder
+from repro.sim.scheduler import EventHandle, Scheduler
+
+__all__ = ["ReplicaNode", "ClientNode", "ScriptStep"]
+
+#: One scripted operation: ``("write", value)`` or ``("read", None)``.
+ScriptStep = tuple[str, Any]
+
+#: Default retransmission period, comfortably above typical simulated RTTs.
+DEFAULT_RETRANSMIT_INTERVAL = 0.05
+
+
+class ReplicaNode:
+    """Wires a replica state machine into the simulated network.
+
+    ``sign_delay`` models the CPU cost of one *foreground* public-key
+    signature as virtual time: the reply is held back by
+    ``sign_delay × (foreground signatures performed while handling)``.
+    Background signatures (§3.3.2) are free by construction — that is the
+    point of the optimization, and experiment E4 measures it.
+    """
+
+    def __init__(
+        self,
+        replica: BftBcReplica,
+        network: SimNetwork,
+        scheduler: Optional[Scheduler] = None,
+        *,
+        sign_delay: float = 0.0,
+    ) -> None:
+        self.replica = replica
+        self.network = network
+        self.scheduler = scheduler
+        self.sign_delay = sign_delay
+        network.register(replica.node_id, self._on_message)
+
+    def _on_message(self, src: str, message: Message) -> None:
+        before = self.replica.stats.foreground_signs
+        reply = self.replica.handle(src, message)
+        if reply is None:
+            return
+        delay = self.sign_delay * (self.replica.stats.foreground_signs - before)
+        # Behavioural laggards (e.g. byzantine.DelayingReplica) advertise a
+        # fixed per-reply delay via this marker attribute.
+        delay += getattr(self.replica, "reply_delay", 0.0)
+        if delay > 0 and self.scheduler is not None:
+            self.scheduler.call_later(
+                delay,
+                lambda: self.network.send(self.replica.node_id, src, reply),
+            )
+        else:
+            self.network.send(self.replica.node_id, src, reply)
+
+    @property
+    def node_id(self) -> str:
+        return self.replica.node_id
+
+
+class ClientNode:
+    """Drives a correct client through a script of operations."""
+
+    def __init__(
+        self,
+        client: BftBcClient,
+        network: SimNetwork,
+        scheduler: Scheduler,
+        recorder: Optional[HistoryRecorder] = None,
+        metrics: Optional[MetricsCollector] = None,
+        retransmit_interval: float = DEFAULT_RETRANSMIT_INTERVAL,
+    ) -> None:
+        self.client = client
+        self.network = network
+        self.scheduler = scheduler
+        self.recorder = recorder
+        self.metrics = metrics
+        self.retransmit_interval = retransmit_interval
+        self._script: list[ScriptStep] = []
+        self._next_step = 0
+        self._think_time = 0.0
+        self._op_started_at = 0.0
+        self._retransmit_handle: Optional[EventHandle] = None
+        self._on_all_done: Optional[Callable[[], None]] = None
+        self.done = True
+        network.register(client.node_id, self._on_message)
+
+    @property
+    def node_id(self) -> str:
+        return self.client.node_id
+
+    # -- script execution -------------------------------------------------------
+
+    def run_script(
+        self,
+        script: Sequence[ScriptStep],
+        *,
+        think_time: float = 0.0,
+        start_delay: float = 0.0,
+        on_done: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Schedule the client to execute ``script`` sequentially."""
+        self._script = list(script)
+        self._next_step = 0
+        self._think_time = think_time
+        self._on_all_done = on_done
+        self.done = not self._script
+        if self._script:
+            self.scheduler.call_later(start_delay, self._start_next)
+
+    def _start_next(self) -> None:
+        if self._next_step >= len(self._script):
+            self._complete_script()
+            return
+        kind, arg = self._script[self._next_step]
+        self._next_step += 1
+        self._op_started_at = self.scheduler.now
+        if self.recorder is not None:
+            self.recorder.record_invocation(self.node_id, kind, arg)
+        if kind == "write":
+            sends = self.client.begin_write(arg)
+        elif kind == "read":
+            sends = self.client.begin_read()
+        else:
+            raise ValueError(f"unknown script step kind {kind!r}")
+        self._send_all(sends)
+        self._arm_retransmit()
+
+    def _complete_script(self) -> None:
+        self.done = True
+        self._cancel_retransmit()
+        if self._on_all_done is not None:
+            self._on_all_done()
+
+    # -- message plumbing ----------------------------------------------------
+
+    def _send_all(self, sends: list[Send]) -> None:
+        for send in sends:
+            self.network.send(self.node_id, send.dest, send.message)
+
+    def _on_message(self, src: str, message: Message) -> None:
+        was_busy = self.client.busy
+        sends = self.client.deliver(src, message)
+        self._send_all(sends)
+        if was_busy and not self.client.busy:
+            self._on_op_complete()
+
+    def _on_op_complete(self) -> None:
+        self._cancel_retransmit()
+        op = self.client.op
+        assert op is not None
+        latency = self.scheduler.now - self._op_started_at
+        if self.recorder is not None:
+            value = op.result if op.op_name == "read" else None
+            self.recorder.record_response(self.node_id, value)
+        if self.metrics is not None:
+            fast = isinstance(self.client, OptimizedBftBcClient) and getattr(
+                op, "fast_path", False
+            )
+            self.metrics.record(
+                OperationSample(
+                    client=self.node_id,
+                    kind=op.op_name,
+                    phases=op.phases,
+                    latency=latency,
+                    fast_path=fast,
+                )
+            )
+        if self._next_step >= len(self._script):
+            self._complete_script()
+        else:
+            self.scheduler.call_later(self._think_time, self._start_next)
+
+    # -- retransmission -----------------------------------------------------
+
+    def _arm_retransmit(self) -> None:
+        self._cancel_retransmit()
+        self._retransmit_handle = self.scheduler.call_later(
+            self.retransmit_interval, self._retransmit
+        )
+
+    def _retransmit(self) -> None:
+        if not self.client.busy:
+            return
+        sends = self.client.retransmit()
+        self._send_all(sends)
+        if self.metrics is not None:
+            self.metrics.retransmit_ticks += 1
+        if self.client.busy:
+            self._arm_retransmit()
+        else:
+            # The retransmit tick itself completed the operation (the
+            # optimized protocol's fallback decision can fire here).
+            self._on_op_complete()
+
+    def _cancel_retransmit(self) -> None:
+        if self._retransmit_handle is not None:
+            self._retransmit_handle.cancel()
+            self._retransmit_handle = None

@@ -1,0 +1,215 @@
+"""Cluster construction and experiment execution.
+
+:func:`build_cluster` assembles a full deployment — quorum system, keys,
+replicas (optionally substituting Byzantine ones), simulated network,
+recorder, metrics — for any of the three protocol variants.  Experiments then
+attach clients (correct or Byzantine), install workloads and fault schedules,
+and run the deterministic scheduler until the workloads complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.core.client import BftBcClient, OptimizedBftBcClient, StrongBftBcClient
+from repro.core.config import SystemConfig, make_system
+from repro.core.replica import BftBcReplica, OptimizedBftBcReplica
+from repro.net.simnet import LinkProfile, SimNetwork
+from repro.sim.faults import FaultSchedule
+from repro.sim.metrics import MetricsCollector
+from repro.sim.nodes import ClientNode, ReplicaNode, ScriptStep
+from repro.sim.recorder import HistoryRecorder
+from repro.sim.scheduler import Scheduler
+from repro.spec.histories import History
+from repro.errors import OperationFailedError, SimulationError
+
+__all__ = ["ClusterOptions", "Cluster", "build_cluster", "VARIANTS"]
+
+#: Supported protocol variants.
+VARIANTS = ("base", "optimized", "strong")
+
+ReplicaFactory = Callable[[str, SystemConfig], BftBcReplica]
+
+
+@dataclass
+class ClusterOptions:
+    """Knobs for one simulated deployment."""
+
+    f: int = 1
+    variant: str = "base"
+    scheme: str = "hmac"
+    seed: int = 0
+    profile: LinkProfile = field(default_factory=LinkProfile.reliable)
+    background_signing: bool = False
+    gc_plist: bool = True
+    strict_stop: bool = False
+    piggyback_write_certs: bool = False
+    prefer_quorum: bool = False
+    #: Virtual-time cost of one foreground public-key signature at a
+    #: replica (models §3.3.2's signing cost; 0 = free).
+    sign_delay: float = 0.0
+    retransmit_interval: float = 0.05
+    #: Replica index -> factory producing a (possibly Byzantine) replica.
+    replica_overrides: dict[int, ReplicaFactory] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.variant not in VARIANTS:
+            raise SimulationError(
+                f"unknown variant {self.variant!r}; expected one of {VARIANTS}"
+            )
+
+
+class Cluster:
+    """A fully wired simulated deployment."""
+
+    def __init__(self, options: ClusterOptions) -> None:
+        self.options = options
+        self.config = make_system(
+            options.f,
+            scheme=options.scheme,
+            seed=b"cluster-seed-%d" % options.seed,
+            strong=(options.variant == "strong"),
+            background_signing=options.background_signing,
+            gc_plist=options.gc_plist,
+            strict_stop=options.strict_stop,
+            piggyback_write_certs=options.piggyback_write_certs,
+            prefer_quorum=options.prefer_quorum,
+        )
+        self.scheduler = Scheduler()
+        self.network = SimNetwork(
+            self.scheduler, profile=options.profile, seed=options.seed
+        )
+        self.recorder = HistoryRecorder(self.scheduler)
+        self.metrics = MetricsCollector()
+        self.replicas: dict[str, BftBcReplica] = {}
+        self.replica_nodes: dict[str, ReplicaNode] = {}
+        self.clients: dict[str, ClientNode] = {}
+        self._extra_done_checks: list[Callable[[], bool]] = []
+        self._build_replicas()
+
+    # -- construction ------------------------------------------------------------
+
+    def _replica_class(self) -> type[BftBcReplica]:
+        if self.options.variant == "optimized":
+            return OptimizedBftBcReplica
+        return BftBcReplica
+
+    def _client_class(self) -> type[BftBcClient]:
+        if self.options.variant == "optimized":
+            return OptimizedBftBcClient
+        if self.options.variant == "strong":
+            return StrongBftBcClient
+        return BftBcClient
+
+    def _build_replicas(self) -> None:
+        replica_cls = self._replica_class()
+        for index, node_id in enumerate(self.config.quorums.replica_ids):
+            factory = self.options.replica_overrides.get(index)
+            if factory is not None:
+                replica = factory(node_id, self.config)
+            else:
+                replica = replica_cls(node_id, self.config)
+            self.replicas[node_id] = replica
+            self.replica_nodes[node_id] = ReplicaNode(
+                replica,
+                self.network,
+                self.scheduler,
+                sign_delay=self.options.sign_delay,
+            )
+
+    def add_client(self, name: str) -> ClientNode:
+        """Create a correct client of the cluster's variant."""
+        client = self._client_class()(f"client:{name}", self.config)
+        node = ClientNode(
+            client,
+            self.network,
+            self.scheduler,
+            recorder=self.recorder,
+            metrics=self.metrics,
+            retransmit_interval=self.options.retransmit_interval,
+        )
+        self.clients[client.node_id] = node
+        return node
+
+    def add_done_check(self, check: Callable[[], bool]) -> None:
+        """Register an extra completion condition (Byzantine actors use this)."""
+        self._extra_done_checks.append(check)
+
+    # -- execution ------------------------------------------------------------------
+
+    def install_faults(self, schedule: FaultSchedule) -> None:
+        schedule.install(self.scheduler, self.network)
+
+    def run_scripts(
+        self,
+        scripts: dict[str, Sequence[ScriptStep]],
+        *,
+        think_time: float = 0.0,
+        stagger: float = 0.0,
+        max_time: float = 300.0,
+    ) -> None:
+        """Install one script per client (by short name) and run to completion.
+
+        Clients are created on demand.  ``stagger`` spaces the clients'
+        start times to control contention.
+        """
+        for index, (name, script) in enumerate(scripts.items()):
+            node = self.clients.get(f"client:{name}") or self.add_client(name)
+            node.run_script(
+                script, think_time=think_time, start_delay=index * stagger
+            )
+        self.run(max_time=max_time)
+
+    def _all_done(self) -> bool:
+        if not all(node.done for node in self.clients.values()):
+            return False
+        return all(check() for check in self._extra_done_checks)
+
+    def run(self, *, max_time: float = 300.0, max_events: int = 5_000_000) -> None:
+        """Run until every client script (and extra check) completes.
+
+        Raises:
+            OperationFailedError: if the virtual-time or event budget is
+                exhausted first — i.e. liveness failed under this schedule.
+        """
+        self.scheduler.run(
+            until=self.scheduler.now + max_time,
+            max_events=max_events,
+            stop_when=self._all_done,
+        )
+        if not self._all_done():
+            busy = [n for n, node in self.clients.items() if not node.done]
+            raise OperationFailedError(
+                f"workload incomplete after {max_time}s virtual time; "
+                f"busy clients: {busy}"
+            )
+
+    def settle(self, duration: float = 1.0) -> None:
+        """Let in-flight messages drain for ``duration`` of virtual time."""
+        self.scheduler.run(until=self.scheduler.now + duration)
+
+    # -- administrative actions -------------------------------------------------
+
+    def stop_client(self, node_id: str) -> None:
+        """The §4.1.1 stop event: revoke the key and record ``<c : stop>``."""
+        self.config.revoke_writer(node_id)
+        self.recorder.record_stop(node_id)
+
+    # -- results ------------------------------------------------------------------
+
+    @property
+    def history(self) -> History:
+        return self.recorder.history
+
+    def client(self, name: str) -> ClientNode:
+        return self.clients[f"client:{name}"]
+
+
+def build_cluster(options: Optional[ClusterOptions] = None, **kwargs) -> Cluster:
+    """Build a cluster from options or keyword overrides."""
+    if options is None:
+        options = ClusterOptions(**kwargs)
+    elif kwargs:
+        raise SimulationError("pass either options or keyword overrides, not both")
+    return Cluster(options)

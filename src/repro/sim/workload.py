@@ -1,0 +1,87 @@
+"""Workload generation for experiments.
+
+Values written by workloads are unique tuples ``(writer_id, seq, payload)``:
+uniqueness is what makes linearizability checking polynomial, and the writer
+tag is the attribution the BFT-linearizability checker uses (it mirrors the
+signature on the phase-3 WRITE request, which replicas verified).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Sequence
+
+from repro.sim.nodes import ScriptStep
+
+__all__ = [
+    "value_for",
+    "write_script",
+    "read_script",
+    "alternating_script",
+    "mixed_script",
+    "make_scripts",
+]
+
+
+def value_for(writer: str, seq: int, payload: Any = None) -> tuple:
+    """The unique value convention used throughout tests and benchmarks."""
+    return (writer, seq, payload)
+
+
+def write_script(writer: str, count: int, payload_size: int = 0) -> list[ScriptStep]:
+    """``count`` writes of unique values."""
+    payload = "x" * payload_size if payload_size else None
+    return [("write", value_for(writer, seq, payload)) for seq in range(count)]
+
+
+def read_script(count: int) -> list[ScriptStep]:
+    """``count`` reads."""
+    return [("read", None) for _ in range(count)]
+
+
+def alternating_script(writer: str, count: int) -> list[ScriptStep]:
+    """write, read, write, read, ... (``count`` of each)."""
+    steps: list[ScriptStep] = []
+    for seq in range(count):
+        steps.append(("write", value_for(writer, seq)))
+        steps.append(("read", None))
+    return steps
+
+
+def mixed_script(
+    writer: str,
+    count: int,
+    *,
+    write_fraction: float = 0.5,
+    seed: int = 0,
+) -> list[ScriptStep]:
+    """A random mix of reads and writes with the given write fraction."""
+    rng = random.Random(seed)
+    steps: list[ScriptStep] = []
+    seq = 0
+    for _ in range(count):
+        if rng.random() < write_fraction:
+            steps.append(("write", value_for(writer, seq)))
+            seq += 1
+        else:
+            steps.append(("read", None))
+    return steps
+
+
+def make_scripts(
+    writers: Sequence[str],
+    ops_per_client: int,
+    *,
+    write_fraction: float = 0.5,
+    seed: int = 0,
+) -> dict[str, list[ScriptStep]]:
+    """Independent mixed scripts for a set of clients."""
+    return {
+        writer: mixed_script(
+            writer,
+            ops_per_client,
+            write_fraction=write_fraction,
+            seed=seed + index,
+        )
+        for index, writer in enumerate(writers)
+    }

@@ -1,0 +1,47 @@
+"""Correctness conditions of §4, executable.
+
+* :mod:`repro.spec.histories` — events, histories, well-formedness (§4.1).
+* :mod:`repro.spec.linearizability` — atomic-register checking for
+  unique-value histories (Herlihy-Wing linearizability [6]).
+* :mod:`repro.spec.bft_linearizability` — Definition 1 (BFT-linearizability
+  with the ``max-b`` lurking-write bound) and the §7.1 plus-form.
+"""
+
+from repro.spec.bft_linearizability import (
+    BftCheckResult,
+    check_bft_linearizable,
+    check_bft_linearizable_plus,
+    count_lurking_writes,
+    default_attribution,
+)
+from repro.spec.histories import (
+    Event,
+    History,
+    Invocation,
+    OperationRecord,
+    Response,
+    StopEvent,
+)
+from repro.spec.invariants import Lemma1Report, check_lemma1
+from repro.spec.linearizability import (
+    LinearizabilityReport,
+    check_register_linearizable,
+)
+
+__all__ = [
+    "History",
+    "Invocation",
+    "Response",
+    "StopEvent",
+    "Event",
+    "OperationRecord",
+    "LinearizabilityReport",
+    "check_register_linearizable",
+    "BftCheckResult",
+    "check_bft_linearizable",
+    "check_bft_linearizable_plus",
+    "count_lurking_writes",
+    "default_attribution",
+    "Lemma1Report",
+    "check_lemma1",
+]

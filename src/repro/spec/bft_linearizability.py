@@ -1,0 +1,245 @@
+"""BFT-linearizability checking (Definition 1, §4.2) and the §7.1 plus-form.
+
+A verifiable history contains the operations of correct clients and the stop
+events of faulty ones.  Definition 1 requires:
+
+1–2.  A legal sequential history exists that agrees with every correct
+      client's subhistory and respects the real-time order ``<H``.
+3.    For every stopped faulty client ``c``, at most ``max-b`` of ``c``'s
+      operations appear after its stop event in that sequential history.
+
+We check 1–2 with the unique-value register checker, inserting a *pending*
+write operation for every value that good readers observed but no good
+client wrote (Theorem 1's construction: "insert a write operation in the
+history that writes v (by client cb) immediately before the read").  A
+pending write is unconstrained in time, exactly modelling a Byzantine write
+launched at an unknown moment.
+
+Condition 3 is measured directly: a value of ``c`` *first observed* by a
+correct client's read after ``c``'s stop event is a lurking write.
+
+The §7.1 ``BFT-linearizable+`` condition additionally requires that after
+``k`` consecutive state-overwriting operations by good clients following the
+stop, no operation of ``c`` is ever seen again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.spec.histories import History, Invocation, OperationRecord, StopEvent
+from repro.spec.linearizability import (
+    LinearizabilityReport,
+    check_register_linearizable,
+)
+
+__all__ = [
+    "default_attribution",
+    "BftCheckResult",
+    "count_lurking_writes",
+    "check_bft_linearizable",
+    "check_bft_linearizable_plus",
+]
+
+Attribution = Callable[[Any], Optional[str]]
+
+
+def default_attribution(value: Any) -> Optional[str]:
+    """Writer attribution for the workload's value convention.
+
+    Workload values are tuples ``(writer_id, seq, payload)``; the phase-3
+    WRITE request that produced a value is signed by its writer, so
+    attribution is part of what replicas verified.
+    """
+    if isinstance(value, tuple) and len(value) >= 2 and isinstance(value[0], str):
+        return value[0]
+    return None
+
+
+@dataclass
+class BftCheckResult:
+    """Outcome of a BFT-linearizability check."""
+
+    ok: bool
+    violation: Optional[str] = None
+    lurking_writes: dict[str, int] = field(default_factory=dict)
+    linearizability: Optional[LinearizabilityReport] = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _observations(
+    history: History, attribution: Attribution
+) -> list[tuple[OperationRecord, str]]:
+    """Completed good-client reads paired with the writer of the value read."""
+    result = []
+    for record in history.operations():
+        if record.op != "read" or not record.complete:
+            continue
+        writer = attribution(record.result)
+        if writer is not None:
+            result.append((record, writer))
+    return result
+
+
+def _augment_with_byzantine_writes(
+    history: History, attribution: Attribution
+) -> History:
+    """Insert pending writes for observed values no good client wrote."""
+    good_written = set()
+    for record in history.operations():
+        if record.op == "write":
+            good_written.add(_key(record.arg))
+    augmented = History()
+    inserted: set[Any] = set()
+    synthetic: list[Invocation] = []
+    for record, writer in _observations(history, attribution):
+        key = _key(record.result)
+        if key in good_written or key in inserted:
+            continue
+        inserted.add(key)
+        synthetic.append(
+            Invocation(
+                client=f"byz-writer:{writer}:{len(inserted)}",
+                obj=record.obj,
+                op="write",
+                arg=record.result,
+                time=float("-inf"),
+            )
+        )
+    augmented.events = synthetic + list(history.events)
+    return augmented
+
+
+def _key(value: Any) -> Any:
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+def count_lurking_writes(
+    history: History,
+    bad_client: str,
+    attribution: Attribution = default_attribution,
+) -> int:
+    """Number of ``bad_client`` writes first seen *after* its stop event.
+
+    This is the quantity Definition 1 bounds by ``max-b`` (the paper proves
+    ≤ 1 for the base protocol and ≤ 2 for the optimized one).
+    """
+    stop_time = history.stop_time(bad_client)
+    if stop_time is None:
+        return 0
+    first_seen: dict[Any, float] = {}
+    for record, writer in _observations(history, attribution):
+        if writer != bad_client:
+            continue
+        key = _key(record.result)
+        seen_at = record.responded_at if record.responded_at is not None else 0.0
+        if key not in first_seen or seen_at < first_seen[key]:
+            first_seen[key] = seen_at
+    return sum(1 for seen_at in first_seen.values() if seen_at > stop_time)
+
+
+def check_bft_linearizable(
+    history: History,
+    *,
+    max_b: int,
+    bad_clients: frozenset[str] | set[str] = frozenset(),
+    attribution: Attribution = default_attribution,
+    initial_value: Any = None,
+    obj: Optional[str] = None,
+) -> BftCheckResult:
+    """Check Definition 1 against a recorded verifiable history.
+
+    Args:
+        history: events of correct clients plus stop events of bad ones.
+        max_b: the lurking-write bound to enforce (1 base, 2 optimized).
+        bad_clients: identifiers of the Byzantine clients.
+        attribution: maps observed values to the client that wrote them.
+        initial_value: register value before any write.
+        obj: restrict the check to one object.
+    """
+    if not history.is_well_formed():
+        return BftCheckResult(ok=False, violation="history is not well-formed")
+    augmented = _augment_with_byzantine_writes(history, attribution)
+    report = check_register_linearizable(
+        augmented, initial_value=initial_value, obj=obj
+    )
+    if not report.ok:
+        return BftCheckResult(
+            ok=False,
+            violation=f"not linearizable: {report.violation}",
+            linearizability=report,
+        )
+    lurking = {
+        client: count_lurking_writes(history, client, attribution)
+        for client in sorted(bad_clients)
+    }
+    for client, count in lurking.items():
+        if count > max_b:
+            return BftCheckResult(
+                ok=False,
+                violation=(
+                    f"client {client} has {count} lurking writes "
+                    f"(bound max-b = {max_b})"
+                ),
+                lurking_writes=lurking,
+                linearizability=report,
+            )
+    return BftCheckResult(ok=True, lurking_writes=lurking, linearizability=report)
+
+
+def check_bft_linearizable_plus(
+    history: History,
+    *,
+    k: int,
+    bad_clients: frozenset[str] | set[str],
+    attribution: Attribution = default_attribution,
+    initial_value: Any = None,
+) -> BftCheckResult:
+    """Check the §7.1 strengthened condition.
+
+    After the ``k``-th good-client write completed following a bad client's
+    stop, no read may ever return one of that client's values again.
+    """
+    base = check_bft_linearizable(
+        history,
+        max_b=10**9,  # the plus-form bounds visibility, not the count
+        bad_clients=bad_clients,
+        attribution=attribution,
+        initial_value=initial_value,
+    )
+    if not base.ok:
+        return base
+    records = history.operations()
+    for bad in sorted(bad_clients):
+        stop_time = history.stop_time(bad)
+        if stop_time is None:
+            continue
+        overwrites = sorted(
+            r.responded_at
+            for r in records
+            if r.op == "write"
+            and r.complete
+            and r.responded_at is not None
+            and r.invoked_at > stop_time
+        )
+        if len(overwrites) < k:
+            continue
+        mask_time = overwrites[k - 1]
+        for record, writer in _observations(history, attribution):
+            if writer == bad and record.invoked_at > mask_time:
+                return BftCheckResult(
+                    ok=False,
+                    violation=(
+                        f"value by {bad} seen by a read invoked after the "
+                        f"{k}-th post-stop overwrite (at {mask_time})"
+                    ),
+                    lurking_writes=base.lurking_writes,
+                )
+    return BftCheckResult(ok=True, lurking_writes=base.lurking_writes)

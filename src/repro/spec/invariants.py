@@ -1,0 +1,144 @@
+"""Executable form of Lemma 1 (§5) — the paper's core safety argument.
+
+The proof of Theorem 1 rests on three facts about the signatures correct
+replicas have *released* at the moment a faulty client stops.  With
+``tsmax`` the (f+1)-st highest timestamp stored by non-faulty replicas:
+
+1. **No write certificate above tsmax.**  A certificate needs 2f+1
+   *distinct* signers; with ``b`` Byzantine replicas actually present (who
+   will sign anything), it is assemblable iff ≥ 2f+1-b correct replicas
+   signed.  Lemma 1(1) says no ``t > tsmax`` reaches that threshold for
+   WRITE-REPLY.
+2. **At most one prepared timestamp above tsmax per client.**  Lemma 1(2):
+   at most one timestamp above tsmax per client reaches the prepare
+   threshold (two under the optimized protocol's twin lists — Lemma 1'(2)).
+3. **One value per certifiable timestamp.**  Lemma 1(3): no timestamp above
+   tsmax has two different hashes both reaching the threshold.
+
+Replicas log every signature they release
+(:attr:`~repro.core.replica.BftBcReplica.signed_write_replies`,
+:attr:`~repro.core.replica.BftBcReplica.signed_prepare_replies`), so these
+facts can be *checked* on any simulated execution, at any instant — the
+proof's counting argument run as code.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.core.replica import BftBcReplica
+from repro.core.timestamp import Timestamp
+
+__all__ = ["Lemma1Report", "check_lemma1"]
+
+
+@dataclass
+class Lemma1Report:
+    """Outcome of checking Lemma 1's three parts against signing logs."""
+
+    ok: bool
+    tsmax: Timestamp
+    violations: list[str] = field(default_factory=list)
+    #: timestamps above tsmax whose WRITE-REPLY signers reach the threshold
+    certifiable_writes: list[Timestamp] = field(default_factory=list)
+    #: client -> certifiable prepared timestamps above tsmax
+    certifiable_prepares: dict[str, list[Timestamp]] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_lemma1(
+    replicas: Iterable[BftBcReplica],
+    *,
+    f: int,
+    byzantine_replicas: frozenset[str] | set[str] = frozenset(),
+    max_prepared_per_client: int = 1,
+    suspects: Optional[Iterable[str]] = None,
+) -> Lemma1Report:
+    """Check Lemma 1 parts 1–3 against the correct replicas' signing logs.
+
+    Args:
+        replicas: all replica state machines of the deployment.
+        f: the fault threshold.
+        byzantine_replicas: node ids whose logs must be *excluded* (their
+            signatures are unconstrained; the lemma counts correct ones).
+        max_prepared_per_client: 1 for the base protocol (Lemma 1(2)),
+            2 for the optimized protocol (Lemma 1'(2)).
+        suspects: restrict part 2 to these client ids (default: every client
+            that appears in any prepare log).
+
+    Returns:
+        A report; ``violations`` explains every failed part.
+    """
+    all_replicas = list(replicas)
+    correct = [r for r in all_replicas if r.node_id not in byzantine_replicas]
+    if not correct:
+        raise ValueError("no correct replicas to check")
+    present_byzantine = len(all_replicas) - len(correct)
+    # A certificate needs 2f+1 distinct signers; the b Byzantine replicas
+    # present sign anything, so it exists iff this many correct ones signed.
+    threshold = max(1, (2 * f + 1) - present_byzantine)
+
+    # tsmax: the (f+1)-st highest stored timestamp among non-faulty replicas.
+    stored = sorted((r.pcert.ts for r in correct), reverse=True)
+    index = min(f, len(stored) - 1)
+    tsmax = stored[index]
+
+    violations: list[str] = []
+
+    # Part 1: count correct signers of WRITE-REPLY per timestamp > tsmax.
+    write_signers: Counter = Counter()
+    for replica in correct:
+        for ts in replica.signed_write_replies:
+            if ts > tsmax:
+                write_signers[ts] += 1
+    certifiable_writes = [ts for ts, n in write_signers.items() if n >= threshold]
+    for ts in certifiable_writes:
+        violations.append(
+            f"Lemma 1(1): {write_signers[ts]} correct replicas signed "
+            f"WRITE-REPLY for {ts} > tsmax={tsmax} (a write certificate "
+            f"above tsmax could exist)"
+        )
+
+    # Parts 2 and 3: correct PREPARE-REPLY signers per (ts, hash, client).
+    prepare_signers: dict[tuple[Timestamp, bytes, str], int] = Counter()
+    for replica in correct:
+        for ts, value_hash, client in replica.signed_prepare_replies:
+            if ts > tsmax:
+                prepare_signers[(ts, value_hash, client)] += 1
+
+    certifiable: dict[str, set[Timestamp]] = defaultdict(set)
+    certifiable_pairs: dict[Timestamp, set[bytes]] = defaultdict(set)
+    for (ts, value_hash, client), count in prepare_signers.items():
+        if count >= threshold:
+            certifiable[client].add(ts)
+            certifiable_pairs[ts].add(value_hash)
+
+    suspect_set = set(suspects) if suspects is not None else set(certifiable)
+    for client in sorted(suspect_set):
+        timestamps = sorted(certifiable.get(client, set()))
+        if len(timestamps) > max_prepared_per_client:
+            violations.append(
+                f"Lemma 1(2): client {client} holds certifiable prepares for "
+                f"{len(timestamps)} timestamps above tsmax "
+                f"({', '.join(map(str, timestamps))}); bound is "
+                f"{max_prepared_per_client}"
+            )
+
+    for ts, hashes in sorted(certifiable_pairs.items()):
+        if len(hashes) > 1:
+            violations.append(
+                f"Lemma 1(3): timestamp {ts} has {len(hashes)} certifiable "
+                "values above tsmax"
+            )
+
+    return Lemma1Report(
+        ok=not violations,
+        tsmax=tsmax,
+        violations=violations,
+        certifiable_writes=sorted(certifiable_writes),
+        certifiable_prepares={c: sorted(t) for c, t in certifiable.items()},
+    )

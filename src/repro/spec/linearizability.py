@@ -1,0 +1,199 @@
+"""Atomic-register linearizability checking for unique-value histories.
+
+The workloads in this repository write *unique* values (each value tags its
+writer and sequence number), which makes linearizability of a single
+read/write register decidable in polynomial time: the reads-from mapping is
+known, so checking reduces to a cycle search over write *clusters*.
+
+Algorithm (standard for read-mapped single-register histories):
+
+1. Group each write ``w`` with the reads that returned its value into a
+   cluster ``C_w``.  Reads of the initial value join the virtual initial
+   write's cluster, which precedes everything.
+2. Any valid linearization must order each cluster as a contiguous block
+   (a read of ``w`` cannot appear after a later write), so every real-time
+   precedence between operations in *different* clusters induces an order
+   constraint between the clusters.
+3. The history is linearizable iff (a) no read completes before its write
+   begins (reading from the future), (b) every read's value was actually
+   written (or is the initial value), and (c) the cluster constraint graph
+   is acyclic.
+
+Pending writes (invoked, never responded) are allowed to take effect: their
+interval extends to infinity, which lets Byzantine-client writes that have no
+proper response participate as clusters — exactly what Theorem 1's history
+construction does when it inserts a write by the faulty client just before
+the read that observed it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Optional
+
+from repro.spec.histories import History, OperationRecord
+
+__all__ = ["LinearizabilityReport", "check_register_linearizable"]
+
+_INITIAL = "__initial__"
+
+
+@dataclass
+class _Cluster:
+    key: Hashable
+    write: Optional[OperationRecord]  # None for the virtual initial write
+    reads: list[OperationRecord] = field(default_factory=list)
+
+    def members(self) -> list[OperationRecord]:
+        ops = list(self.reads)
+        if self.write is not None:
+            ops.append(self.write)
+        return ops
+
+
+@dataclass
+class LinearizabilityReport:
+    """Outcome of a linearizability check, with the first violation found."""
+
+    ok: bool
+    violation: Optional[str] = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_register_linearizable(
+    history: History,
+    *,
+    initial_value: Any = None,
+    obj: Optional[str] = None,
+) -> LinearizabilityReport:
+    """Check a unique-write register history for atomicity.
+
+    Args:
+        history: the recorded history; write operations must be recorded
+            with ``op == "write"`` and their value in ``arg``; reads with
+            ``op == "read"`` and the returned value in ``result``.
+        initial_value: the register's value before any write.
+        obj: restrict the check to one object (None = all events).
+
+    Returns:
+        A report whose ``violation`` explains the first failed condition.
+    """
+    records = history.operations()
+    if obj is not None:
+        records = [r for r in records if r.obj == obj]
+
+    writes_by_value: dict[Hashable, OperationRecord] = {}
+    for record in records:
+        if record.op != "write":
+            continue
+        key = _value_key(record.arg)
+        if key in writes_by_value:
+            return LinearizabilityReport(
+                ok=False,
+                violation=f"duplicate write value {record.arg!r}; "
+                "the unique-value checker requires distinct writes",
+            )
+        writes_by_value[key] = record
+
+    clusters: dict[Hashable, _Cluster] = {
+        key: _Cluster(key=key, write=w) for key, w in writes_by_value.items()
+    }
+    initial_cluster = _Cluster(key=_INITIAL, write=None)
+    clusters[_INITIAL] = initial_cluster
+
+    for record in records:
+        if record.op != "read" or not record.complete:
+            continue
+        key = _value_key(record.result)
+        if key not in writes_by_value and record.result == initial_value:
+            initial_cluster.reads.append(record)
+            continue
+        cluster = clusters.get(key)
+        if cluster is None or cluster.write is None:
+            return LinearizabilityReport(
+                ok=False,
+                violation=f"read by {record.client} returned {record.result!r}, "
+                "which no write produced",
+            )
+        # Condition (a): no reading from the future.
+        if record.responded_at is not None and (
+            record.responded_at < cluster.write.invoked_at
+        ):
+            return LinearizabilityReport(
+                ok=False,
+                violation=f"read by {record.client} of {record.result!r} "
+                "completed before the write was invoked",
+            )
+        cluster.reads.append(record)
+
+    # Build cluster precedence edges from real-time order.
+    cluster_of: dict[int, Hashable] = {}
+    intervals: list[tuple[OperationRecord, Hashable]] = []
+    for cluster in clusters.values():
+        for member in cluster.members():
+            cluster_of[id(member)] = cluster.key
+            intervals.append((member, cluster.key))
+
+    edges: dict[Hashable, set[Hashable]] = {key: set() for key in clusters}
+    # The virtual initial write precedes every real write cluster.
+    for key, cluster in clusters.items():
+        if key != _INITIAL and cluster.write is not None:
+            edges[_INITIAL].add(key)
+
+    for op_a, key_a in intervals:
+        if op_a.responded_at is None:
+            continue
+        for op_b, key_b in intervals:
+            if key_a == key_b or op_a is op_b:
+                continue
+            if op_a.responded_at < op_b.invoked_at:
+                edges[key_a].add(key_b)
+
+    cycle = _find_cycle(edges)
+    if cycle is not None:
+        return LinearizabilityReport(
+            ok=False,
+            violation="cluster precedence cycle (atomicity violation): "
+            + " -> ".join(str(k) for k in cycle),
+        )
+    return LinearizabilityReport(ok=True)
+
+
+def _value_key(value: Any) -> Hashable:
+    """Hashable identity for a written value (values may be nested tuples)."""
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)
+
+
+def _find_cycle(edges: dict[Hashable, set[Hashable]]) -> Optional[list[Hashable]]:
+    """Return one cycle in the digraph, or None if acyclic."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    colour = {node: WHITE for node in edges}
+    stack: list[Hashable] = []
+
+    def visit(node: Hashable) -> Optional[list[Hashable]]:
+        colour[node] = GRAY
+        stack.append(node)
+        for succ in edges.get(node, ()):
+            if colour.get(succ, WHITE) == GRAY:
+                index = stack.index(succ)
+                return stack[index:] + [succ]
+            if colour.get(succ, WHITE) == WHITE:
+                found = visit(succ)
+                if found is not None:
+                    return found
+        stack.pop()
+        colour[node] = BLACK
+        return None
+
+    for node in list(edges):
+        if colour[node] == WHITE:
+            found = visit(node)
+            if found is not None:
+                return found
+    return None

@@ -1,0 +1,98 @@
+"""Access control and the two stop-notions of §4.1.1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_cluster
+from repro.core import make_system
+from repro.errors import KeyRevokedError
+from repro.sim import read_script
+
+
+class TestAcl:
+    def test_default_authorizes_every_registered_client(self, config):
+        assert config.is_authorized_writer("client:alice")
+        assert not config.is_authorized_writer("client:ghost")  # unregistered
+
+    def test_explicit_acl_restricts(self, config):
+        config.authorized_writers = {"client:alice"}
+        assert config.is_authorized_writer("client:alice")
+        assert not config.is_authorized_writer("client:bob")
+
+    def test_authorize_writer_creates_acl(self):
+        cfg = make_system(f=1, seed=b"acl")
+        cfg.registry.register("client:x")
+        cfg.authorize_writer("client:x")
+        assert cfg.authorized_writers == {"client:x"}
+        assert cfg.is_authorized_writer("client:x")
+        # Registering alone no longer suffices once an ACL exists.
+        cfg.registry.register("client:y")
+        assert not cfg.is_authorized_writer("client:y")
+
+    def test_revoke_writer_removes_key_and_acl_entry(self):
+        cfg = make_system(f=1, seed=b"acl2")
+        cfg.registry.register("client:x")
+        cfg.authorize_writer("client:x")
+        cfg.revoke_writer("client:x")
+        assert cfg.registry.is_revoked("client:x")
+        assert "client:x" not in (cfg.authorized_writers or set())
+        with pytest.raises(KeyRevokedError):
+            cfg.scheme.sign("client:x", b"m")
+
+
+class TestStopNotions:
+    def _hoard(self, cluster):
+        from repro.byzantine import LurkingWriteAttack
+
+        attack = LurkingWriteAttack(cluster, "evil", warmup=1, extra_attempts=0)
+        attack.start()
+        cluster.run(max_time=60)
+        assert attack.hoard
+        return attack
+
+    def test_default_stop_allows_replays(self):
+        """§4.1.1's base notion: after the stop, *replays* of previously
+        signed messages still work (that is what makes lurking writes a
+        threat worth bounding)."""
+        from repro.byzantine import Colluder
+
+        cluster = build_cluster(f=1, seed=60)
+        attack = self._hoard(cluster)
+        attack.stop()
+        colluder = Colluder(cluster, "colluder", attack.hoard)
+        colluder.start()
+        reader = cluster.add_client("r")
+        reader.run_script(read_script(1), start_delay=0.5)
+        cluster.run(max_time=60)
+        assert reader.client.last_result == attack.hoard[0].value
+
+    def test_strict_stop_discards_replays(self):
+        """The stronger notion ('an administrator removing the node's public
+        key from the access control list ... where replays are also
+        discarded'): the colluder's replay is rejected and the lurking write
+        never becomes visible."""
+        from repro.byzantine import Colluder
+
+        cluster = build_cluster(f=1, seed=61, strict_stop=True)
+        attack = self._hoard(cluster)
+        attack.stop()
+        colluder = Colluder(cluster, "colluder", attack.hoard)
+        colluder.start()
+        reader = cluster.add_client("r")
+        reader.run_script(read_script(1), start_delay=0.5)
+        cluster.run(max_time=60)
+        # The hoarded value is nowhere: replicas discarded the replay.
+        assert reader.client.last_result != attack.hoard[0].value
+        for replica in cluster.replicas.values():
+            assert replica.data != attack.hoard[0].value
+            assert replica.stats.discards["revoked"] >= 1
+
+    def test_strict_stop_does_not_affect_other_clients(self):
+        cluster = build_cluster(f=1, seed=62, strict_stop=True)
+        attack = self._hoard(cluster)
+        attack.stop()
+        good = cluster.add_client("good")
+        good.run_script([("write", ("client:good", 1, None)), ("read", None)])
+        cluster.run(max_time=60)
+        assert good.client.last_result == ("client:good", 1, None)

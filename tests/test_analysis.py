@@ -1,0 +1,101 @@
+"""Tests for the §3.3 cost model and report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import CostModel, READ_PHASES, WRITE_PHASES, fit_power_law, format_table
+from repro.core import QuorumSystem
+
+
+class TestCostModel:
+    def test_write_message_count_linear_in_n(self):
+        m1 = CostModel(QuorumSystem.bft_bc(1))
+        m2 = CostModel(QuorumSystem.bft_bc(2))
+        assert m1.write_messages() == 2 * 3 * 4
+        assert m2.write_messages() == 2 * 3 * 7
+
+    def test_optimized_write_has_fewer_messages(self):
+        m = CostModel(QuorumSystem.bft_bc(1))
+        assert m.write_messages("optimized") < m.write_messages("base")
+
+    def test_read_messages(self):
+        m = CostModel(QuorumSystem.bft_bc(1))
+        assert m.read_messages() == 8
+        assert m.read_messages(write_back=True) == 16
+
+    def test_certificate_size_linear_in_quorum(self):
+        m1 = CostModel(QuorumSystem.bft_bc(1))
+        m5 = CostModel(QuorumSystem.bft_bc(5))
+        growth = m5.certificate_bytes / m1.certificate_bytes
+        # |Q| grows 11/3 ≈ 3.7x; certificate must track it.
+        assert 3.0 < growth < 4.0
+
+    def test_write_bytes_quadratic_shape(self):
+        exps = []
+        sizes = []
+        qs = []
+        for f in (1, 2, 3, 4, 5):
+            m = CostModel(QuorumSystem.bft_bc(f))
+            qs.append(m.quorums.quorum_size)
+            sizes.append(m.write_bytes())
+        k = fit_power_law([float(q) for q in qs], [float(s) for s in sizes])
+        assert 1.7 < k < 2.2  # O(|Q|^2)
+
+    def test_write_messages_linear_shape(self):
+        qs, msgs = [], []
+        for f in (1, 2, 3, 4, 5):
+            m = CostModel(QuorumSystem.bft_bc(f))
+            qs.append(float(m.quorums.quorum_size))
+            msgs.append(float(m.write_messages()))
+        k = fit_power_law(qs, msgs)
+        assert 0.9 < k < 1.2  # O(|Q|)
+
+    def test_replica_state_linear_in_writers(self):
+        m = CostModel(QuorumSystem.bft_bc(1))
+        s10 = m.replica_state_bytes(10)
+        s100 = m.replica_state_bytes(100)
+        assert s100 > s10
+        assert (s100 - s10) == 90 * 48
+
+    def test_signature_accounting(self):
+        m = CostModel(QuorumSystem.bft_bc(1))
+        per_replica = m.write_signatures_per_replica()
+        assert per_replica == {"foreground": 1, "background_eligible": 1}
+        assert m.write_signatures_client() == 2
+
+    def test_phase_constants_match_paper(self):
+        assert WRITE_PHASES["base"] == (3, 3)
+        assert WRITE_PHASES["optimized"][0] == 2
+        assert READ_PHASES == (1, 2)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["name", "value"],
+            [["base", 3], ["optimized", 2]],
+            title="phases",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "phases"
+        assert "name" in lines[1]
+        assert lines[2].startswith("---")
+        assert len(lines) == 5
+
+    def test_format_cell_floats(self):
+        from repro.analysis.report import format_cell
+
+        assert format_cell(0.12345) == "0.1235"
+        assert format_cell(12.345) == "12.35"
+        assert format_cell(1234567.0) == "1,234,567"
+        assert format_cell(0) == "0"
+
+    def test_fit_power_law_exact(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        ys = [3.0 * x**2 for x in xs]
+        assert abs(fit_power_law(xs, ys) - 2.0) < 1e-9
+
+    def test_fit_power_law_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])

@@ -1,0 +1,39 @@
+"""The generated API reference stays in sync with the code."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_generator_runs_and_is_current(tmp_path):
+    existing = (ROOT / "docs" / "API.md").read_text(encoding="utf-8")
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "gen_api_docs.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    regenerated = (ROOT / "docs" / "API.md").read_text(encoding="utf-8")
+    assert regenerated == existing, (
+        "docs/API.md is stale; run tools/gen_api_docs.py"
+    )
+
+
+def test_reference_covers_the_key_apis():
+    text = (ROOT / "docs" / "API.md").read_text(encoding="utf-8")
+    for needle in (
+        "class `BftBcReplica`",
+        "class `BftBcClient`",
+        "class `PrepareCertificate`",
+        "check_bft_linearizable",
+        "check_lemma1",
+        "class `ScheduleExplorer`",
+        "class `SimNetwork`",
+        "class `AsyncClient`",
+    ):
+        assert needle in text, needle

@@ -1,0 +1,182 @@
+"""Tests for the Definition 1 checker and the §7.1 plus-form."""
+
+from __future__ import annotations
+
+from repro.spec import (
+    History,
+    Invocation,
+    Response,
+    StopEvent,
+    check_bft_linearizable,
+    check_bft_linearizable_plus,
+    count_lurking_writes,
+)
+
+
+def inv(client, op, arg=None, t=0.0):
+    return Invocation(client=client, obj="x", op=op, arg=arg, time=t)
+
+
+def rsp(client, value=None, t=0.0):
+    return Response(client=client, obj="x", value=value, time=t)
+
+
+def build(*events):
+    h = History()
+    h.events = list(events)
+    return h
+
+
+BAD = "client:evil"
+
+
+def bad_value(seq):
+    return (BAD, seq, None)
+
+
+class TestLurkingWriteCounting:
+    def test_no_stop_no_lurking(self):
+        h = build(
+            inv("g", "read", t=0), rsp("g", bad_value(1), t=1),
+        )
+        assert count_lurking_writes(h, BAD) == 0
+
+    def test_value_seen_before_stop_not_lurking(self):
+        h = build(
+            inv("g", "read", t=0), rsp("g", bad_value(1), t=1),
+            StopEvent(client=BAD, time=2),
+            inv("g", "read", t=3), rsp("g", bad_value(1), t=4),
+        )
+        assert count_lurking_writes(h, BAD) == 0
+
+    def test_value_first_seen_after_stop_is_lurking(self):
+        h = build(
+            StopEvent(client=BAD, time=0),
+            inv("g", "read", t=1), rsp("g", bad_value(1), t=2),
+        )
+        assert count_lurking_writes(h, BAD) == 1
+
+    def test_distinct_values_counted_once_each(self):
+        h = build(
+            StopEvent(client=BAD, time=0),
+            inv("g", "read", t=1), rsp("g", bad_value(1), t=2),
+            inv("g", "read", t=3), rsp("g", bad_value(2), t=4),
+            inv("g", "read", t=5), rsp("g", bad_value(1), t=6),
+        )
+        assert count_lurking_writes(h, BAD) == 2
+
+    def test_other_clients_values_ignored(self):
+        h = build(
+            StopEvent(client=BAD, time=0),
+            inv("g", "read", t=1), rsp("g", ("client:good", 1, None), t=2),
+        )
+        assert count_lurking_writes(h, BAD) == 0
+
+
+class TestDefinitionOne:
+    def test_clean_history_passes(self):
+        h = build(
+            inv("g", "write", ("g", 1, None), t=0), rsp("g", t=1),
+            inv("g", "read", t=2), rsp("g", ("g", 1, None), t=3),
+        )
+        result = check_bft_linearizable(h, max_b=1)
+        assert result.ok
+
+    def test_byzantine_value_explained_by_inserted_write(self):
+        """Theorem 1's construction: a read of a Byzantine value is legal if
+        a write by the bad client can be inserted before it."""
+        h = build(
+            inv("g", "read", t=0), rsp("g", bad_value(1), t=1),
+        )
+        assert check_bft_linearizable(h, max_b=1, bad_clients={BAD}).ok
+
+    def test_one_lurking_write_within_bound(self):
+        h = build(
+            StopEvent(client=BAD, time=0),
+            inv("g", "read", t=1), rsp("g", bad_value(1), t=2),
+        )
+        result = check_bft_linearizable(h, max_b=1, bad_clients={BAD})
+        assert result.ok
+        assert result.lurking_writes[BAD] == 1
+
+    def test_two_lurking_writes_violate_base_bound(self):
+        h = build(
+            StopEvent(client=BAD, time=0),
+            inv("g", "read", t=1), rsp("g", bad_value(1), t=2),
+            inv("g", "read", t=3), rsp("g", bad_value(2), t=4),
+        )
+        result = check_bft_linearizable(h, max_b=1, bad_clients={BAD})
+        assert not result.ok
+        assert "lurking" in result.violation
+
+    def test_two_lurking_writes_meet_optimized_bound(self):
+        h = build(
+            StopEvent(client=BAD, time=0),
+            inv("g", "read", t=1), rsp("g", bad_value(1), t=2),
+            inv("g", "read", t=3), rsp("g", bad_value(2), t=4),
+        )
+        assert check_bft_linearizable(h, max_b=2, bad_clients={BAD}).ok
+
+    def test_atomicity_violation_detected_despite_byzantine_writes(self):
+        """Byzantine writes don't excuse a new-old inversion between good
+        readers (write-once semantics example from §1)."""
+        h = build(
+            inv("r1", "read", t=0), rsp("r1", bad_value(2), t=1),
+            inv("r1", "read", t=2), rsp("r1", bad_value(1), t=3),
+            inv("r1", "read", t=4), rsp("r1", bad_value(2), t=5),
+        )
+        result = check_bft_linearizable(h, max_b=10, bad_clients={BAD})
+        assert not result.ok
+        assert "not linearizable" in result.violation
+
+    def test_malformed_history_rejected(self):
+        h = build(
+            inv("g", "write", ("g", 1, None), t=0),
+            inv("g", "write", ("g", 2, None), t=1),  # overlapping!
+        )
+        result = check_bft_linearizable(h, max_b=1)
+        assert not result.ok
+        assert "well-formed" in result.violation
+
+
+class TestPlusForm:
+    def test_masked_after_k_overwrites(self):
+        h = build(
+            StopEvent(client=BAD, time=0),
+            inv("g", "write", ("g", 1, None), t=1), rsp("g", t=2),
+            inv("g", "write", ("g", 2, None), t=3), rsp("g", t=4),
+            inv("g", "read", t=5), rsp("g", ("g", 2, None), t=6),
+        )
+        assert check_bft_linearizable_plus(h, k=2, bad_clients={BAD}).ok
+
+    def test_bad_value_after_k_overwrites_violates(self):
+        h = build(
+            StopEvent(client=BAD, time=0),
+            inv("g", "write", ("g", 1, None), t=1), rsp("g", t=2),
+            inv("g", "write", ("g", 2, None), t=3), rsp("g", t=4),
+            inv("g", "read", t=5), rsp("g", bad_value(7), t=6),
+        )
+        result = check_bft_linearizable_plus(h, k=2, bad_clients={BAD})
+        assert not result.ok
+        assert "post-stop overwrite" in result.violation
+
+    def test_bad_value_before_k_overwrites_allowed(self):
+        h = build(
+            StopEvent(client=BAD, time=0),
+            inv("g", "read", t=1), rsp("g", bad_value(7), t=2),
+            inv("g", "write", ("g", 1, None), t=3), rsp("g", t=4),
+            inv("g", "write", ("g", 2, None), t=5), rsp("g", t=6),
+            inv("g", "read", t=7), rsp("g", ("g", 2, None), t=8),
+        )
+        assert check_bft_linearizable_plus(h, k=2, bad_clients={BAD}).ok
+
+    def test_fewer_than_k_overwrites_never_violates(self):
+        h = build(
+            StopEvent(client=BAD, time=0),
+            inv("g", "write", ("g", 1, None), t=1), rsp("g", t=2),
+            inv("g", "read", t=3), rsp("g", bad_value(7), t=4),
+        )
+        # Hmm: the read after one overwrite returning a *fresh* byzantine
+        # value is allowed by the plus condition with k=2 (only one
+        # overwrite happened) — but it must still be linearizable.
+        assert check_bft_linearizable_plus(h, k=2, bad_clients={BAD}).ok

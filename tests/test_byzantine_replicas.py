@@ -1,0 +1,192 @@
+"""Tests: good clients survive up to f Byzantine replicas of every flavour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_cluster
+from repro.byzantine import (
+    CorruptingReplica,
+    CrashedReplica,
+    ForgingReplica,
+    PromiscuousReplica,
+    SilentOptimizedReplica,
+    StaleReplica,
+)
+from repro.sim import read_script, write_script
+from repro.spec import check_register_linearizable
+
+BEHAVIOURS = [
+    CrashedReplica,
+    StaleReplica,
+    PromiscuousReplica,
+    CorruptingReplica,
+    ForgingReplica,
+]
+
+
+@pytest.mark.parametrize("behaviour", BEHAVIOURS)
+class TestSingleFaultyReplica:
+    def test_writes_and_reads_complete(self, behaviour):
+        cluster = build_cluster(
+            f=1, seed=40, replica_overrides={1: behaviour}
+        )
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 3) + read_script(2))
+        cluster.run(max_time=60)
+        assert cluster.metrics.operations == 5
+        assert node.client.last_result == ("client:w", 2, None)
+
+    def test_history_linearizable(self, behaviour):
+        cluster = build_cluster(
+            f=1, seed=41, replica_overrides={2: behaviour}
+        )
+        cluster.run_scripts(
+            {
+                "a": write_script("client:a", 3) + read_script(1),
+                "b": write_script("client:b", 3) + read_script(1),
+            },
+            max_time=60,
+        )
+        report = check_register_linearizable(cluster.history)
+        assert report.ok, report.violation
+
+
+class TestFTwo:
+    def test_two_faulty_replicas_of_different_kinds(self):
+        cluster = build_cluster(
+            f=2,
+            seed=42,
+            replica_overrides={0: CrashedReplica, 4: CorruptingReplica},
+        )
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 3) + read_script(1))
+        cluster.run(max_time=60)
+        assert node.client.last_result == ("client:w", 2, None)
+
+    def test_forging_and_stale_together(self):
+        cluster = build_cluster(
+            f=2,
+            seed=43,
+            replica_overrides={1: ForgingReplica, 5: StaleReplica},
+        )
+        cluster.run_scripts(
+            {"a": write_script("client:a", 2) + read_script(2)}, max_time=60
+        )
+        report = check_register_linearizable(cluster.history)
+        assert report.ok, report.violation
+
+
+class TestOptimizedVariantFaults:
+    def test_optimized_with_silent_replica(self):
+        cluster = build_cluster(
+            f=1,
+            variant="optimized",
+            seed=44,
+            replica_overrides={3: SilentOptimizedReplica},
+        )
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 4) + read_script(1))
+        cluster.run(max_time=60)
+        assert node.client.last_result == ("client:w", 3, None)
+        # Fast path still works: the other three replicas agree.
+        assert cluster.metrics.fast_path_rate() == 1.0
+
+
+class TestStrongVariantFaults:
+    def test_strong_with_crashed_replica(self):
+        cluster = build_cluster(
+            f=1,
+            variant="strong",
+            seed=45,
+            replica_overrides={0: CrashedReplica},
+        )
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 3) + read_script(1))
+        cluster.run(max_time=60)
+        assert node.client.last_result == ("client:w", 2, None)
+
+
+class TestForgeryIsDetected:
+    def test_forged_certificate_never_accepted_by_clients(self):
+        """The ForgingReplica's fabricated high-timestamp certificate is
+        rejected during validation: timestamps never jump."""
+        cluster = build_cluster(
+            f=1, seed=46, replica_overrides={0: ForgingReplica}
+        )
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 3))
+        cluster.run(max_time=60)
+        cluster.settle()
+        for rid, replica in cluster.replicas.items():
+            if rid == "replica:0":
+                continue
+            assert replica.pcert.ts.val <= 3
+
+    def test_corrupt_read_values_filtered(self):
+        cluster = build_cluster(
+            f=1, seed=47, replica_overrides={1: CorruptingReplica}
+        )
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 1) + read_script(3))
+        cluster.run(max_time=60)
+        for record in cluster.history.operations():
+            if record.op == "read":
+                assert record.result == ("client:w", 0, None)
+
+
+class TestAdditionalBehaviours:
+    def test_delaying_replica_does_not_slow_quorum(self):
+        """Quorum protocols wait for the fastest 2f+1, so one laggard adds
+        nothing to latency."""
+        from repro.byzantine import DelayingReplica
+
+        def p50(overrides):
+            cluster = build_cluster(f=1, seed=48, replica_overrides=overrides)
+            node = cluster.add_client("w")
+            node.run_script(write_script("client:w", 5))
+            cluster.run(max_time=120)
+            return cluster.metrics.latency_summary("write").p50
+
+        baseline = p50({})
+        with_laggard = p50({3: DelayingReplica})
+        assert with_laggard < baseline + 0.01
+
+    def test_delaying_replica_replies_do_arrive(self):
+        from repro.byzantine import DelayingReplica
+
+        cluster = build_cluster(f=1, seed=49, replica_overrides={3: DelayingReplica})
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 1))
+        cluster.run(max_time=120)
+        cluster.settle(1.0)  # let the slow replies land
+        assert cluster.replicas["replica:3"].data == ("client:w", 0, None)
+
+    def test_two_faced_replica_cannot_break_atomicity(self):
+        from repro.byzantine import TwoFacedReplica
+
+        cluster = build_cluster(f=1, seed=50, replica_overrides={1: TwoFacedReplica})
+        cluster.run_scripts(
+            {
+                "w": write_script("client:w", 4),
+                "r1": read_script(4),
+                "r2": read_script(4),
+            },
+            think_time=0.03,
+            max_time=120,
+        )
+        report = check_register_linearizable(cluster.history)
+        assert report.ok, report.violation
+
+    def test_two_faced_stale_answers_are_old_truths(self):
+        """The stale (value, certificate) pairs the replica serves verify —
+        they are yesterday's state, not forgeries — and quorum reads
+        overrule them."""
+        from repro.byzantine import TwoFacedReplica
+
+        cluster = build_cluster(f=1, seed=51, replica_overrides={0: TwoFacedReplica})
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 3) + read_script(4))
+        cluster.run(max_time=120)
+        reads = [r.result for r in cluster.history.operations() if r.op == "read"]
+        assert all(r == ("client:w", 2, None) for r in reads)

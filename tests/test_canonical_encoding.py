@@ -1,0 +1,175 @@
+"""Unit and property tests for the canonical encoding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.encoding import canonical_decode, canonical_encode
+from repro.errors import EncodingError
+
+
+class TestScalars:
+    def test_none(self):
+        assert canonical_encode(None) == b"n"
+        assert canonical_decode(b"n") is None
+
+    def test_booleans(self):
+        assert canonical_encode(True) == b"t"
+        assert canonical_encode(False) == b"f"
+        assert canonical_decode(b"t") is True
+        assert canonical_decode(b"f") is False
+
+    def test_int_zero(self):
+        assert canonical_encode(0) == b"i0;"
+
+    def test_int_negative(self):
+        assert canonical_decode(canonical_encode(-12345)) == -12345
+
+    def test_large_int(self):
+        n = 10**50
+        assert canonical_decode(canonical_encode(n)) == n
+
+    def test_bool_and_int_encode_differently(self):
+        assert canonical_encode(True) != canonical_encode(1)
+        assert canonical_encode(False) != canonical_encode(0)
+
+    def test_str_utf8(self):
+        value = "héllo ✓ wörld"
+        assert canonical_decode(canonical_encode(value)) == value
+
+    def test_bytes(self):
+        value = bytes(range(256))
+        assert canonical_decode(canonical_encode(value)) == value
+
+    def test_str_and_bytes_distinct(self):
+        assert canonical_encode("ab") != canonical_encode(b"ab")
+
+    def test_float_round_trip(self):
+        for value in (0.0, -1.5, 3.14159, 1e300, 1e-300):
+            assert canonical_decode(canonical_encode(value)) == value
+
+
+class TestContainers:
+    def test_empty_list(self):
+        assert canonical_decode(canonical_encode([])) == ()
+
+    def test_list_and_tuple_encode_identically(self):
+        assert canonical_encode([1, 2, 3]) == canonical_encode((1, 2, 3))
+
+    def test_nested(self):
+        value = (1, ("a", b"b", None), {"k": (True, False)})
+        decoded = canonical_decode(canonical_encode(value))
+        assert decoded == (1, ("a", b"b", None), {"k": (True, False)})
+
+    def test_dict_key_order_is_canonical(self):
+        a = canonical_encode({"b": 1, "a": 2})
+        b = canonical_encode({"a": 2, "b": 1})
+        assert a == b
+
+    def test_dict_round_trip(self):
+        value = {"z": 1, "a": (2, 3), "m": {"nested": b"x"}}
+        assert canonical_decode(canonical_encode(value)) == value
+
+
+class TestErrors:
+    def test_unsupported_type(self):
+        with pytest.raises(EncodingError):
+            canonical_encode(object())
+
+    def test_non_string_dict_key(self):
+        with pytest.raises(EncodingError):
+            canonical_encode({1: "a"})
+
+    def test_trailing_bytes(self):
+        with pytest.raises(EncodingError):
+            canonical_decode(b"nn")
+
+    def test_truncated_input(self):
+        encoded = canonical_encode(("abc", 123))
+        with pytest.raises(EncodingError):
+            canonical_decode(encoded[:-1])
+
+    def test_empty_input(self):
+        with pytest.raises(EncodingError):
+            canonical_decode(b"")
+
+    def test_bad_tag(self):
+        with pytest.raises(EncodingError):
+            canonical_decode(b"q")
+
+    def test_unterminated_int(self):
+        with pytest.raises(EncodingError):
+            canonical_decode(b"i42")
+
+    def test_non_canonical_int_leading_zero(self):
+        with pytest.raises(EncodingError):
+            canonical_decode(b"i042;")
+
+    def test_non_canonical_negative_zero(self):
+        with pytest.raises(EncodingError):
+            canonical_decode(b"i-0;")
+
+    def test_unterminated_list(self):
+        with pytest.raises(EncodingError):
+            canonical_decode(b"li1;")
+
+    def test_dict_non_canonical_key_order_rejected(self):
+        # d <"b":1> <"a":2> e — keys out of order must be rejected.
+        bad = b"du1:bi1;u1:ai2;e"
+        with pytest.raises(EncodingError):
+            canonical_decode(bad)
+
+    def test_dict_duplicate_key_rejected(self):
+        bad = b"du1:ai1;u1:ai2;e"
+        with pytest.raises(EncodingError):
+            canonical_decode(bad)
+
+    def test_invalid_utf8_rejected(self):
+        with pytest.raises(EncodingError):
+            canonical_decode(b"u2:\xff\xfe")
+
+    def test_huge_declared_length_rejected(self):
+        with pytest.raises(EncodingError):
+            canonical_decode(b"b99999999999:")
+
+
+# -- property-based -----------------------------------------------------------
+
+values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.text(max_size=40)
+    | st.binary(max_size=40),
+    lambda children: st.lists(children, max_size=5).map(tuple)
+    | st.dictionaries(st.text(max_size=10), children, max_size=5),
+    max_leaves=25,
+)
+
+
+@given(values)
+def test_round_trip_property(value):
+    assert canonical_decode(canonical_encode(value)) == value
+
+
+@given(values, values)
+def test_injective_property(a, b):
+    """Distinct values have distinct encodings (lists/tuples identified)."""
+    ea, eb = canonical_encode(a), canonical_encode(b)
+    if ea == eb:
+        assert canonical_decode(ea) == canonical_decode(eb)
+
+
+@given(values)
+def test_deterministic_property(value):
+    assert canonical_encode(value) == canonical_encode(value)
+
+
+@given(st.binary(max_size=60))
+def test_decoder_never_crashes_on_garbage(data):
+    """Arbitrary bytes either decode or raise EncodingError, never crash."""
+    try:
+        canonical_decode(data)
+    except EncodingError:
+        pass

@@ -1,0 +1,130 @@
+"""Property-based validation of the correctness checkers themselves.
+
+The checkers are trusted by every experiment, so they get their own
+adversarial testing: randomly generated histories that are linearizable *by
+construction* must be accepted, and mechanically injected violations must be
+rejected.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.spec import (
+    History,
+    Invocation,
+    Response,
+    check_register_linearizable,
+)
+
+
+def _generate_linearizable_history(seed: int, n_clients: int, n_ops: int) -> History:
+    """Build a history by simulating an actual atomic register.
+
+    Operations are generated as intervals around an explicit linearization
+    point; each read returns the register's value at its linearization
+    point, so the result is linearizable by construction.
+    """
+    rng = random.Random(seed)
+    register = None
+    events = []
+    seq = 0
+    point_clock = 0.0
+    last_end: dict[str, float] = {}
+    for _ in range(n_ops):
+        client = f"c{rng.randrange(n_clients)}"
+        # Invocation must follow the client's previous response; the
+        # linearization point must follow every earlier point AND lie within
+        # this operation's interval.  Construct in that order.
+        start = max(last_end.get(client, 0.0) + 0.001, point_clock - rng.uniform(0, 0.3))
+        point = max(point_clock + 0.001, start + rng.uniform(0.001, 0.2))
+        end = point + rng.uniform(0.001, 0.4)
+        point_clock = point
+        last_end[client] = end
+        if rng.random() < 0.5:
+            seq += 1
+            value = (client, seq, None)
+            register = value
+            op, arg, result = "write", value, None
+        else:
+            op, arg, result = "read", None, register
+        events.append(Invocation(client=client, obj="x", op=op, arg=arg, time=start))
+        events.append(Response(client=client, obj="x", value=result, time=end))
+    events.sort(key=lambda e: e.time)
+    history = History()
+    history.events = events
+    return history
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10**6),
+    n_clients=st.integers(1, 4),
+    n_ops=st.integers(1, 25),
+)
+def test_constructed_linearizable_histories_accepted(seed, n_clients, n_ops):
+    history = _generate_linearizable_history(seed, n_clients, n_ops)
+    report = check_register_linearizable(history)
+    assert report.ok, report.violation
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_stale_read_injection_rejected(seed):
+    """Append a read of an overwritten value strictly after everything: the
+    checker must flag it (if at least two writes exist)."""
+    history = _generate_linearizable_history(seed, 3, 20)
+    writes = [r for r in history.operations() if r.op == "write"]
+    if len(writes) < 2:
+        return
+    stale_value = writes[0].arg
+    last_time = history.events[-1].time
+    history.events.append(
+        Invocation(client="probe", obj="x", op="read", arg=None, time=last_time + 1)
+    )
+    history.events.append(
+        Response(client="probe", obj="x", value=stale_value, time=last_time + 2)
+    )
+    report = check_register_linearizable(history)
+    assert not report.ok
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_phantom_value_injection_rejected(seed):
+    history = _generate_linearizable_history(seed, 2, 10)
+    last_time = history.events[-1].time if history.events else 0.0
+    history.events.append(
+        Invocation(client="probe", obj="x", op="read", arg=None, time=last_time + 1)
+    )
+    history.events.append(
+        Response(client="probe", obj="x", value=("ghost", 1, None), time=last_time + 2)
+    )
+    report = check_register_linearizable(history)
+    assert not report.ok
+    assert "no write produced" in report.violation
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_new_old_inversion_injection_rejected(seed):
+    """Two sequential probe reads returning (new, old) must be rejected."""
+    history = _generate_linearizable_history(seed, 3, 20)
+    writes = [r for r in history.operations() if r.op == "write"]
+    if len(writes) < 2:
+        return
+    old, new = writes[0].arg, writes[-1].arg
+    t = history.events[-1].time
+    for index, value in enumerate((new, old)):
+        history.events.append(
+            Invocation(
+                client="probe", obj="x", op="read", arg=None, time=t + 1 + 2 * index
+            )
+        )
+        history.events.append(
+            Response(client="probe", obj="x", value=value, time=t + 2 + 2 * index)
+        )
+    report = check_register_linearizable(history)
+    assert not report.ok

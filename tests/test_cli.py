@@ -1,0 +1,46 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "base" in out and "optimized" in out and "strong" in out
+        assert "yes" in out
+
+    def test_attacks(self, capsys):
+        assert main(["attacks"]) == 0
+        out = capsys.readouterr().out
+        assert "equivocation" in out
+        assert "blocked" in out
+        assert "bounded at 1" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare"]) == 0
+        out = capsys.readouterr().out
+        assert "Phalanx" in out and "BQS" in out
+
+    def test_simulate(self, capsys):
+        code = main(
+            ["simulate", "--clients", "2", "--ops", "4", "--loss", "0.05"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "linearizable: True" in out
+
+    def test_simulate_optimized_reports_fast_path(self, capsys):
+        assert main(["simulate", "--variant", "optimized", "--ops", "3"]) == 0
+        assert "fast-path rate" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_f2(self, capsys):
+        assert main(["--f", "2", "demo"]) == 0

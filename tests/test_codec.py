@@ -1,0 +1,94 @@
+"""Tests for length-prefixed framing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.encoding import FrameDecoder, decode_frame, encode_frame
+from repro.encoding.codec import MAX_FRAME_SIZE
+from repro.errors import EncodingError
+
+
+class TestFrames:
+    def test_round_trip(self):
+        payload = b"hello world"
+        frame = encode_frame(payload)
+        decoded, rest = decode_frame(frame)
+        assert decoded == payload
+        assert rest == b""
+
+    def test_empty_payload(self):
+        decoded, rest = decode_frame(encode_frame(b""))
+        assert decoded == b""
+        assert rest == b""
+
+    def test_remainder_preserved(self):
+        frame = encode_frame(b"one") + encode_frame(b"two")
+        first, rest = decode_frame(frame)
+        assert first == b"one"
+        second, rest = decode_frame(rest)
+        assert second == b"two"
+        assert rest == b""
+
+    def test_incomplete_header(self):
+        with pytest.raises(EncodingError):
+            decode_frame(b"\xbf")
+
+    def test_incomplete_payload(self):
+        frame = encode_frame(b"abcdef")
+        with pytest.raises(EncodingError):
+            decode_frame(frame[:-1])
+
+    def test_bad_magic(self):
+        frame = bytearray(encode_frame(b"x"))
+        frame[0] = 0x00
+        with pytest.raises(EncodingError):
+            decode_frame(bytes(frame))
+
+    def test_oversized_payload_rejected_on_encode(self):
+        with pytest.raises(EncodingError):
+            encode_frame(b"\x00" * (MAX_FRAME_SIZE + 1))
+
+    def test_oversized_length_rejected_on_decode(self):
+        import struct
+
+        header = struct.pack(">2sI", b"\xbf\xbc", MAX_FRAME_SIZE + 1)
+        with pytest.raises(EncodingError):
+            decode_frame(header)
+
+
+class TestFrameDecoder:
+    def test_single_frame_in_one_chunk(self):
+        decoder = FrameDecoder()
+        out = list(decoder.feed(encode_frame(b"abc")))
+        assert out == [b"abc"]
+
+    def test_byte_at_a_time(self):
+        decoder = FrameDecoder()
+        data = encode_frame(b"payload-1") + encode_frame(b"payload-2")
+        out = []
+        for i in range(len(data)):
+            out.extend(decoder.feed(data[i : i + 1]))
+        assert out == [b"payload-1", b"payload-2"]
+        assert decoder.pending_bytes == 0
+
+    def test_pending_bytes(self):
+        decoder = FrameDecoder()
+        frame = encode_frame(b"abcdef")
+        list(decoder.feed(frame[:4]))
+        assert decoder.pending_bytes == 4
+
+    def test_bad_magic_raises(self):
+        decoder = FrameDecoder()
+        with pytest.raises(EncodingError):
+            list(decoder.feed(b"XXXXXXXXXX"))
+
+    @given(st.lists(st.binary(max_size=100), max_size=10), st.integers(1, 7))
+    def test_arbitrary_chunking_property(self, payloads, chunk_size):
+        stream = b"".join(encode_frame(p) for p in payloads)
+        decoder = FrameDecoder()
+        out = []
+        for i in range(0, len(stream), chunk_size):
+            out.extend(decoder.feed(stream[i : i + chunk_size]))
+        assert out == payloads

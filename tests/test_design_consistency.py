@@ -1,0 +1,33 @@
+"""DESIGN.md's experiment index stays consistent with the bench suite."""
+
+from __future__ import annotations
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_every_indexed_bench_target_exists():
+    design = (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+    targets = set(re.findall(r"benchmarks/(bench_\w+\.py)", design))
+    assert targets, "DESIGN.md lists no bench targets"
+    for target in targets:
+        assert (ROOT / "benchmarks" / target).exists(), target
+
+
+def test_every_bench_file_is_indexed_or_micro():
+    design = (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+    experiments = (ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    indexed = set(re.findall(r"bench_\w+\.py", design + experiments))
+    on_disk = {p.name for p in (ROOT / "benchmarks").glob("bench_*.py")}
+    unindexed = on_disk - indexed
+    assert not unindexed, f"benches missing from DESIGN/EXPERIMENTS: {unindexed}"
+
+
+def test_experiment_ids_documented_in_experiments_md():
+    experiments = (ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+    for exp in ("E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10",
+                "E11", "E12", "E13", "E14"):
+        assert f"## {exp} " in experiments or f"## {exp}—" in experiments or \
+            f"## {exp} —" in experiments, f"{exp} missing from EXPERIMENTS.md"

@@ -1,0 +1,47 @@
+"""Smoke tests: every shipped example runs cleanly end to end."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path):
+    result = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_all_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "byzantine_tolerance_demo.py",
+        "shared_config_store.py",
+        "tcp_cluster.py",
+        "kv_store.py",
+    } <= names
+
+
+def test_expected_claims_in_demo_output():
+    path = next(p for p in EXAMPLES if p.name == "byzantine_tolerance_demo.py")
+    result = subprocess.run(
+        [sys.executable, str(path)], capture_output=True, text=True, timeout=120
+    )
+    out = result.stdout
+    assert "linearizable? False" in out  # BQS breaks
+    assert "prepare certificates the attacker could assemble: 0" in out
+    assert "lurking writes seen after the stop: 1" in out

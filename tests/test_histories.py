@@ -1,0 +1,148 @@
+"""Tests for the §4.1 history model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.spec import History, Invocation, Response, StopEvent
+from repro.errors import HistoryError
+
+
+def inv(client, op, arg=None, t=0.0, obj="x"):
+    return Invocation(client=client, obj=obj, op=op, arg=arg, time=t)
+
+
+def rsp(client, value=None, t=0.0, obj="x"):
+    return Response(client=client, obj=obj, value=value, time=t)
+
+
+class TestConstruction:
+    def test_append_in_order(self):
+        h = History()
+        h.append(inv("c", "write", 1, t=1.0))
+        h.append(rsp("c", t=2.0))
+        assert len(h) == 2
+
+    def test_out_of_order_append_rejected(self):
+        h = History()
+        h.append(inv("c", "write", 1, t=2.0))
+        with pytest.raises(HistoryError):
+            h.append(rsp("c", t=1.0))
+
+    def test_iteration(self):
+        events = [inv("c", "read", t=0.0), rsp("c", t=1.0)]
+        h = History(events)
+        assert list(h) == events
+
+
+class TestSubhistories:
+    def test_client_subhistory(self):
+        h = History([
+            inv("a", "write", 1, t=0.0),
+            inv("b", "read", t=0.5),
+            rsp("a", t=1.0),
+            rsp("b", 1, t=1.5),
+        ])
+        sub = h.client_subhistory("a")
+        assert [e.client for e in sub] == ["a", "a"]
+
+    def test_object_subhistory_keeps_stops(self):
+        h = History([
+            inv("a", "write", 1, t=0.0, obj="x"),
+            rsp("a", t=0.5, obj="x"),
+            StopEvent(client="c", time=1.0),
+            inv("a", "read", t=2.0, obj="y"),
+            rsp("a", t=3.0, obj="y"),
+        ])
+        sub = h.object_subhistory("x")
+        assert len(sub) == 3  # x's two events plus the stop
+
+    def test_clients(self):
+        h = History([inv("a", "read", t=0.0), StopEvent(client="z", time=1.0)])
+        assert h.clients() == {"a", "z"}
+
+
+class TestWellFormedness:
+    def test_sequential_client_ok(self):
+        h = History([
+            inv("a", "write", 1, t=0.0),
+            rsp("a", t=1.0),
+            inv("a", "read", t=2.0),
+            rsp("a", 1, t=3.0),
+        ])
+        assert h.is_well_formed()
+
+    def test_overlapping_invocations_not_well_formed(self):
+        h = History([
+            inv("a", "write", 1, t=0.0),
+            inv("a", "read", t=1.0),
+        ])
+        assert not h.is_well_formed()
+
+    def test_response_without_invocation_not_well_formed(self):
+        h = History([rsp("a", t=0.0)])
+        assert not h.is_well_formed()
+
+    def test_pending_final_op_is_well_formed(self):
+        h = History([inv("a", "write", 1, t=0.0)])
+        assert h.is_well_formed()
+
+    def test_events_after_stop_not_well_formed(self):
+        h = History([
+            StopEvent(client="a", time=0.0),
+            inv("a", "write", 1, t=1.0),
+        ])
+        assert not h.is_well_formed()
+
+    def test_interleaved_clients_well_formed(self):
+        h = History([
+            inv("a", "write", 1, t=0.0),
+            inv("b", "write", 2, t=0.1),
+            rsp("b", t=0.2),
+            rsp("a", t=0.3),
+        ])
+        assert h.is_well_formed()
+
+
+class TestOperations:
+    def test_pairing(self):
+        h = History([
+            inv("a", "write", 1, t=0.0),
+            rsp("a", "ok", t=1.0),
+            inv("a", "read", t=2.0),
+            rsp("a", 1, t=3.0),
+        ])
+        ops = h.operations()
+        assert len(ops) == 2
+        assert ops[0].op == "write" and ops[0].arg == 1
+        assert ops[1].op == "read" and ops[1].result == 1
+        assert ops[0].precedes(ops[1])
+
+    def test_pending_operation(self):
+        h = History([inv("a", "write", 1, t=0.0)])
+        ops = h.operations()
+        assert len(ops) == 1
+        assert not ops[0].complete
+        assert ops[0].responded_at is None
+
+    def test_concurrent_ops_do_not_precede(self):
+        h = History([
+            inv("a", "write", 1, t=0.0),
+            inv("b", "write", 2, t=0.5),
+            rsp("a", t=1.0),
+            rsp("b", t=1.5),
+        ])
+        ops = {o.client: o for o in h.operations()}
+        assert not ops["a"].precedes(ops["b"])
+        assert not ops["b"].precedes(ops["a"])
+
+    def test_precedes_stop_event(self):
+        stop = StopEvent(client="z", time=5.0)
+        h = History([inv("a", "write", 1, t=0.0), rsp("a", t=1.0), stop])
+        op = h.operations()[0]
+        assert op.precedes(stop)
+
+    def test_stop_time(self):
+        h = History([StopEvent(client="z", time=3.0)])
+        assert h.stop_time("z") == 3.0
+        assert h.stop_time("other") is None

@@ -1,0 +1,129 @@
+"""Tests for the unique-value register linearizability checker."""
+
+from __future__ import annotations
+
+from repro.spec import History, Invocation, Response, check_register_linearizable
+
+
+def inv(client, op, arg=None, t=0.0):
+    return Invocation(client=client, obj="x", op=op, arg=arg, time=t)
+
+
+def rsp(client, value=None, t=0.0):
+    return Response(client=client, obj="x", value=value, time=t)
+
+
+def build(*events):
+    h = History()
+    h.events = list(events)  # allow arbitrary times for test convenience
+    return h
+
+
+class TestAccepts:
+    def test_empty_history(self):
+        assert check_register_linearizable(build()).ok
+
+    def test_sequential_write_then_read(self):
+        h = build(
+            inv("a", "write", "v1", t=0), rsp("a", t=1),
+            inv("a", "read", t=2), rsp("a", "v1", t=3),
+        )
+        assert check_register_linearizable(h).ok
+
+    def test_read_of_initial_value(self):
+        h = build(inv("a", "read", t=0), rsp("a", None, t=1))
+        assert check_register_linearizable(h, initial_value=None).ok
+
+    def test_concurrent_reads_may_split_around_concurrent_write(self):
+        # w(v1) overlaps both reads: one sees old, one sees new — fine.
+        h = build(
+            inv("w", "write", "v1", t=0),
+            inv("r1", "read", t=1), rsp("r1", None, t=2),
+            inv("r2", "read", t=3), rsp("r2", "v1", t=4),
+            rsp("w", t=5),
+        )
+        assert check_register_linearizable(h).ok
+
+    def test_read_from_pending_write_allowed(self):
+        # The write never completed but its value may be visible.
+        h = build(
+            inv("w", "write", "v1", t=0),
+            inv("r", "read", t=1), rsp("r", "v1", t=2),
+        )
+        assert check_register_linearizable(h).ok
+
+    def test_interleaved_writers(self):
+        h = build(
+            inv("a", "write", "a1", t=0), rsp("a", t=1),
+            inv("b", "write", "b1", t=2), rsp("b", t=3),
+            inv("a", "read", t=4), rsp("a", "b1", t=5),
+        )
+        assert check_register_linearizable(h).ok
+
+
+class TestRejects:
+    def test_stale_read_after_newer_write(self):
+        # w(v1) ; w(v2) ; read -> v1 is stale: v2 overwrote it.
+        h = build(
+            inv("a", "write", "v1", t=0), rsp("a", t=1),
+            inv("a", "write", "v2", t=2), rsp("a", t=3),
+            inv("r", "read", t=4), rsp("r", "v1", t=5),
+        )
+        report = check_register_linearizable(h)
+        assert not report.ok
+        assert "cycle" in report.violation
+
+    def test_value_from_nowhere(self):
+        h = build(inv("r", "read", t=0), rsp("r", "ghost", t=1))
+        report = check_register_linearizable(h)
+        assert not report.ok
+        assert "no write produced" in report.violation
+
+    def test_new_old_inversion_between_readers(self):
+        # r1 returns v2 and completes before r2 starts, but r2 returns v1:
+        # the classic atomicity violation.
+        h = build(
+            inv("w", "write", "v1", t=0), rsp("w", t=1),
+            inv("w", "write", "v2", t=2), rsp("w", t=3),
+            inv("r1", "read", t=4), rsp("r1", "v2", t=5),
+            inv("r2", "read", t=6), rsp("r2", "v1", t=7),
+        )
+        assert not check_register_linearizable(h).ok
+
+    def test_read_from_the_future(self):
+        # The read completes before the write is even invoked.
+        h = build(
+            inv("r", "read", t=0), rsp("r", "v1", t=1),
+            inv("w", "write", "v1", t=2), rsp("w", t=3),
+        )
+        report = check_register_linearizable(h)
+        assert not report.ok
+
+    def test_duplicate_write_values_rejected(self):
+        h = build(
+            inv("a", "write", "same", t=0), rsp("a", t=1),
+            inv("b", "write", "same", t=2), rsp("b", t=3),
+        )
+        report = check_register_linearizable(h)
+        assert not report.ok
+        assert "duplicate" in report.violation
+
+    def test_initial_value_after_write_completed(self):
+        # A read entirely after a completed write cannot return the initial
+        # value any more.
+        h = build(
+            inv("w", "write", "v1", t=0), rsp("w", t=1),
+            inv("r", "read", t=2), rsp("r", None, t=3),
+        )
+        assert not check_register_linearizable(h, initial_value=None).ok
+
+
+class TestObjFilter:
+    def test_other_objects_ignored(self):
+        h = build(
+            inv("a", "write", "v1", t=0), rsp("a", t=1),
+            Invocation(client="b", obj="y", op="read", arg=None, time=2),
+            Response(client="b", obj="y", value="ghost", time=3),
+        )
+        assert check_register_linearizable(h, obj="x").ok
+        assert not check_register_linearizable(h, obj="y").ok

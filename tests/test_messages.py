@@ -1,0 +1,188 @@
+"""Tests for the protocol message wire codec (core + baselines)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.messages import (
+    BqsReadReply,
+    BqsReadTsRequest,
+    BqsWriteRequest,
+    PhxEchoRequest,
+    PhxReadReply,
+    PhxWriteRequest,
+)
+from repro.core import Timestamp
+from repro.core.certificates import genesis_prepare_certificate
+from repro.core.messages import (
+    PrepareReply,
+    PrepareRequest,
+    ReadReply,
+    ReadRequest,
+    ReadTsPrepReply,
+    ReadTsPrepRequest,
+    ReadTsReply,
+    ReadTsRequest,
+    WriteReply,
+    WriteRequest,
+    message_from_wire,
+    message_to_wire,
+)
+from repro.crypto.signatures import Signature
+from repro.encoding import canonical_decode, canonical_encode
+from repro.errors import ProtocolError
+
+from tests.conftest import make_prepare_cert, make_write_cert
+
+SIG = Signature(signer="replica:0", value=b"\x01" * 32)
+TS = Timestamp(1, "client:alice")
+
+
+def round_trip(message):
+    wire = message_to_wire(message)
+    # Also push it through the canonical codec, as the network does.
+    wire2 = canonical_decode(canonical_encode(wire))
+    return message_from_wire(wire2)
+
+
+class TestCoreMessages:
+    def test_read_ts_request(self):
+        msg = ReadTsRequest(nonce=b"\x05" * 16)
+        assert round_trip(msg) == msg
+
+    def test_read_ts_reply(self, config):
+        cert = make_prepare_cert(config, TS, b"\x02" * 32)
+        msg = ReadTsReply(cert=cert, nonce=b"n" * 16, signature=SIG)
+        assert round_trip(msg) == msg
+
+    def test_read_ts_reply_with_vouch(self, config):
+        cert = make_prepare_cert(config, TS, b"\x02" * 32)
+        msg = ReadTsReply(cert=cert, nonce=b"n" * 16, signature=SIG, ts_vouch=SIG)
+        assert round_trip(msg) == msg
+
+    def test_prepare_request(self, config):
+        msg = PrepareRequest(
+            prev_cert=genesis_prepare_certificate(),
+            ts=TS,
+            value_hash=b"\x03" * 32,
+            write_cert=None,
+            justify_cert=None,
+            signature=SIG,
+        )
+        assert round_trip(msg) == msg
+
+    def test_prepare_request_with_certs(self, config):
+        msg = PrepareRequest(
+            prev_cert=make_prepare_cert(config, TS, b"\x02" * 32),
+            ts=Timestamp(2, "client:alice"),
+            value_hash=b"\x03" * 32,
+            write_cert=make_write_cert(config, TS),
+            justify_cert=make_write_cert(config, TS),
+            signature=SIG,
+        )
+        assert round_trip(msg) == msg
+
+    def test_prepare_reply(self):
+        msg = PrepareReply(ts=TS, value_hash=b"\x04" * 32, signature=SIG)
+        assert round_trip(msg) == msg
+
+    def test_write_request(self, config):
+        msg = WriteRequest(
+            value=("client:alice", 1, "payload"),
+            prepare_cert=make_prepare_cert(config, TS, b"\x05" * 32),
+            signature=SIG,
+        )
+        assert round_trip(msg) == msg
+
+    def test_write_reply(self):
+        msg = WriteReply(ts=TS, signature=SIG)
+        assert round_trip(msg) == msg
+
+    def test_read_request_and_reply(self, config):
+        assert round_trip(ReadRequest(nonce=b"x" * 16)) == ReadRequest(nonce=b"x" * 16)
+        msg = ReadReply(
+            value=None,
+            cert=genesis_prepare_certificate(),
+            nonce=b"y" * 16,
+            signature=SIG,
+        )
+        assert round_trip(msg) == msg
+
+    def test_read_ts_prep_messages(self, config):
+        req = ReadTsPrepRequest(
+            value_hash=b"\x06" * 32, write_cert=None, nonce=b"z" * 16, signature=SIG
+        )
+        assert round_trip(req) == req
+        reply = ReadTsPrepReply(
+            cert=genesis_prepare_certificate(),
+            prepared_ts=TS,
+            prep_sig=SIG,
+            nonce=b"z" * 16,
+            signature=SIG,
+        )
+        assert round_trip(reply) == reply
+        reply_no_prep = ReadTsPrepReply(
+            cert=genesis_prepare_certificate(),
+            prepared_ts=None,
+            prep_sig=None,
+            nonce=b"z" * 16,
+            signature=SIG,
+        )
+        assert round_trip(reply_no_prep) == reply_no_prep
+
+
+class TestBaselineMessages:
+    def test_bqs_messages(self):
+        assert round_trip(BqsReadTsRequest(nonce=b"n")) == BqsReadTsRequest(nonce=b"n")
+        msg = BqsWriteRequest(value=("w", 1, None), ts=TS, writer_sig=SIG)
+        assert round_trip(msg) == msg
+        reply = BqsReadReply(
+            value=None, ts=TS, writer_sig=None, nonce=b"n", signature=SIG
+        )
+        assert round_trip(reply) == reply
+
+    def test_phalanx_messages(self):
+        echo = PhxEchoRequest(ts=TS, value_hash=b"\x07" * 32, signature=SIG)
+        assert round_trip(echo) == echo
+        write = PhxWriteRequest(
+            value=("w", 1, None), ts=TS, echo_sigs=(SIG, SIG), signature=SIG
+        )
+        assert round_trip(write) == write
+        read = PhxReadReply(value="v", ts=TS, nonce=b"n", signature=SIG)
+        assert round_trip(read) == read
+
+
+class TestCodecErrors:
+    def test_unknown_kind(self):
+        with pytest.raises(ProtocolError):
+            message_from_wire({"kind": "NOT-A-THING"})
+
+    def test_missing_kind(self):
+        with pytest.raises(ProtocolError):
+            message_from_wire({"nonce": b"x"})
+
+    def test_not_a_dict(self):
+        with pytest.raises(ProtocolError):
+            message_from_wire("READ-TS")
+
+    def test_malformed_body(self):
+        with pytest.raises(ProtocolError):
+            message_from_wire({"kind": "PREPARE", "ts": "garbage"})
+
+    def test_duplicate_registration_rejected(self):
+        from repro.core.messages import Message, register_message
+
+        class Dup(Message):
+            KIND = "READ-TS"
+
+        with pytest.raises(ProtocolError):
+            register_message(Dup)
+
+    def test_registration_without_kind_rejected(self):
+        from repro.core.messages import Message, register_message
+
+        class NoKind(Message):
+            pass
+
+        with pytest.raises(ProtocolError):
+            register_message(NoKind)

@@ -1,0 +1,81 @@
+"""Tests for the metrics collector and summary statistics."""
+
+from __future__ import annotations
+
+from repro.sim import MetricsCollector, OperationSample, Summary
+
+
+def sample(kind="write", phases=3, latency=0.1, fast=False, client="client:a"):
+    return OperationSample(
+        client=client, kind=kind, phases=phases, latency=latency, fast_path=fast
+    )
+
+
+class TestSummary:
+    def test_empty(self):
+        s = Summary.of([])
+        assert s.count == 0 and s.mean == 0.0
+
+    def test_single(self):
+        s = Summary.of([2.0])
+        assert s.count == 1
+        assert s.mean == 2.0
+        assert s.p50 == 2.0
+        assert s.p95 == 2.0
+        assert s.maximum == 2.0
+
+    def test_percentiles(self):
+        values = [float(i) for i in range(1, 101)]
+        s = Summary.of(values)
+        assert s.p50 == 50.0
+        assert s.p95 == 95.0
+        assert s.maximum == 100.0
+        assert abs(s.mean - 50.5) < 1e-9
+
+    def test_unsorted_input(self):
+        s = Summary.of([3.0, 1.0, 2.0])
+        assert s.p50 == 2.0
+        assert s.maximum == 3.0
+
+
+class TestCollector:
+    def test_phase_histogram(self):
+        m = MetricsCollector()
+        m.record(sample(phases=3))
+        m.record(sample(phases=3))
+        m.record(sample(kind="read", phases=1))
+        assert m.phase_histogram() == {3: 2, 1: 1}
+        assert m.phase_histogram("write") == {3: 2}
+
+    def test_fast_path_rate(self):
+        m = MetricsCollector()
+        m.record(sample(fast=True))
+        m.record(sample(fast=False))
+        m.record(sample(kind="read"))  # reads don't count
+        assert m.fast_path_rate() == 0.5
+
+    def test_fast_path_rate_no_writes(self):
+        m = MetricsCollector()
+        m.record(sample(kind="read"))
+        assert m.fast_path_rate() == 0.0
+
+    def test_latency_summary_by_kind(self):
+        m = MetricsCollector()
+        m.record(sample(kind="write", latency=1.0))
+        m.record(sample(kind="read", latency=3.0))
+        assert m.latency_summary("write").mean == 1.0
+        assert m.latency_summary("read").mean == 3.0
+        assert m.latency_summary().count == 2
+
+    def test_per_client_counts(self):
+        m = MetricsCollector()
+        m.record(sample(client="client:a"))
+        m.record(sample(client="client:a"))
+        m.record(sample(client="client:b"))
+        assert m.per_client_counts() == {"client:a": 2, "client:b": 1}
+
+    def test_operations_total(self):
+        m = MetricsCollector()
+        assert m.operations == 0
+        m.record(sample())
+        assert m.operations == 1

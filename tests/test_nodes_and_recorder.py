@@ -1,0 +1,102 @@
+"""Tests for the ClientNode driver and the history recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_cluster
+from repro.sim import HistoryRecorder, Scheduler, read_script, write_script
+from repro.spec import Invocation, Response, StopEvent
+
+
+class TestHistoryRecorder:
+    def test_records_virtual_time(self):
+        scheduler = Scheduler()
+        recorder = HistoryRecorder(scheduler)
+        scheduler.call_later(1.5, lambda: recorder.record_invocation("c", "write", 1))
+        scheduler.call_later(2.5, lambda: recorder.record_response("c", "ok"))
+        scheduler.run_until_idle()
+        events = recorder.history.events
+        assert isinstance(events[0], Invocation) and events[0].time == 1.5
+        assert isinstance(events[1], Response) and events[1].time == 2.5
+
+    def test_records_stop_events(self):
+        scheduler = Scheduler()
+        recorder = HistoryRecorder(scheduler)
+        recorder.record_stop("client:bad")
+        assert isinstance(recorder.history.events[0], StopEvent)
+
+    def test_object_name(self):
+        scheduler = Scheduler()
+        recorder = HistoryRecorder(scheduler, obj="register-7")
+        recorder.record_invocation("c", "read")
+        assert recorder.history.events[0].obj == "register-7"
+
+
+class TestClientNodeDriving:
+    def test_think_time_spaces_operations(self):
+        cluster = build_cluster(f=1, seed=90)
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 3), think_time=0.5)
+        cluster.run(max_time=60)
+        ops = cluster.history.operations()
+        gaps = [
+            ops[i + 1].invoked_at - ops[i].responded_at for i in range(len(ops) - 1)
+        ]
+        assert all(gap >= 0.5 for gap in gaps)
+
+    def test_start_delay(self):
+        cluster = build_cluster(f=1, seed=91)
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 1), start_delay=2.0)
+        cluster.run(max_time=60)
+        assert cluster.history.operations()[0].invoked_at >= 2.0
+
+    def test_on_done_callback(self):
+        cluster = build_cluster(f=1, seed=92)
+        node = cluster.add_client("w")
+        fired = []
+        node.run_script(write_script("client:w", 1), on_done=lambda: fired.append(1))
+        cluster.run(max_time=60)
+        assert fired == [1]
+
+    def test_empty_script_is_immediately_done(self):
+        cluster = build_cluster(f=1, seed=93)
+        node = cluster.add_client("w")
+        node.run_script([])
+        assert node.done
+
+    def test_unknown_step_kind_rejected(self):
+        cluster = build_cluster(f=1, seed=94)
+        node = cluster.add_client("w")
+        node.run_script([("delete", None)])
+        with pytest.raises(ValueError):
+            cluster.run(max_time=5)
+
+    def test_retransmit_ticks_counted_under_loss(self):
+        from repro import LinkProfile
+
+        cluster = build_cluster(
+            f=1, seed=95, profile=LinkProfile(drop_rate=0.4, max_delay=0.01)
+        )
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 3))
+        cluster.run(max_time=300)
+        assert cluster.metrics.retransmit_ticks > 0
+
+    def test_no_retransmits_on_reliable_network(self):
+        cluster = build_cluster(f=1, seed=96)
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 3))
+        cluster.run(max_time=60)
+        assert cluster.metrics.retransmit_ticks == 0
+
+    def test_sequential_scripts_on_same_node(self):
+        cluster = build_cluster(f=1, seed=97)
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 2))
+        cluster.run(max_time=60)
+        node.run_script(read_script(1))
+        cluster.run(max_time=60)
+        assert cluster.metrics.operations == 3
+        assert node.client.last_result == ("client:w", 1, None)

@@ -1,0 +1,120 @@
+"""Tests for §3.3.1's optional write-certificate piggybacking on reads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_cluster
+from repro.core import make_system
+from repro.core.messages import ReadRequest, ReadTsRequest
+from repro.core.certificates import WriteCertificate
+from repro.core.timestamp import Timestamp
+from repro.crypto.signatures import Signature
+from repro.sim import read_script, write_script
+
+from tests.helpers import ProtocolKit, make_replicas
+
+
+class TestReplicaSide:
+    def test_piggybacked_cert_prunes_plist(self, config):
+        kit = ProtocolKit(config)
+        replicas = make_replicas(config)
+        _, wcert = kit.full_write(replicas, ("v", 1))
+        replica = replicas[0]
+        assert kit.client in replica.plist
+        reply = replica.handle(
+            "client:someone", ReadTsRequest(nonce=b"n" * 16, write_cert=wcert)
+        )
+        assert reply is not None
+        assert kit.client not in replica.plist
+        assert replica.write_ts == wcert.ts
+
+    def test_piggyback_on_read_request(self, config):
+        kit = ProtocolKit(config)
+        replicas = make_replicas(config)
+        _, wcert = kit.full_write(replicas, ("v", 1))
+        replica = replicas[0]
+        reply = replica.handle(
+            "client:someone", ReadRequest(nonce=b"n" * 16, write_cert=wcert)
+        )
+        assert reply is not None
+        assert replica.write_ts == wcert.ts
+
+    def test_invalid_piggyback_ignored_but_read_served(self, config):
+        replicas = make_replicas(config)
+        replica = replicas[0]
+        forged = WriteCertificate(
+            ts=Timestamp(9, "client:x"),
+            signatures=tuple(
+                Signature(signer=f"replica:{i}", value=b"\x00" * 32)
+                for i in range(3)
+            ),
+        )
+        reply = replica.handle(
+            "client:someone", ReadTsRequest(nonce=b"n" * 16, write_cert=forged)
+        )
+        assert reply is not None  # the read is still answered
+        assert replica.write_ts.val == 0  # the forged cert changed nothing
+        assert replica.stats.discards["bad-write-cert"] == 1
+
+    def test_piggyback_cannot_regress_write_ts(self, config):
+        kit = ProtocolKit(config)
+        replicas = make_replicas(config)
+        _, wcert1 = kit.full_write(replicas, ("v", 1))
+        _, wcert2 = kit.full_write(replicas, ("v", 2), write_cert=wcert1)
+        replica = replicas[0]
+        replica.handle("c", ReadTsRequest(nonce=b"1" * 16, write_cert=wcert2))
+        assert replica.write_ts == wcert2.ts
+        replica.handle("c", ReadTsRequest(nonce=b"2" * 16, write_cert=wcert1))
+        assert replica.write_ts == wcert2.ts  # max(), not overwrite
+
+
+class TestClientSide:
+    def test_flag_off_by_default(self):
+        cluster = build_cluster(f=1, seed=70)
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 1) + read_script(1))
+        cluster.run(max_time=60)
+        # With the flag off, read requests carried no certificate; replicas
+        # never learned of the completed write outside phase 2.
+        for replica in cluster.replicas.values():
+            assert replica.write_ts.val == 0
+
+    def test_flag_on_propagates_certificates(self):
+        from repro.sim import ClusterOptions, Cluster
+
+        options = ClusterOptions(f=1, seed=71)
+        cluster = Cluster(options)
+        cluster.config.piggyback_write_certs = True
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 1) + read_script(1))
+        cluster.run(max_time=60)
+        cluster.settle()
+        # The read after the write carried the write certificate: every
+        # replica's write_ts advanced without any further phase-2 traffic.
+        advanced = [
+            r for r in cluster.replicas.values() if r.write_ts.val == 1
+        ]
+        assert len(advanced) == len(cluster.replicas)
+
+    def test_plists_drain_faster_with_piggyback(self):
+        """The §3.3.1 motivation: entries for completed writes disappear as
+        soon as the writer reads, not only on its next write."""
+
+        def residual_entries(piggyback: bool) -> int:
+            config = make_system(f=1, seed=b"pgb", piggyback_write_certs=piggyback)
+            kit = ProtocolKit(config)
+            replicas = make_replicas(config)
+            _, wcert = kit.full_write(replicas, ("v", 1))
+            # The writer now issues a read through the real client path.
+            from repro.core.client import BftBcClient
+            from tests.helpers import DirectDriver
+
+            client = BftBcClient("client:alice", config)
+            client.write_cert = wcert
+            driver = DirectDriver(client, replicas)
+            driver.run_read()
+            return sum(len(r.plist) for r in replicas)
+
+        assert residual_entries(piggyback=False) > 0
+        assert residual_entries(piggyback=True) == 0

@@ -1,0 +1,109 @@
+"""Tests for the preferred-quorum messaging discipline (§3.3.1's O(|Q|))."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_cluster
+from repro.core import BftBcClient, make_system
+from repro.sim import read_script, write_script
+from repro.spec import check_register_linearizable
+
+from tests.helpers import DirectDriver, make_replicas
+
+
+class TestMessageCounts:
+    def test_write_contacts_only_a_quorum(self):
+        config = make_system(f=1, seed=b"pq-1", prefer_quorum=True)
+        replicas = make_replicas(config)
+        driver = DirectDriver(BftBcClient("client:a", config), replicas)
+        op = driver.run_write(("v", 1))
+        assert op.done
+        # Every message went to the first 2f+1 replicas only.
+        assert {s.dest for s in driver.sent} == {
+            "replica:0",
+            "replica:1",
+            "replica:2",
+        }
+        assert replicas[3].stats.handled == {}
+
+    def test_messages_per_write_match_paper_model(self):
+        cluster = build_cluster(f=1, seed=1, prefer_quorum=True)
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 4))
+        cluster.run(max_time=60)
+        cluster.settle()
+        # 3 phases x (request + reply) x |Q| replicas.
+        assert cluster.network.stats.messages_sent == 4 * 3 * 2 * 3
+
+    def test_read_contacts_only_a_quorum(self):
+        cluster = build_cluster(f=1, seed=2, prefer_quorum=True)
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 1))
+        cluster.run(max_time=60)
+        cluster.settle()
+        cluster.network.stats.reset()
+        node.run_script(read_script(1))
+        cluster.run(max_time=60)
+        cluster.settle()
+        assert cluster.network.stats.messages_sent == 2 * 3
+
+
+class TestRobustness:
+    def test_expands_on_silent_preferred_replica(self):
+        """A crashed replica inside the preferred quorum stalls the phase
+        only until the retransmission tick widens the target set."""
+        config = make_system(f=1, seed=b"pq-2", prefer_quorum=True)
+        replicas = make_replicas(config)
+        driver = DirectDriver(BftBcClient("client:a", config), replicas)
+        driver.drop("replica:1")  # inside the preferred quorum
+        op = driver.run_write(("v", 1))
+        assert not op.done  # only 2 of 3 preferred replied
+        # Each phase re-prefers the (partly dead) quorum and needs one
+        # retransmission tick to widen to replica:3.
+        for _ in range(3):
+            driver.tick()
+        assert op.done
+
+    def test_liveness_under_crash_in_preferred_quorum(self):
+        cluster = build_cluster(f=1, seed=3, prefer_quorum=True)
+        cluster.network.crash("replica:0")
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 3) + read_script(1))
+        cluster.run(max_time=120)
+        assert cluster.metrics.operations == 4
+
+    def test_still_linearizable_with_concurrency(self):
+        cluster = build_cluster(f=1, seed=4, prefer_quorum=True)
+        cluster.run_scripts(
+            {
+                "a": write_script("client:a", 4) + read_script(2),
+                "b": write_script("client:b", 4) + read_script(2),
+            },
+            max_time=120,
+        )
+        report = check_register_linearizable(cluster.history)
+        assert report.ok, report.violation
+
+    def test_optimized_variant_compatible(self):
+        cluster = build_cluster(
+            f=1, variant="optimized", seed=5, prefer_quorum=True
+        )
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 3))
+        cluster.run(max_time=60)
+        assert cluster.metrics.fast_path_rate() == 1.0
+
+    def test_latency_cost_under_crash(self):
+        """The robustness tradeoff: with a dead preferred replica the op
+        waits one retransmit interval; broadcasting to all does not."""
+
+        def p50(prefer):
+            cluster = build_cluster(f=1, seed=6, prefer_quorum=prefer)
+            cluster.network.crash("replica:0")
+            node = cluster.add_client("w")
+            node.run_script(write_script("client:w", 3))
+            cluster.run(max_time=120)
+            return cluster.metrics.latency_summary("write").p50
+
+        assert p50(True) > p50(False)

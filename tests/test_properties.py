@@ -1,0 +1,152 @@
+"""Property-based tests over whole simulated executions.
+
+Hypothesis drives randomised workloads, network conditions, and fault
+placements; every run is checked against the paper's correctness conditions.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import LinkProfile, build_cluster
+from repro.byzantine import CrashedReplica, PromiscuousReplica, StaleReplica
+from repro.sim import make_scripts
+from repro.spec import check_register_linearizable
+
+SLOW = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@SLOW
+@given(
+    seed=st.integers(0, 10**6),
+    n_clients=st.integers(1, 3),
+    ops=st.integers(1, 5),
+    write_fraction=st.floats(0.2, 0.9),
+    variant=st.sampled_from(["base", "optimized"]),
+)
+def test_random_workloads_are_linearizable(seed, n_clients, ops, write_fraction, variant):
+    cluster = build_cluster(f=1, variant=variant, seed=seed)
+    names = [f"client:w{i}" for i in range(n_clients)]
+    scripts = make_scripts(names, ops, write_fraction=write_fraction, seed=seed)
+    cluster.run_scripts(
+        {name.split(":")[1]: s for name, s in scripts.items()}, max_time=300
+    )
+    report = check_register_linearizable(cluster.history)
+    assert report.ok, report.violation
+
+
+@SLOW
+@given(
+    seed=st.integers(0, 10**6),
+    drop=st.floats(0.0, 0.25),
+    dup=st.floats(0.0, 0.2),
+)
+def test_linearizable_under_arbitrary_loss_and_duplication(seed, drop, dup):
+    profile = LinkProfile(drop_rate=drop, duplicate_rate=dup, max_delay=0.02)
+    cluster = build_cluster(f=1, seed=seed, profile=profile)
+    scripts = make_scripts(["client:a", "client:b"], 4, seed=seed)
+    cluster.run_scripts(
+        {name.split(":")[1]: s for name, s in scripts.items()}, max_time=300
+    )
+    report = check_register_linearizable(cluster.history)
+    assert report.ok, report.violation
+
+
+@SLOW
+@given(
+    seed=st.integers(0, 10**6),
+    faulty_index=st.integers(0, 3),
+    behaviour=st.sampled_from([CrashedReplica, StaleReplica, PromiscuousReplica]),
+)
+def test_linearizable_with_any_single_byzantine_replica(seed, faulty_index, behaviour):
+    cluster = build_cluster(
+        f=1, seed=seed, replica_overrides={faulty_index: behaviour}
+    )
+    scripts = make_scripts(["client:a", "client:b"], 4, seed=seed)
+    cluster.run_scripts(
+        {name.split(":")[1]: s for name, s in scripts.items()}, max_time=300
+    )
+    report = check_register_linearizable(cluster.history)
+    assert report.ok, report.violation
+
+
+@SLOW
+@given(seed=st.integers(0, 10**6), ops=st.integers(1, 6))
+def test_write_timestamps_are_dense(seed, ops):
+    """A lone writer's timestamps are exactly 1..N: bad clients can't burn
+    the space, and good clients never skip (no gaps, no reuse)."""
+    cluster = build_cluster(f=1, seed=seed)
+    node = cluster.add_client("w")
+    from repro.sim import write_script
+
+    node.run_script(write_script("client:w", ops))
+    cluster.run(max_time=300)
+    cluster.settle()
+    values = sorted(r.pcert.ts.val for r in cluster.replicas.values())
+    assert max(values) == ops
+
+
+@SLOW
+@given(seed=st.integers(0, 10**6))
+def test_replica_states_converge_after_settling(seed):
+    """Once traffic drains on a loss-free network, all replicas agree."""
+    cluster = build_cluster(f=1, seed=seed)
+    scripts = make_scripts(["client:a", "client:b"], 4, write_fraction=1.0, seed=seed)
+    cluster.run_scripts(
+        {name.split(":")[1]: s for name, s in scripts.items()}, max_time=300
+    )
+    cluster.settle(2.0)
+    timestamps = {r.pcert.ts for r in cluster.replicas.values()}
+    values = {repr(r.data) for r in cluster.replicas.values()}
+    assert len(timestamps) == 1
+    assert len(values) == 1
+
+
+@SLOW
+@given(seed=st.integers(0, 10**6), ops=st.integers(2, 6))
+def test_optimized_and_base_agree_on_final_state(seed, ops):
+    """The §6 optimization changes latency, not semantics: the same lone-
+    writer workload ends in the same final value under both variants."""
+    finals = []
+    for variant in ("base", "optimized"):
+        cluster = build_cluster(f=1, variant=variant, seed=seed)
+        node = cluster.add_client("w")
+        from repro.sim import write_script
+
+        node.run_script(write_script("client:w", ops))
+        cluster.run(max_time=300)
+        cluster.settle()
+        replica = cluster.replicas["replica:0"]
+        finals.append(replica.data)
+    assert finals[0] == finals[1]
+
+
+@SLOW
+@given(
+    seed=st.integers(0, 10**6),
+    variant=st.sampled_from(["base", "optimized"]),
+    n_clients=st.integers(1, 3),
+)
+def test_lemma1_invariants_hold_on_random_executions(seed, variant, n_clients):
+    """§5's Lemma 1, checked as an executable invariant after every random
+    workload: the signature-counting facts the safety proof rests on."""
+    from repro.spec import check_lemma1
+
+    cluster = build_cluster(f=1, variant=variant, seed=seed)
+    names = [f"client:w{i}" for i in range(n_clients)]
+    scripts = make_scripts(names, 4, write_fraction=0.7, seed=seed)
+    cluster.run_scripts(
+        {name.split(":")[1]: s for name, s in scripts.items()}, max_time=300
+    )
+    cluster.settle()
+    bound = 1 if variant == "base" else 2
+    report = check_lemma1(
+        cluster.replicas.values(),
+        f=cluster.config.f,
+        max_prepared_per_client=bound,
+    )
+    assert report.ok, report.violations

@@ -1,0 +1,99 @@
+"""Tests for quorum-system configuration and intersection math."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import QuorumSystem
+from repro.core.quorum import client_id, replica_id
+from repro.errors import QuorumConfigError
+
+
+class TestBftBcShape:
+    @pytest.mark.parametrize("f", [0, 1, 2, 3, 5, 10])
+    def test_sizes(self, f):
+        qs = QuorumSystem.bft_bc(f)
+        assert qs.n == 3 * f + 1
+        assert qs.quorum_size == 2 * f + 1
+
+    @pytest.mark.parametrize("f", [1, 2, 3, 5])
+    def test_intersection_contains_a_correct_replica(self, f):
+        qs = QuorumSystem.bft_bc(f)
+        assert qs.min_intersection == f + 1
+        assert qs.min_correct_intersection == 1
+
+    def test_replica_ids(self):
+        qs = QuorumSystem.bft_bc(1)
+        assert qs.replica_ids == (
+            "replica:0",
+            "replica:1",
+            "replica:2",
+            "replica:3",
+        )
+
+
+class TestPhalanxShape:
+    @pytest.mark.parametrize("f", [1, 2, 3])
+    def test_sizes(self, f):
+        qs = QuorumSystem.phalanx(f)
+        assert qs.n == 4 * f + 1
+        assert qs.quorum_size == 3 * f + 1
+        # masking intersection: 2q - n = 2f + 1 > 2f
+        assert qs.min_intersection == 2 * f + 1
+        assert qs.min_correct_intersection == f + 1
+
+
+class TestValidation:
+    def test_negative_f_rejected(self):
+        with pytest.raises(QuorumConfigError):
+            QuorumSystem(n=4, f=-1, quorum_size=3)
+
+    def test_unreachable_quorum_rejected(self):
+        # With f=1 silent out of 4, a quorum of 4 is unreachable.
+        with pytest.raises(QuorumConfigError):
+            QuorumSystem(n=4, f=1, quorum_size=4)
+
+    def test_insufficient_intersection_rejected(self):
+        # Quorums of 2 out of 4 may not intersect at all.
+        with pytest.raises(QuorumConfigError):
+            QuorumSystem(n=4, f=1, quorum_size=2)
+
+    def test_zero_quorum_rejected(self):
+        with pytest.raises(QuorumConfigError):
+            QuorumSystem(n=4, f=0, quorum_size=0)
+
+
+class TestMembership:
+    def test_is_replica(self):
+        qs = QuorumSystem.bft_bc(1)
+        assert qs.is_replica("replica:0")
+        assert qs.is_replica("replica:3")
+        assert not qs.is_replica("replica:4")
+        assert not qs.is_replica("replica:-1")
+        assert not qs.is_replica("client:0")
+        assert not qs.is_replica("replica:abc")
+
+    def test_is_quorum(self):
+        qs = QuorumSystem.bft_bc(1)
+        assert qs.is_quorum({"replica:0", "replica:1", "replica:2"})
+        assert not qs.is_quorum({"replica:0", "replica:1"})
+        assert not qs.is_quorum({"replica:0", "replica:1", "client:x"})
+
+    def test_node_id_helpers(self):
+        assert replica_id(3) == "replica:3"
+        assert client_id("alice") == "client:alice"
+        assert client_id(7) == "client:7"
+
+    def test_describe(self):
+        text = QuorumSystem.bft_bc(2).describe()
+        assert "n=7" in text and "f=2" in text
+
+
+@given(st.integers(min_value=0, max_value=20))
+def test_bft_bc_always_valid_property(f):
+    qs = QuorumSystem.bft_bc(f)
+    # any two quorums of size 2f+1 out of 3f+1 share >= f+1 replicas
+    assert qs.min_intersection >= f + 1
+    # and a quorum is reachable with f replicas silent
+    assert qs.quorum_size <= qs.n - qs.f

@@ -1,0 +1,93 @@
+"""Direct unit tests for the per-phase reply collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_system
+from repro.core.messages import ReadTsRequest
+from repro.core.operations import ReplyCollector
+
+
+@pytest.fixture
+def config():
+    return make_system(f=1, seed=b"collector")
+
+
+MSG = ReadTsRequest(nonce=b"\x01" * 16)
+
+
+class TestReplyCollector:
+    def test_accepts_valid_reply(self, config):
+        collector = ReplyCollector(config, lambda s, m: m)
+        assert collector.add("replica:0", MSG)
+        assert collector.count == 1
+        assert collector.responders() == {"replica:0"}
+
+    def test_rejects_duplicate_sender(self, config):
+        collector = ReplyCollector(config, lambda s, m: m)
+        assert collector.add("replica:0", MSG)
+        assert not collector.add("replica:0", MSG)
+        assert collector.count == 1
+
+    def test_first_reply_per_sender_wins(self, config):
+        """A Byzantine replica cannot revise its vote within a phase."""
+        seen = []
+        collector = ReplyCollector(config, lambda s, m: (s, len(seen)))
+        collector.add("replica:0", MSG)
+        collector.add("replica:0", MSG)
+        assert collector.replies["replica:0"] == ("replica:0", 0)
+
+    def test_rejects_non_replicas(self, config):
+        collector = ReplyCollector(config, lambda s, m: m)
+        assert not collector.add("client:mallory", MSG)
+        assert not collector.add("replica:99", MSG)
+        assert collector.count == 0
+
+    def test_validator_rejection(self, config):
+        collector = ReplyCollector(config, lambda s, m: None)
+        assert not collector.add("replica:0", MSG)
+        # A later valid reply from the same sender is still accepted: the
+        # invalid one did not consume the sender's slot.
+        collector._validator = lambda s, m: m
+        assert collector.add("replica:0", MSG)
+
+    def test_quorum_threshold(self, config):
+        collector = ReplyCollector(config, lambda s, m: m)
+        for index in range(2):
+            collector.add(f"replica:{index}", MSG)
+        assert not collector.have_quorum
+        collector.add("replica:2", MSG)
+        assert collector.have_quorum
+
+    def test_missing_lists_non_responders(self, config):
+        collector = ReplyCollector(config, lambda s, m: m)
+        collector.add("replica:1", MSG)
+        assert collector.missing() == ("replica:0", "replica:2", "replica:3")
+
+    def test_validator_return_value_stored(self, config):
+        collector = ReplyCollector(config, lambda s, m: ("derived", s))
+        collector.add("replica:2", MSG)
+        assert collector.replies["replica:2"] == ("derived", "replica:2")
+
+
+class TestCostModelCoverage:
+    def test_read_bytes_with_write_back(self):
+        from repro.analysis import CostModel
+        from repro.core import QuorumSystem
+
+        model = CostModel(QuorumSystem.bft_bc(1))
+        assert model.read_bytes(write_back=True) > model.read_bytes()
+
+    def test_strong_write_phases_constant(self):
+        from repro.analysis import WRITE_PHASES
+
+        normal, worst = WRITE_PHASES["strong"]
+        assert normal == 3 and worst == 5
+
+    def test_optimized_bytes_below_base(self):
+        from repro.analysis import CostModel
+        from repro.core import QuorumSystem
+
+        model = CostModel(QuorumSystem.bft_bc(2))
+        assert model.write_bytes("optimized") < model.write_bytes("base")

@@ -1,0 +1,135 @@
+"""Tests for cluster construction and the simulation runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_cluster, ClusterOptions, LinkProfile
+from repro.byzantine import CrashedReplica
+from repro.core.replica import BftBcReplica, OptimizedBftBcReplica
+from repro.errors import OperationFailedError, SimulationError
+from repro.sim import write_script, read_script
+
+
+class TestConstruction:
+    def test_default_cluster_shape(self):
+        cluster = build_cluster(f=1)
+        assert len(cluster.replicas) == 4
+        assert all(isinstance(r, BftBcReplica) for r in cluster.replicas.values())
+
+    def test_variant_selects_replica_class(self):
+        cluster = build_cluster(f=1, variant="optimized")
+        assert all(
+            isinstance(r, OptimizedBftBcReplica) for r in cluster.replicas.values()
+        )
+
+    def test_strong_variant_sets_config(self):
+        cluster = build_cluster(f=1, variant="strong")
+        assert cluster.config.strong
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(SimulationError):
+            build_cluster(variant="bogus")
+
+    def test_replica_override(self):
+        cluster = build_cluster(
+            f=1, replica_overrides={0: CrashedReplica}
+        )
+        assert isinstance(cluster.replicas["replica:0"], CrashedReplica)
+        assert isinstance(cluster.replicas["replica:1"], BftBcReplica)
+
+    def test_options_and_kwargs_mutually_exclusive(self):
+        with pytest.raises(SimulationError):
+            build_cluster(ClusterOptions(), f=2)
+
+    def test_f2_cluster(self):
+        cluster = build_cluster(f=2)
+        assert len(cluster.replicas) == 7
+
+
+class TestExecution:
+    def test_run_scripts_completes(self):
+        cluster = build_cluster(f=1, seed=1)
+        cluster.run_scripts({"w": write_script("client:w", 3)})
+        assert cluster.metrics.operations == 3
+
+    def test_incomplete_workload_raises(self):
+        # All four replicas crashed: nothing can complete.
+        cluster = build_cluster(
+            f=1,
+            replica_overrides={i: CrashedReplica for i in range(4)},
+        )
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 1))
+        with pytest.raises(OperationFailedError):
+            cluster.run(max_time=1.0)
+
+    def test_stagger_spaces_clients(self):
+        cluster = build_cluster(f=1, seed=2)
+        cluster.run_scripts(
+            {"a": write_script("client:a", 1), "b": write_script("client:b", 1)},
+            stagger=1.0,
+        )
+        ops = cluster.history.operations()
+        assert ops[1].invoked_at >= 1.0
+
+    def test_history_records_all_ops(self):
+        cluster = build_cluster(f=1, seed=3)
+        cluster.run_scripts(
+            {"w": write_script("client:w", 2) + read_script(1)}
+        )
+        ops = cluster.history.operations()
+        assert [o.op for o in ops] == ["write", "write", "read"]
+        assert all(o.complete for o in ops)
+
+    def test_stop_client_revokes_and_records(self):
+        cluster = build_cluster(f=1)
+        cluster.config.registry.register("client:bad")
+        cluster.stop_client("client:bad")
+        assert cluster.config.registry.is_revoked("client:bad")
+        assert cluster.history.stop_time("client:bad") is not None
+
+    def test_settle_advances_time(self):
+        cluster = build_cluster(f=1)
+        before = cluster.scheduler.now
+        cluster.settle(2.0)
+        assert cluster.scheduler.now >= before
+
+    def test_determinism_across_identical_clusters(self):
+        def run(seed):
+            cluster = build_cluster(f=1, seed=seed, profile=LinkProfile.lossy(0.1))
+            cluster.run_scripts({"w": write_script("client:w", 5)})
+            return (
+                cluster.scheduler.now,
+                cluster.network.stats.messages_sent,
+                [s.latency for s in cluster.metrics.samples],
+            )
+
+        assert run(7) == run(7)
+
+    def test_client_lookup(self):
+        cluster = build_cluster(f=1)
+        node = cluster.add_client("alice")
+        assert cluster.client("alice") is node
+
+
+class TestLiveness:
+    def test_completes_under_heavy_loss(self):
+        cluster = build_cluster(f=1, seed=11, profile=LinkProfile(drop_rate=0.3, max_delay=0.02))
+        cluster.run_scripts({"w": write_script("client:w", 3)}, max_time=120)
+        assert cluster.metrics.operations == 3
+
+    def test_completes_with_f_crashed_replicas(self):
+        cluster = build_cluster(
+            f=1, seed=12, replica_overrides={3: CrashedReplica}
+        )
+        cluster.run_scripts({"w": write_script("client:w", 3) + read_script(2)})
+        assert cluster.metrics.operations == 5
+
+    def test_completes_after_mid_run_crash(self):
+        from repro.sim import FaultSchedule
+
+        cluster = build_cluster(f=1, seed=13)
+        cluster.install_faults(FaultSchedule().crash(0.05, "replica:2"))
+        cluster.run_scripts({"w": write_script("client:w", 10)}, max_time=120)
+        assert cluster.metrics.operations == 10

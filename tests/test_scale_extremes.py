@@ -1,0 +1,81 @@
+"""Degenerate and large configurations: f = 0 and f = 6."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import build_cluster
+from repro.core import QuorumSystem
+from repro.sim import read_script, write_script
+from repro.spec import check_register_linearizable
+
+
+class TestFZero:
+    """f = 0: a single replica, quorums of one.  The protocol degenerates
+    gracefully — still three phases, still certificates (of one signature)."""
+
+    def test_shape(self):
+        qs = QuorumSystem.bft_bc(0)
+        assert qs.n == 1 and qs.quorum_size == 1
+        assert qs.min_intersection == 1
+
+    @pytest.mark.parametrize("variant", ["base", "optimized", "strong"])
+    def test_variants_work(self, variant):
+        cluster = build_cluster(f=0, variant=variant, seed=500)
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 3) + read_script(2))
+        cluster.run(max_time=60)
+        assert node.client.last_result == ("client:w", 2, None)
+        report = check_register_linearizable(cluster.history)
+        assert report.ok, report.violation
+
+    def test_concurrent_clients_f0(self):
+        cluster = build_cluster(f=0, seed=501)
+        cluster.run_scripts(
+            {
+                "a": write_script("client:a", 3),
+                "b": write_script("client:b", 3) + read_script(1),
+            },
+            max_time=60,
+        )
+        report = check_register_linearizable(cluster.history)
+        assert report.ok, report.violation
+
+
+class TestLargeF:
+    def test_f6_cluster_runs(self):
+        cluster = build_cluster(f=6, seed=502)  # 19 replicas, quorums of 13
+        assert cluster.config.n == 19
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 2) + read_script(1))
+        cluster.run(max_time=120)
+        assert node.client.last_result == ("client:w", 1, None)
+
+    def test_f4_with_four_crashed_replicas(self):
+        from repro.byzantine import CrashedReplica
+
+        cluster = build_cluster(
+            f=4,
+            seed=503,
+            replica_overrides={i: CrashedReplica for i in range(4)},
+        )
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 2) + read_script(1))
+        cluster.run(max_time=120)
+        assert node.client.last_result == ("client:w", 1, None)
+
+    def test_f4_with_five_crashed_stalls(self):
+        """One more crash than the budget: no quorum, liveness is lost
+        (safety is not — nothing wrong is ever returned)."""
+        from repro.byzantine import CrashedReplica
+        from repro.errors import OperationFailedError
+
+        cluster = build_cluster(
+            f=4,
+            seed=504,
+            replica_overrides={i: CrashedReplica for i in range(5)},
+        )
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 1))
+        with pytest.raises(OperationFailedError):
+            cluster.run(max_time=1.0)

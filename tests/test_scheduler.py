@@ -1,0 +1,130 @@
+"""Tests for the deterministic virtual-time scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Scheduler
+from repro.errors import SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sched = Scheduler()
+        fired = []
+        sched.call_later(0.3, lambda: fired.append("c"))
+        sched.call_later(0.1, lambda: fired.append("a"))
+        sched.call_later(0.2, lambda: fired.append("b"))
+        sched.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_fifo_within_same_time(self):
+        sched = Scheduler()
+        fired = []
+        for tag in range(5):
+            sched.call_later(1.0, lambda t=tag: fired.append(t))
+        sched.run_until_idle()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        sched = Scheduler()
+        seen = []
+        sched.call_later(2.5, lambda: seen.append(sched.now))
+        sched.run_until_idle()
+        assert seen == [2.5]
+
+    def test_nested_scheduling(self):
+        sched = Scheduler()
+        fired = []
+        def outer():
+            fired.append("outer")
+            sched.call_later(1.0, lambda: fired.append("inner"))
+        sched.call_later(1.0, outer)
+        sched.run_until_idle()
+        assert fired == ["outer", "inner"]
+        assert sched.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Scheduler().call_later(-1, lambda: None)
+
+    def test_call_at(self):
+        sched = Scheduler()
+        fired = []
+        sched.call_at(5.0, lambda: fired.append(sched.now))
+        sched.run_until_idle()
+        assert fired == [5.0]
+
+    def test_call_at_past_rejected(self):
+        sched = Scheduler()
+        sched.call_later(1.0, lambda: None)
+        sched.run_until_idle()
+        with pytest.raises(SimulationError):
+            sched.call_at(0.5, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sched = Scheduler()
+        fired = []
+        handle = sched.call_later(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        sched.run_until_idle()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sched = Scheduler()
+        handle = sched.call_later(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sched.run_until_idle()
+
+
+class TestRunLimits:
+    def test_until_bound(self):
+        sched = Scheduler()
+        fired = []
+        sched.call_later(1.0, lambda: fired.append(1))
+        sched.call_later(10.0, lambda: fired.append(2))
+        sched.run(until=5.0)
+        assert fired == [1]
+        assert sched.now == 5.0
+        assert sched.pending == 1
+
+    def test_stop_when_predicate(self):
+        sched = Scheduler()
+        fired = []
+        for i in range(10):
+            sched.call_later(float(i + 1), lambda i=i: fired.append(i))
+        sched.run(stop_when=lambda: len(fired) >= 3)
+        assert len(fired) == 3
+
+    def test_max_events(self):
+        sched = Scheduler()
+        def reschedule():
+            sched.call_later(1.0, reschedule)
+        sched.call_later(1.0, reschedule)
+        sched.run(max_events=100)
+        assert sched.events_processed == 100
+
+    def test_run_until_idle_raises_on_runaway(self):
+        sched = Scheduler()
+        def reschedule():
+            sched.call_later(1.0, reschedule)
+        sched.call_later(1.0, reschedule)
+        with pytest.raises(SimulationError):
+            sched.run_until_idle(max_events=50)
+
+    def test_step_returns_false_when_empty(self):
+        assert Scheduler().step() is False
+
+    def test_determinism(self):
+        def run_once():
+            sched = Scheduler()
+            order = []
+            sched.call_later(0.5, lambda: order.append("a"))
+            sched.call_later(0.5, lambda: (order.append("b"), sched.call_later(0.1, lambda: order.append("c"))))
+            sched.run_until_idle()
+            return order
+        assert run_once() == run_once()

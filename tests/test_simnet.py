@@ -1,0 +1,208 @@
+"""Tests for the simulated unreliable network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.messages import ReadTsRequest
+from repro.net.simnet import LinkProfile, SimNetwork
+from repro.sim import Scheduler
+from repro.errors import NetworkError
+
+
+def make_net(profile=None, seed=0):
+    sched = Scheduler()
+    return sched, SimNetwork(sched, profile=profile, seed=seed)
+
+
+MSG = ReadTsRequest(nonce=b"\x01" * 16)
+
+
+class TestDelivery:
+    def test_basic_delivery(self):
+        sched, net = make_net()
+        got = []
+        net.register("b", lambda src, msg: got.append((src, msg)))
+        net.send("a", "b", MSG)
+        sched.run_until_idle()
+        assert got == [("a", MSG)]
+
+    def test_delivery_is_delayed(self):
+        sched, net = make_net(LinkProfile(min_delay=0.5, max_delay=0.5))
+        times = []
+        net.register("b", lambda src, msg: times.append(sched.now))
+        net.send("a", "b", MSG)
+        sched.run_until_idle()
+        assert times == [0.5]
+
+    def test_unknown_destination_dropped(self):
+        sched, net = make_net()
+        net.send("a", "ghost", MSG)
+        sched.run_until_idle()
+        assert net.stats.messages_dropped == 1
+
+    def test_duplicate_registration_rejected(self):
+        _, net = make_net()
+        net.register("a", lambda s, m: None)
+        with pytest.raises(NetworkError):
+            net.register("a", lambda s, m: None)
+
+    def test_reordering_occurs_with_jitter(self):
+        sched, net = make_net(LinkProfile(min_delay=0.0, max_delay=1.0), seed=3)
+        got = []
+        net.register("b", lambda src, msg: got.append(msg.nonce))
+        for i in range(20):
+            net.send("a", "b", ReadTsRequest(nonce=bytes([i]) * 16))
+        sched.run_until_idle()
+        assert len(got) == 20
+        assert got != sorted(got)  # some reordering happened
+
+
+class TestLossAndCorruption:
+    def test_full_loss(self):
+        sched, net = make_net(LinkProfile(drop_rate=1.0))
+        got = []
+        net.register("b", lambda src, msg: got.append(msg))
+        for _ in range(10):
+            net.send("a", "b", MSG)
+        sched.run_until_idle()
+        assert got == []
+        assert net.stats.messages_dropped == 10
+
+    def test_statistical_loss(self):
+        sched, net = make_net(LinkProfile(drop_rate=0.5), seed=7)
+        got = []
+        net.register("b", lambda src, msg: got.append(msg))
+        for _ in range(200):
+            net.send("a", "b", MSG)
+        sched.run_until_idle()
+        assert 40 < len(got) < 160
+
+    def test_duplication(self):
+        sched, net = make_net(LinkProfile(duplicate_rate=1.0))
+        got = []
+        net.register("b", lambda src, msg: got.append(msg))
+        net.send("a", "b", MSG)
+        sched.run_until_idle()
+        assert len(got) == 2
+        assert net.stats.messages_duplicated == 1
+
+    def test_corruption_is_discarded_not_delivered(self):
+        sched, net = make_net(LinkProfile(corrupt_rate=1.0), seed=1)
+        got = []
+        net.register("b", lambda src, msg: got.append(msg))
+        for _ in range(20):
+            net.send("a", "b", MSG)
+        sched.run_until_idle()
+        # A flipped byte nearly always breaks parsing; anything delivered
+        # must have parsed back into a real message.
+        assert net.stats.messages_corrupted == 20
+        for msg in got:
+            assert isinstance(msg, ReadTsRequest)
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(NetworkError):
+            LinkProfile(drop_rate=1.5)
+        with pytest.raises(NetworkError):
+            LinkProfile(min_delay=2.0, max_delay=1.0)
+        with pytest.raises(NetworkError):
+            LinkProfile(duplicate_rate=-0.1)
+
+
+class TestTopology:
+    def test_partition_and_heal(self):
+        sched, net = make_net()
+        got = []
+        net.register("b", lambda src, msg: got.append(msg))
+        net.partition("a", "b")
+        net.send("a", "b", MSG)
+        sched.run_until_idle()
+        assert got == []
+        net.heal("a", "b")
+        net.send("a", "b", MSG)
+        sched.run_until_idle()
+        assert len(got) == 1
+
+    def test_partition_is_bidirectional(self):
+        sched, net = make_net()
+        got = []
+        net.register("a", lambda src, msg: got.append(msg))
+        net.register("b", lambda src, msg: got.append(msg))
+        net.partition("a", "b")
+        net.send("b", "a", MSG)
+        sched.run_until_idle()
+        assert got == []
+
+    def test_crash_and_recover(self):
+        sched, net = make_net()
+        got = []
+        net.register("b", lambda src, msg: got.append(msg))
+        net.crash("b")
+        net.send("a", "b", MSG)
+        sched.run_until_idle()
+        assert got == []
+        net.recover("b")
+        net.send("a", "b", MSG)
+        sched.run_until_idle()
+        assert len(got) == 1
+
+    def test_crashed_sender_sends_nothing(self):
+        sched, net = make_net()
+        got = []
+        net.register("b", lambda src, msg: got.append(msg))
+        net.crash("a")
+        net.send("a", "b", MSG)
+        sched.run_until_idle()
+        assert got == []
+
+    def test_message_in_flight_to_crashed_node_dropped(self):
+        sched, net = make_net(LinkProfile(min_delay=1.0, max_delay=1.0))
+        got = []
+        net.register("b", lambda src, msg: got.append(msg))
+        net.send("a", "b", MSG)
+        net.crash("b")  # crashes while the message is in flight
+        sched.run_until_idle()
+        assert got == []
+
+    def test_per_link_profile_override(self):
+        sched, net = make_net()
+        got = []
+        net.register("b", lambda src, msg: got.append(msg))
+        net.register("c", lambda src, msg: got.append(msg))
+        net.set_link_profile("a", "b", LinkProfile(drop_rate=1.0))
+        net.send("a", "b", MSG)
+        net.send("a", "c", MSG)
+        sched.run_until_idle()
+        assert len(got) == 1
+
+
+class TestStats:
+    def test_byte_accounting(self):
+        sched, net = make_net()
+        net.register("b", lambda src, msg: None)
+        net.send("a", "b", MSG)
+        sched.run_until_idle()
+        assert net.stats.bytes_sent > 0
+        assert net.stats.bytes_delivered == net.stats.bytes_sent
+        assert net.stats.sent_by_kind == {"READ-TS": 1}
+
+    def test_determinism_under_seed(self):
+        def run(seed):
+            sched, net = make_net(LinkProfile(drop_rate=0.3, max_delay=0.5), seed=seed)
+            got = []
+            net.register("b", lambda src, msg: got.append(sched.now))
+            for _ in range(50):
+                net.send("a", "b", MSG)
+            sched.run_until_idle()
+            return got
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+    def test_reset(self):
+        sched, net = make_net()
+        net.register("b", lambda src, msg: None)
+        net.send("a", "b", MSG)
+        sched.run_until_idle()
+        net.stats.reset()
+        assert net.stats.messages_sent == 0
+        assert net.stats.bytes_by_kind == {}

@@ -1,0 +1,102 @@
+"""Hypothesis stateful testing: random interleavings of operations and
+faults against one long-lived cluster, with full correctness checking.
+
+The state machine performs writes and reads from a pool of clients while
+crashing and recovering up to f replicas between operations.  After every
+run the recorded history must be linearizable and the Lemma 1 invariants
+must hold.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro import build_cluster
+from repro.spec import check_lemma1, check_register_linearizable
+
+CLIENT_POOL = ["w0", "w1", "w2"]
+
+
+class BftBcStateMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.cluster = None
+        self.nodes = {}
+        self.sequence = 0
+        self.crashed: set[str] = set()
+        self.variant = "base"
+
+    @initialize(
+        seed=st.integers(0, 10**6), variant=st.sampled_from(["base", "optimized"])
+    )
+    def setup(self, seed, variant):
+        self.variant = variant
+        self.cluster = build_cluster(f=1, variant=variant, seed=seed)
+        for name in CLIENT_POOL:
+            self.nodes[name] = self.cluster.add_client(name)
+
+    def _run_step(self, name, step):
+        node = self.nodes[name]
+        node.run_script([step])
+        self.cluster.run(max_time=120)
+
+    @rule(name=st.sampled_from(CLIENT_POOL))
+    def write(self, name):
+        self.sequence += 1
+        self._run_step(name, ("write", (f"client:{name}", self.sequence, None)))
+
+    @rule(name=st.sampled_from(CLIENT_POOL))
+    def read(self, name):
+        self._run_step(name, ("read", None))
+
+    @rule(index=st.integers(0, 3))
+    def crash_replica(self, index):
+        rid = f"replica:{index}"
+        # Stay within the fault budget: at most f = 1 crashed at a time.
+        if self.crashed or rid in self.crashed:
+            return
+        self.cluster.network.crash(rid)
+        self.crashed.add(rid)
+
+    @rule()
+    @precondition(lambda self: self.crashed)
+    def recover_replica(self):
+        rid = self.crashed.pop()
+        self.cluster.network.recover(rid)
+
+    @rule()
+    def settle(self):
+        self.cluster.settle(0.2)
+
+    @invariant()
+    def history_is_linearizable(self):
+        if self.cluster is None:
+            return
+        report = check_register_linearizable(self.cluster.history)
+        assert report.ok, report.violation
+
+    @invariant()
+    def lemma1_holds(self):
+        if self.cluster is None:
+            return
+        bound = 1 if self.variant == "base" else 2
+        report = check_lemma1(
+            self.cluster.replicas.values(),
+            f=1,
+            max_prepared_per_client=bound,
+        )
+        assert report.ok, report.violations
+
+
+TestBftBcStateful = BftBcStateMachine.TestCase
+TestBftBcStateful.settings = settings(
+    max_examples=15, stateful_step_count=12, deadline=None
+)

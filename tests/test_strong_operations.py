@@ -1,0 +1,96 @@
+"""Unit tests for the §7 strong write operation (justify certificates)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import StrongBftBcClient, Timestamp, make_system
+from repro.errors import ProtocolError
+
+from tests.helpers import DirectDriver, ProtocolKit, make_replicas
+
+
+@pytest.fixture
+def config():
+    return make_system(f=1, seed=b"strong-ops-test", strong=True)
+
+
+@pytest.fixture
+def replicas(config):
+    return make_replicas(config)
+
+
+@pytest.fixture
+def driver(config, replicas):
+    client = StrongBftBcClient("client:alice", config)
+    return DirectDriver(client, replicas)
+
+
+class TestStrongWrites:
+    def test_requires_strong_config(self):
+        plain = make_system(f=1, seed=b"plain")
+        with pytest.raises(ProtocolError):
+            StrongBftBcClient("client:x", plain)
+
+    def test_agreeing_phase1_takes_three_phases(self, driver):
+        op = driver.run_write(("v", 1))
+        assert op.done
+        assert op.phases == 3  # vouches supplied the justify certificate
+        assert op.result == Timestamp(1, "client:alice")
+
+    def test_sequential_strong_writes(self, driver, replicas):
+        for seq in range(1, 4):
+            op = driver.run_write(("v", seq))
+            assert op.done
+        assert all(r.data == ("v", 3) for r in replicas)
+
+    def test_divergent_phase1_triggers_fetch_and_write_back(
+        self, driver, replicas, config
+    ):
+        """Mixed phase-1 timestamps force the read + write-back detour."""
+        kit = ProtocolKit(config, client="client:bob")
+        # bob completes a write at replicas 1..3 only (replica 0 stale).
+        others = replicas[1:]
+        p_max = kit.read_ts(others)
+        justify_sigs = []
+        from repro.core.messages import ReadTsRequest
+
+        for replica in others:
+            reply = replica.handle(kit.client, ReadTsRequest(nonce=kit.nonce()))
+            justify_sigs.append(reply.ts_vouch)
+        from repro.core.certificates import WriteCertificate
+
+        justify = WriteCertificate(ts=p_max.ts, signatures=tuple(justify_sigs))
+        request = kit.prepare_request(
+            p_max, p_max.ts.succ(kit.client), ("w", 1), justify_cert=justify
+        )
+        cert = kit.collect_prepare(others, request)
+        assert cert is not None
+        kit.collect_write(others, kit.write_request(("w", 1), cert))
+        assert replicas[0].data is None  # stale
+
+        op = driver.run_write(("v", 1))
+        assert op.done
+        assert op.phases == 5  # read-ts, fetch, write-back, prepare, write
+        assert op.result > Timestamp(1, "client:bob")
+        # The write-back repaired the stale replica before the new write.
+        assert replicas[0].data == ("v", 1)
+
+    def test_divergence_without_write_back_targets(self, driver, replicas, config):
+        """If f+1 replicas already vouch for the max ts after the fetch, no
+        write-back round is needed beyond collecting vouches."""
+        op1 = driver.run_write(("v", 1))
+        assert op1.done
+        op2 = driver.run_write(("v", 2))
+        assert op2.done and op2.phases == 3
+
+    def test_strong_write_with_crashed_replica(self, driver, replicas):
+        driver.drop(replicas[3].node_id)
+        op = driver.run_write(("v", 1))
+        assert op.done
+
+    def test_reads_unaffected_by_strong_mode(self, driver):
+        driver.run_write(("v", 1))
+        op = driver.run_read()
+        assert op.result == ("v", 1)
+        assert op.phases == 1

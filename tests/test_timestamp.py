@@ -1,0 +1,83 @@
+"""Tests for protocol timestamps (§3.2.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Timestamp, ZERO_TS, succ
+from repro.errors import TimestampError
+
+client_ids = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=0, max_size=12
+)
+timestamps = st.builds(
+    Timestamp, val=st.integers(min_value=0, max_value=10**12), client_id=client_ids
+)
+
+
+class TestBasics:
+    def test_zero(self):
+        assert ZERO_TS.val == 0 and ZERO_TS.client_id == ""
+
+    def test_negative_rejected(self):
+        with pytest.raises(TimestampError):
+            Timestamp(val=-1, client_id="c")
+
+    def test_succ(self):
+        ts = succ(ZERO_TS, "client:a")
+        assert ts == Timestamp(1, "client:a")
+        assert succ(ts, "client:b") == Timestamp(2, "client:b")
+
+    def test_ordering_by_value_first(self):
+        assert Timestamp(1, "z") < Timestamp(2, "a")
+
+    def test_ordering_ties_broken_by_client_id(self):
+        assert Timestamp(1, "a") < Timestamp(1, "b")
+
+    def test_equality(self):
+        assert Timestamp(3, "c") == Timestamp(3, "c")
+        assert Timestamp(3, "c") != Timestamp(3, "d")
+
+    def test_str(self):
+        assert "3" in str(Timestamp(3, "c"))
+
+    def test_comparison_with_non_timestamp(self):
+        with pytest.raises(TypeError):
+            _ = Timestamp(1, "a") < 5
+
+
+class TestWire:
+    def test_round_trip(self):
+        ts = Timestamp(42, "client:x")
+        assert Timestamp.from_wire(ts.to_wire()) == ts
+
+    def test_malformed(self):
+        for bad in ((1,), ("a", "b"), (1, 2), (True, "c"), None, [1, "a"]):
+            with pytest.raises(TimestampError):
+                Timestamp.from_wire(bad)
+
+
+class TestProperties:
+    @given(timestamps, client_ids)
+    def test_succ_is_strictly_greater(self, ts, cid):
+        assert ts.succ(cid) > ts
+
+    @given(timestamps, timestamps)
+    def test_total_order(self, a, b):
+        assert (a < b) + (b < a) + (a == b) == 1
+
+    @given(timestamps, timestamps, timestamps)
+    def test_transitivity(self, a, b, c):
+        if a < b and b < c:
+            assert a < c
+
+    @given(timestamps)
+    def test_wire_round_trip(self, ts):
+        assert Timestamp.from_wire(ts.to_wire()) == ts
+
+    @given(timestamps, st.text(max_size=8), st.text(max_size=8))
+    def test_distinct_clients_never_collide(self, ts, c1, c2):
+        """Different clients always produce different timestamps."""
+        if c1 != c2:
+            assert ts.succ(c1) != ts.succ(c2)

@@ -1,0 +1,84 @@
+"""Tests for the message-tracing facility."""
+
+from __future__ import annotations
+
+from repro import LinkProfile, build_cluster
+from repro.sim import MessageTrace, write_script, read_script
+
+
+class TestMessageTrace:
+    def test_records_protocol_flow(self):
+        cluster = build_cluster(f=1, seed=400)
+        trace = MessageTrace.attach(cluster)
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 1))
+        cluster.run(max_time=60)
+        kinds = trace.kinds()
+        # One 3-phase write: 4 requests per phase + 4 replies per phase.
+        assert kinds["READ-TS"] == 4
+        assert kinds["PREPARE"] == 4
+        assert kinds["WRITE"] == 4
+        assert kinds["READ-TS-REPLY"] == 4
+        assert kinds["PREPARE-REPLY"] == 4
+        assert kinds["WRITE-REPLY"] == 4
+
+    def test_event_ordering_and_times(self):
+        cluster = build_cluster(f=1, seed=401)
+        trace = MessageTrace.attach(cluster)
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 1))
+        cluster.run(max_time=60)
+        times = [e.time for e in trace.events]
+        assert times == sorted(times)
+        # The first event is the client's phase-1 send; delivery follows it.
+        assert trace.events[0].event == "sent"
+        assert trace.events[0].kind == "READ-TS"
+
+    def test_filtering(self):
+        cluster = build_cluster(f=1, seed=402)
+        trace = MessageTrace.attach(cluster)
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 1) + read_script(1))
+        cluster.run(max_time=60)
+        only_r0 = trace.filter(node="replica:0")
+        assert only_r0
+        assert all("replica:0" in (e.src, e.dst) for e in only_r0)
+        only_writes = trace.filter(kind="WRITE", event="delivered")
+        assert len(only_writes) == 4
+
+    def test_drop_accounting(self):
+        cluster = build_cluster(
+            f=1, seed=403, profile=LinkProfile(drop_rate=0.3, max_delay=0.01)
+        )
+        trace = MessageTrace.attach(cluster)
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 3))
+        cluster.run(max_time=120)
+        assert 0.05 < trace.drop_rate() < 0.6
+        assert trace.filter(event="dropped")
+
+    def test_render_and_summary(self):
+        cluster = build_cluster(f=1, seed=404)
+        trace = MessageTrace.attach(cluster)
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 1))
+        cluster.run(max_time=60)
+        text = trace.render(limit=10)
+        assert "READ-TS" in text
+        assert "more events" in text
+        summary = trace.summary()
+        assert "sent by kind" in summary and "drop rate" in summary
+
+    def test_detach_and_clear(self):
+        cluster = build_cluster(f=1, seed=405)
+        trace = MessageTrace.attach(cluster)
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", 1))
+        cluster.run(max_time=60)
+        assert trace.events
+        trace.clear()
+        assert not trace.events
+        trace.detach()
+        node.run_script(write_script("client:w", 99, ))
+        cluster.run(max_time=60)
+        assert not trace.events  # no longer recording

@@ -1,0 +1,99 @@
+"""Connection-failure recovery in the asyncio transport."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core import BftBcClient, BftBcReplica, make_system
+from repro.errors import NetworkError
+from repro.net.asyncio_transport import AsyncClient, ReplicaServer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestReconnection:
+    def test_replica_restart_mid_session(self):
+        """A replica dies after the first write and comes back (same state
+        machine, new socket) — the client reconnects lazily and continues."""
+
+        async def main():
+            config = make_system(f=1, seed=b"reconn-1")
+            replicas = {
+                rid: BftBcReplica(rid, config)
+                for rid in config.quorums.replica_ids
+            }
+            servers = {}
+            addrs = {}
+            for rid, replica in replicas.items():
+                server = ReplicaServer(replica)
+                host, port = await server.start()
+                servers[rid] = server
+                addrs[rid] = (host, port)
+            client = AsyncClient(
+                BftBcClient("client:a", config), addrs, retransmit_interval=0.05
+            )
+            await client.connect()
+            await client.write(("client:a", 1, None))
+
+            # Kill replica:0's listener, then restart it on the SAME port.
+            host, port = addrs["replica:0"]
+            await servers["replica:0"].stop()
+            await asyncio.sleep(0.05)
+            servers["replica:0"] = ReplicaServer(
+                replicas["replica:0"], host=host, port=port
+            )
+            await servers["replica:0"].start()
+
+            ts = await client.write(("client:a", 2, None))
+            assert ts.val == 2
+            value = await client.read()
+            assert value == ("client:a", 2, None)
+            await client.close()
+            for server in servers.values():
+                await server.stop()
+
+        run(main())
+
+    def test_connect_requires_at_least_one_replica(self):
+        async def main():
+            config = make_system(f=1, seed=b"reconn-2")
+            addrs = {
+                rid: ("127.0.0.1", 1)  # nothing listens on port 1
+                for rid in config.quorums.replica_ids
+            }
+            client = AsyncClient(BftBcClient("client:a", config), addrs)
+            with pytest.raises(NetworkError):
+                await client.connect()
+
+        run(main())
+
+    def test_half_open_connections_tolerated(self):
+        """Sends into connections the peer already closed count as loss;
+        retransmission routes around them."""
+
+        async def main():
+            config = make_system(f=1, seed=b"reconn-3")
+            servers, addrs = {}, {}
+            for rid in config.quorums.replica_ids:
+                server = ReplicaServer(BftBcReplica(rid, config))
+                host, port = await server.start()
+                servers[rid] = server
+                addrs[rid] = (host, port)
+            client = AsyncClient(
+                BftBcClient("client:a", config), addrs, retransmit_interval=0.05
+            )
+            await client.connect()
+            # Close one server *without* the client noticing yet.
+            await servers["replica:3"].stop()
+            ts = await client.write(("client:a", 1, None))
+            assert ts.val == 1
+            await client.close()
+            for rid, server in servers.items():
+                if rid != "replica:3":
+                    await server.stop()
+
+        run(main())

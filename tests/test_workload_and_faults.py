@@ -1,0 +1,124 @@
+"""Tests for workload generation and fault schedules."""
+
+from __future__ import annotations
+
+from repro.net.simnet import LinkProfile, SimNetwork
+from repro.sim import FaultSchedule, Scheduler
+from repro.sim.workload import (
+    alternating_script,
+    make_scripts,
+    mixed_script,
+    read_script,
+    value_for,
+    write_script,
+)
+
+
+class TestWorkloads:
+    def test_write_script_unique_values(self):
+        script = write_script("client:w", 10)
+        assert len(script) == 10
+        values = [arg for _, arg in script]
+        assert len(set(values)) == 10
+        assert all(kind == "write" for kind, _ in script)
+
+    def test_value_convention(self):
+        v = value_for("client:w", 3, "payload")
+        assert v == ("client:w", 3, "payload")
+
+    def test_payload_size(self):
+        script = write_script("client:w", 1, payload_size=100)
+        assert len(script[0][1][2]) == 100
+
+    def test_read_script(self):
+        script = read_script(5)
+        assert script == [("read", None)] * 5
+
+    def test_alternating(self):
+        script = alternating_script("client:w", 3)
+        kinds = [kind for kind, _ in script]
+        assert kinds == ["write", "read"] * 3
+
+    def test_mixed_script_fraction(self):
+        script = mixed_script("client:w", 1000, write_fraction=0.3, seed=1)
+        writes = sum(1 for kind, _ in script if kind == "write")
+        assert 200 < writes < 400
+
+    def test_mixed_script_deterministic(self):
+        a = mixed_script("client:w", 50, seed=9)
+        b = mixed_script("client:w", 50, seed=9)
+        assert a == b
+
+    def test_make_scripts_distinct_seeds(self):
+        scripts = make_scripts(["client:a", "client:b"], 50, seed=0)
+        kinds_a = [k for k, _ in scripts["client:a"]]
+        kinds_b = [k for k, _ in scripts["client:b"]]
+        assert kinds_a != kinds_b  # different per-client randomness
+
+    def test_cross_client_values_unique(self):
+        scripts = make_scripts(["client:a", "client:b"], 50, seed=0)
+        values = [
+            arg
+            for script in scripts.values()
+            for kind, arg in script
+            if kind == "write"
+        ]
+        assert len(values) == len(set(values))
+
+
+class TestFaultSchedules:
+    def test_crash_at_time(self):
+        sched = Scheduler()
+        net = SimNetwork(sched)
+        FaultSchedule().crash(1.0, "replica:0").install(sched, net)
+        assert not net.is_crashed("replica:0")
+        sched.run(until=2.0)
+        assert net.is_crashed("replica:0")
+
+    def test_crash_then_recover(self):
+        sched = Scheduler()
+        net = SimNetwork(sched)
+        schedule = FaultSchedule().crash(1.0, "r").recover(2.0, "r")
+        schedule.install(sched, net)
+        sched.run(until=1.5)
+        assert net.is_crashed("r")
+        sched.run(until=3.0)
+        assert not net.is_crashed("r")
+
+    def test_partition_heal(self):
+        sched = Scheduler()
+        net = SimNetwork(sched)
+        got = []
+        net.register("b", lambda s, m: got.append(m))
+        schedule = FaultSchedule().partition(1.0, "a", "b").heal(2.0, "a", "b")
+        schedule.install(sched, net)
+        sched.run(until=1.5)
+        from repro.core.messages import ReadTsRequest
+
+        net.send("a", "b", ReadTsRequest(nonce=b"x"))
+        sched.run(until=1.9)
+        assert got == []
+        sched.run(until=2.5)
+        net.send("a", "b", ReadTsRequest(nonce=b"y"))
+        sched.run(until=3.0)
+        assert len(got) == 1
+
+    def test_degrade_link(self):
+        sched = Scheduler()
+        net = SimNetwork(sched)
+        got = []
+        net.register("b", lambda s, m: got.append(m))
+        FaultSchedule().degrade_link(
+            1.0, "a", "b", LinkProfile(drop_rate=1.0)
+        ).install(sched, net)
+        sched.run(until=2.0)
+        from repro.core.messages import ReadTsRequest
+
+        net.send("a", "b", ReadTsRequest(nonce=b"x"))
+        sched.run(until=3.0)
+        assert got == []
+
+    def test_descriptions(self):
+        schedule = FaultSchedule().crash(1.0, "r").partition(2.0, "a", "b")
+        descriptions = [a.description for a in schedule.actions]
+        assert descriptions == ["crash r", "partition a | b"]
