@@ -7,13 +7,16 @@ be produced in the background at prepare time, leaving only ONE foreground
 public-key signature on a write's critical path.
 
 We count signing operations per write under both policies, and measure the
-RSA backend's verify-heavy profile for comparison.
+RSA backend's verify-heavy profile for comparison.  E4d measures the
+memoizing verification pipeline: backend verifications per operation and
+cache hit rates, cached vs uncached, under a retransmission-heavy network.
 """
 
 from __future__ import annotations
 
 from repro import build_cluster
 from repro.analysis import format_table
+from repro.net.simnet import LinkProfile
 from repro.sim import write_script
 
 from benchmarks.conftest import run_once
@@ -138,3 +141,82 @@ def test_e4c_background_signing_latency(benchmark):
     fg, bg = run_once(benchmark, experiment)
     # One 10ms signature leaves the critical path.
     assert 5 <= fg - bg <= 15, (fg, bg)
+
+
+def test_e4d_verification_cache(benchmark):
+    """The memoizing verification pipeline under a retransmission-heavy
+    network: every retransmitted request/reply re-presents the same
+    signatures and certificates, so the cached deployment re-verifies them
+    from the memo while the uncached one pays the backend every time."""
+
+    #: Drops and duplicates force plenty of retransmission traffic.
+    PROFILE = LinkProfile(drop_rate=0.15, duplicate_rate=0.2, max_delay=0.02)
+
+    def run(cached: bool):
+        cluster = build_cluster(
+            f=1,
+            seed=403,
+            profile=PROFILE,
+            verification_cache=cached,
+        )
+        node = cluster.add_client("w")
+        node.run_script(write_script("client:w", OPS))
+        cluster.run(max_time=300)
+        cluster.settle(0.1)
+        backend_verifies = cluster.config.scheme.stats.verifies
+        stats = cluster.config.verifier.stats
+        return {
+            "backend_per_op": backend_verifies / OPS,
+            "cert_checks": stats.certificate_checks,
+            "sig_hit_rate": stats.signature_hit_rate,
+            "cert_hit_rate": stats.certificate_hit_rate,
+            "metrics_per_op": cluster.metrics.verified_signatures_per_op(),
+            "metrics_hit_rate": cluster.metrics.verification_hit_rate(),
+        }
+
+    def experiment():
+        uncached = run(cached=False)
+        cached = run(cached=True)
+        rows = [
+            [
+                "uncached backend",
+                f"{uncached['backend_per_op']:.1f}",
+                f"{uncached['sig_hit_rate']:.0%}",
+                f"{uncached['cert_hit_rate']:.0%}",
+            ],
+            [
+                "memoizing verifier",
+                f"{cached['backend_per_op']:.1f}",
+                f"{cached['sig_hit_rate']:.0%}",
+                f"{cached['cert_hit_rate']:.0%}",
+            ],
+        ]
+        print()
+        print(
+            format_table(
+                [
+                    "pipeline",
+                    "backend verifies/write",
+                    "sig-memo hit rate",
+                    "cert-memo hit rate",
+                ],
+                rows,
+                title="E4d: verification caching under 15% drop / 20% dup "
+                "(10 writes)",
+            )
+        )
+        return uncached, cached
+
+    uncached, cached = run_once(benchmark, experiment)
+    # Identical workload and network schedule on both arms (certificate
+    # validations are requested identically; only backend work differs).
+    assert uncached["cert_checks"] == cached["cert_checks"]
+    # Acceptance: >= 2x fewer backend verifications per write when cached.
+    assert uncached["backend_per_op"] >= 2 * cached["backend_per_op"], (
+        uncached["backend_per_op"],
+        cached["backend_per_op"],
+    )
+    assert cached["sig_hit_rate"] > 0.5
+    # The metrics surface reports the same counters.
+    assert cached["metrics_hit_rate"] == cached["sig_hit_rate"]
+    assert cached["metrics_per_op"] > 0

@@ -118,3 +118,44 @@ class CostModel:
     def write_signatures_client(self) -> int:
         """Client signatures per write: PREPARE and WRITE requests."""
         return 2
+
+    # -- verification counts ------------------------------------------------
+
+    def write_verifications_uncached(self) -> int:
+        """Backend signature verifications per base write, no memoization.
+
+        Counting both sides on a reliable network (no retransmissions):
+
+        * client, phase 1: n reply envelopes + n certificates of |Q| sigs;
+        * replicas, phase 2: n client signatures + n prev certificates;
+        * client, phase 2: n PREPARE-REPLY signatures;
+        * replicas, phase 3: n client signatures + n prepare certificates;
+        * client, phase 3: n WRITE-REPLY signatures.
+        """
+        n = self.quorums.n
+        q = self.quorums.quorum_size
+        client = n * (1 + q) + n + n
+        replicas = n * (1 + q) + n * (1 + q)
+        return client + replicas
+
+    def write_verifications_cached(self) -> int:
+        """Backend verifications per base write through the memo (steady state).
+
+        Each *distinct* (statement, signer, signature) triple costs one
+        backend call; every repeat — the same certificate revalidated at
+        another replica or role, every retransmission — is a memo hit.  Per
+        write the distinct triples are: n phase-1 reply envelopes, the |Q|
+        signatures inside the (shared) prev certificate, the client's two
+        request signatures, n PREPARE-REPLY and n WRITE-REPLY signatures.
+
+        Note this counts the whole deployment sharing one verifier (the
+        in-process simulator); with per-node verifiers each node pays for
+        its own distinct triples but still never re-verifies a repeat.
+        """
+        n = self.quorums.n
+        q = self.quorums.quorum_size
+        return n + q + 2 + n + n
+
+    def verification_speedup(self) -> float:
+        """Uncached / cached backend-verification ratio for one base write."""
+        return self.write_verifications_uncached() / self.write_verifications_cached()

@@ -97,7 +97,7 @@ class BqsReplica:
             self.stats.discards["unauthorized"] += 1
             return None
         statement = bqs_write_statement(message.ts, hash_value(message.value))
-        if not self.config.scheme.verify_statement(message.writer_sig, statement):
+        if not self.config.verifier.verify_statement(message.writer_sig, statement):
             self.stats.discards["bad-signature"] += 1
             return None
         # NOTE the vulnerability this baseline exists to demonstrate: the
@@ -142,7 +142,7 @@ class BqsWriteOperation(Operation):
         if message.signature.signer != sender:
             return None
         statement = bqs_read_ts_reply_statement(message.ts, message.nonce)
-        if not self.config.scheme.verify_statement(message.signature, statement):
+        if not self.config.verifier.verify_statement(message.signature, statement):
             return None
         return message.ts
 
@@ -154,7 +154,7 @@ class BqsWriteOperation(Operation):
         if message.signature.signer != sender:
             return None
         statement = bqs_write_reply_statement(message.ts)
-        if not self.config.scheme.verify_statement(message.signature, statement):
+        if not self.config.verifier.verify_statement(message.signature, statement):
             return None
         return message.signature
 
@@ -196,7 +196,6 @@ class BqsReadOperation(Operation):
         self.write_back = write_back
         self._phase = 0
         self._best: Optional[BqsReadReply] = None
-        self._up_to_date: set[str] = set()
 
     def start(self) -> list[Send]:
         self._phase = 1
@@ -208,14 +207,14 @@ class BqsReadOperation(Operation):
         if message.signature.signer != sender:
             return None
         statement = bqs_read_reply_statement(message.value, message.ts, message.nonce)
-        if not self.config.scheme.verify_statement(message.signature, statement):
+        if not self.config.verifier.verify_statement(message.signature, statement):
             return None
         if message.ts == ZERO_TS:
             return message if message.value is None else None
         if message.writer_sig is None:
             return None
         writer_statement = bqs_write_statement(message.ts, hash_value(message.value))
-        if not self.config.scheme.verify_statement(
+        if not self.config.verifier.verify_statement(
             message.writer_sig, writer_statement
         ):
             return None
@@ -228,9 +227,8 @@ class BqsReadOperation(Operation):
         if message.signature.signer != sender:
             return None
         statement = bqs_write_reply_statement(message.ts)
-        if not self.config.scheme.verify_statement(message.signature, statement):
+        if not self.config.verifier.verify_statement(message.signature, statement):
             return None
-        self._up_to_date.add(sender)
         return message.signature
 
     def _advance(self) -> list[Send]:
@@ -241,49 +239,40 @@ class BqsReadOperation(Operation):
             replies: list[BqsReadReply] = list(self._collector.replies.values())
             best = max(replies, key=lambda r: r.ts)
             self._best = best
-            self._up_to_date = {
+            up_to_date = frozenset(
                 sender
                 for sender, r in self._collector.replies.items()
                 if r.ts == best.ts
-            }
+            )
             if (
                 not self.write_back
-                or len(self._up_to_date) >= self.config.quorum_size
+                or len(up_to_date) >= self.config.quorum_size
                 or best.ts == ZERO_TS
             ):
                 return self._finish(best.value)
-            # Write back the highest value (re-signed by its writer already).
+            # Write back the highest value (re-signed by its writer already);
+            # the up-to-date replicas are credited into the round so quorum
+            # counting and retransmission cover only the laggards.
             self._phase = 2
             assert best.writer_sig is not None
             request = BqsWriteRequest(
                 value=best.value, ts=best.ts, writer_sig=best.writer_sig
             )
             targets = tuple(
-                r
-                for r in self.config.quorums.replica_ids
-                if r not in self._up_to_date
+                r for r in self.config.quorums.replica_ids if r not in up_to_date
             )
-            return self._broadcast(request, self._validate_write_back, targets)
+            return self._broadcast(
+                request,
+                self._validate_write_back,
+                targets,
+                prefill={r: None for r in up_to_date},
+            )
         if self._phase == 2:
-            if len(self._up_to_date) >= self.config.quorum_size:
+            if self._collector.have_quorum:
                 assert self._best is not None
                 return self._finish(self._best.value)
             return []
         raise AssertionError(f"unexpected phase {self._phase}")
-
-    def on_retransmit(self) -> list[Send]:
-        if (
-            not self.done
-            and self._phase == 2
-            and self._current_request is not None
-        ):
-            targets = [
-                r
-                for r in self.config.quorums.replica_ids
-                if r not in self._up_to_date
-            ]
-            return [Send(dest, self._current_request) for dest in targets]
-        return super().on_retransmit()
 
 
 class BqsClient:

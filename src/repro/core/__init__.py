@@ -43,10 +43,12 @@ from repro.core.multiobject import (
 )
 from repro.core.operations import Operation, ReadOperation, Send, WriteOperation
 from repro.core.optimized_operations import OptimizedWriteOperation
+from repro.core.phases import QuorumRound, ReplyCollector
 from repro.core.quorum import QuorumSystem, client_id, replica_id
 from repro.core.replica import BftBcReplica, OptimizedBftBcReplica, PlistEntry
 from repro.core.strong_operations import StrongWriteOperation
 from repro.core.timestamp import ZERO_TS, Timestamp, succ
+from repro.core.verification import VerificationStats, Verifier
 
 __all__ = [
     "make_system",
@@ -76,6 +78,10 @@ __all__ = [
     "ReadOperation",
     "OptimizedWriteOperation",
     "StrongWriteOperation",
+    "QuorumRound",
+    "ReplyCollector",
+    "Verifier",
+    "VerificationStats",
     "Send",
     "Message",
     "message_to_wire",

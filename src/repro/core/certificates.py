@@ -93,6 +93,10 @@ class PrepareCertificate:
     def validate(self, scheme: SignatureScheme, quorums: QuorumSystem) -> None:
         """Check well-formedness and all signatures.
 
+        ``scheme`` may be any object exposing ``verify_statement`` — protocol
+        code passes the memoizing :class:`~repro.core.verification.Verifier`
+        so per-signature checks hit its cache.
+
         Raises:
             CertificateError: if the certificate does not contain a quorum of
                 valid, distinct replica signatures over the same statement
@@ -154,7 +158,10 @@ class WriteCertificate:
         )
 
     def validate(self, scheme: SignatureScheme, quorums: QuorumSystem) -> None:
-        """Check well-formedness and all signatures (see PrepareCertificate)."""
+        """Check well-formedness and all signatures (see PrepareCertificate).
+
+        As there, ``scheme`` may be the memoizing verifier.
+        """
         signers = self.signers()
         if len(signers) != len(self.signatures):
             raise CertificateError("duplicate signer in write certificate")

@@ -114,6 +114,11 @@ class BftBcClient:
         """Phases used by the most recent operation (experiment E1)."""
         return 0 if self.op is None else self.op.phases
 
+    @property
+    def verification_stats(self):
+        """Hit/miss counters of the shared verification pipeline (E4d)."""
+        return self.config.verifier.stats
+
 
 class OptimizedBftBcClient(BftBcClient):
     """§6 client: merged phase-1/2 writes, hash tie-breaking reads."""

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.quorum import QuorumSystem
+from repro.core.verification import Verifier
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.signatures import (
     HmacSignatureScheme,
@@ -52,6 +53,13 @@ class SystemConfig:
             more robust to slow replicas.
         authorized_writers: the access-control list.  ``None`` authorises
             every registered client.
+        verification_cache: enable the memoizing verification pipeline
+            (:mod:`repro.core.verification`); disable for the uncached
+            ablation arm of experiment E4d.
+        verifier: the shared :class:`~repro.core.verification.Verifier`
+            every role verifies through.  Built automatically; rebuilt by
+            ``dataclasses.replace`` whenever the scheme is swapped (e.g. the
+            multi-object scoped schemes), so caches never cross schemes.
     """
 
     quorums: QuorumSystem
@@ -64,6 +72,14 @@ class SystemConfig:
     piggyback_write_certs: bool = False
     prefer_quorum: bool = False
     authorized_writers: Optional[set[str]] = field(default=None)
+    verification_cache: bool = True
+    verifier: Optional[Verifier] = None
+
+    def __post_init__(self) -> None:
+        if self.verifier is None or self.verifier.scheme is not self.scheme:
+            self.verifier = Verifier(
+                self.scheme, self.quorums, enabled=self.verification_cache
+            )
 
     @property
     def f(self) -> int:
@@ -109,6 +125,7 @@ def make_system(
     strict_stop: bool = False,
     piggyback_write_certs: bool = False,
     prefer_quorum: bool = False,
+    verification_cache: bool = True,
 ) -> SystemConfig:
     """Build a ready-to-use configuration with registered replica keys.
 
@@ -143,4 +160,5 @@ def make_system(
         strict_stop=strict_stop,
         piggyback_write_certs=piggyback_write_certs,
         prefer_quorum=prefer_quorum,
+        verification_cache=verification_cache,
     )

@@ -6,14 +6,15 @@ and retransmits to non-responders via :meth:`Operation.on_retransmit` — the
 paper's only liveness mechanism ("clients retransmit their requests ...; they
 stop retransmitting once they collect a quorum of valid replies").
 
-Keeping operations sans-I/O lets exactly the same protocol logic run on the
-deterministic simulator and on the asyncio TCP transport.
+Every phase is a :class:`~repro.core.phases.QuorumRound`; this module keeps
+only the transitions and per-phase validators.  Keeping operations sans-I/O
+lets exactly the same protocol logic run on the deterministic simulator and
+on the asyncio TCP transport.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Mapping, Optional
 
 from repro.core.certificates import PrepareCertificate, WriteCertificate
 from repro.core.config import SystemConfig
@@ -28,6 +29,7 @@ from repro.core.messages import (
     WriteReply,
     WriteRequest,
 )
+from repro.core.phases import QuorumRound, ReplyCollector, Send
 from repro.core.statements import (
     prepare_reply_statement,
     prepare_request_statement,
@@ -49,62 +51,6 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class Send:
-    """An outgoing message addressed to one node."""
-
-    dest: str
-    message: Message
-
-
-class ReplyCollector:
-    """Collects at most one *valid* reply per replica for one phase.
-
-    The validator receives ``(sender, message)`` and returns the reply to
-    record (possibly a derived object, e.g. a signature) or ``None`` to
-    reject.  Senders that are not replicas, or that already answered, are
-    ignored — a Byzantine replica gets exactly one vote per phase.
-    """
-
-    def __init__(
-        self,
-        config: SystemConfig,
-        validator: Callable[[str, Message], Optional[Any]],
-    ) -> None:
-        self._config = config
-        self._validator = validator
-        self.replies: dict[str, Any] = {}
-
-    def add(self, sender: str, message: Message) -> bool:
-        """Record ``message`` if valid and novel; return True on acceptance."""
-        if sender in self.replies:
-            return False
-        if not self._config.quorums.is_replica(sender):
-            return False
-        accepted = self._validator(sender, message)
-        if accepted is None:
-            return False
-        self.replies[sender] = accepted
-        return True
-
-    @property
-    def count(self) -> int:
-        return len(self.replies)
-
-    @property
-    def have_quorum(self) -> bool:
-        return self.count >= self._config.quorum_size
-
-    def responders(self) -> frozenset[str]:
-        return frozenset(self.replies)
-
-    def missing(self) -> tuple[str, ...]:
-        """Replicas that have not yet validly replied (retransmit targets)."""
-        return tuple(
-            r for r in self._config.quorums.replica_ids if r not in self.replies
-        )
-
-
 class Operation:
     """Base class for client operations.
 
@@ -122,8 +68,7 @@ class Operation:
         self.done = False
         self.result: Any = None
         self.phases = 0
-        self._current_request: Optional[Message] = None
-        self._collector: Optional[ReplyCollector] = None
+        self._collector: Optional[QuorumRound] = None
 
     # -- protocol driver interface ----------------------------------------
 
@@ -141,9 +86,9 @@ class Operation:
 
     def on_retransmit(self) -> list[Send]:
         """Periodic tick: resend the current request to non-responders."""
-        if self.done or self._current_request is None or self._collector is None:
+        if self.done or self._collector is None:
             return []
-        return [Send(dest, self._current_request) for dest in self._collector.missing()]
+        return self._collector.retransmit()
 
     # -- helpers for subclasses --------------------------------------------
 
@@ -156,26 +101,25 @@ class Operation:
         message: Message,
         validator: Callable[[str, Message], Optional[Any]],
         targets: Optional[tuple[str, ...]] = None,
+        *,
+        prefill: Optional[Mapping[str, Any]] = None,
     ) -> list[Send]:
-        """Begin a phase: install the collector and emit the request batch.
+        """Begin a phase: install a :class:`QuorumRound`, emit its batch.
 
         With ``config.prefer_quorum`` the initial batch goes to a preferred
         quorum of 2f+1 replicas only (§3.3.1's O(|Q|) message discipline);
-        retransmission naturally widens to every silent replica.
+        retransmission naturally widens to every silent replica.  ``prefill``
+        credits votes known before the round starts (write-back paths).
         """
         self.phases += 1
-        self._current_request = message
-        self._collector = ReplyCollector(self.config, validator)
-        if targets is None:
-            targets = self.config.quorums.replica_ids
-            if self.config.prefer_quorum:
-                targets = targets[: self.config.quorum_size]
-        return [Send(dest, message) for dest in targets]
+        self._collector = QuorumRound(
+            self.config, message, validator, targets=targets, prefill=prefill
+        )
+        return self._collector.begin()
 
     def _finish(self, result: Any) -> list[Send]:
         self.done = True
         self.result = result
-        self._current_request = None
         self._collector = None
         return []
 
@@ -229,9 +173,9 @@ class WriteOperation(Operation):
         if message.signature.signer != sender:
             return None
         statement = read_ts_reply_statement(message.cert.to_wire(), message.nonce)
-        if not self.config.scheme.verify_statement(message.signature, statement):
+        if not self.config.verifier.verify_statement(message.signature, statement):
             return None
-        if not message.cert.is_valid(self.config.scheme, self.config.quorums):
+        if not self.config.verifier.certificate_valid(message.cert):
             return None
         return message
 
@@ -281,7 +225,7 @@ class WriteOperation(Operation):
         if message.signature.signer != sender:
             return None
         statement = prepare_reply_statement(message.ts, message.value_hash)
-        if not self.config.scheme.verify_statement(message.signature, statement):
+        if not self.config.verifier.verify_statement(message.signature, statement):
             return None
         return message.signature
 
@@ -306,7 +250,7 @@ class WriteOperation(Operation):
         if message.signature.signer != sender:
             return None
         statement = write_reply_statement(message.ts)
-        if not self.config.scheme.verify_statement(message.signature, statement):
+        if not self.config.verifier.verify_statement(message.signature, statement):
             return None
         return message.signature
 
@@ -362,9 +306,6 @@ class ReadOperation(Operation):
         self.piggyback_cert = write_cert
         self._phase = 0
         self._best: Optional[ReadReply] = None
-        self._reported: dict[str, tuple[Timestamp, bytes]] = {}
-        self._up_to_date: set[str] = set()
-        self._writeback_needed = 0
 
     def start(self) -> list[Send]:
         self._phase = 1
@@ -384,9 +325,9 @@ class ReadOperation(Operation):
         statement = read_reply_statement(
             message.value, message.cert.to_wire(), message.nonce
         )
-        if not self.config.scheme.verify_statement(message.signature, statement):
+        if not self.config.verifier.verify_statement(message.signature, statement):
             return None
-        if not message.cert.is_valid(self.config.scheme, self.config.quorums):
+        if not self.config.verifier.certificate_valid(message.cert):
             return None
         # The certificate vouches for h(data): a Byzantine replica cannot
         # return a fabricated value under a genuine certificate.
@@ -407,31 +348,33 @@ class ReadOperation(Operation):
             replies: list[ReadReply] = list(self._collector.replies.values())
             best = max(replies, key=self._rank)
             self._best = best
-            self._reported = {
-                sender: (r.cert.ts, r.cert.h)
-                for sender, r in self._collector.replies.items()
-            }
             best_key = (best.cert.ts, best.cert.h)
-            self._up_to_date = {
-                sender for sender, key in self._reported.items() if key == best_key
-            }
-            if len(self._up_to_date) >= self.config.quorum_size:
+            up_to_date = frozenset(
+                sender
+                for sender, r in self._collector.replies.items()
+                if (r.cert.ts, r.cert.h) == best_key
+            )
+            if len(up_to_date) >= self.config.quorum_size:
                 return self._finish(best.value)
-            return self._begin_write_back(best)
+            return self._begin_write_back(best, up_to_date)
         if self._phase == 2:
-            if len(self._up_to_date) >= self.config.quorum_size:
+            if self._collector.have_quorum:
                 assert self._best is not None
                 return self._finish(self._best.value)
             return []
         raise AssertionError(f"unexpected phase {self._phase}")
 
-    def _begin_write_back(self, best: ReadReply) -> list[Send]:
+    def _begin_write_back(
+        self, best: ReadReply, up_to_date: frozenset[str]
+    ) -> list[Send]:
         """§3.2.2 phase 2: push the winning value to replicas that are behind.
 
         Identical to phase 3 of writing, "except that the client needs to
         send only to replicas that are behind, and it must wait only for
         enough responses to ensure that 2f + 1 replicas now have the new
-        information".
+        information".  The up-to-date replicas are credited into the round,
+        so both the quorum predicate and the retransmit set count only the
+        laggards.
         """
         self._phase = 2
         statement = write_request_statement(best.value, best.cert.to_wire())
@@ -441,10 +384,14 @@ class ReadOperation(Operation):
             signature=self._sign(statement),
         )
         targets = tuple(
-            r for r in self.config.quorums.replica_ids if r not in self._up_to_date
+            r for r in self.config.quorums.replica_ids if r not in up_to_date
         )
-        sends = self._broadcast(request, self._validate_write_back_reply, targets)
-        return sends
+        return self._broadcast(
+            request,
+            self._validate_write_back_reply,
+            targets,
+            prefill={r: None for r in up_to_date},
+        )
 
     def _validate_write_back_reply(
         self, sender: str, message: Message
@@ -455,20 +402,6 @@ class ReadOperation(Operation):
         if message.signature.signer != sender:
             return None
         statement = write_reply_statement(message.ts)
-        if not self.config.scheme.verify_statement(message.signature, statement):
+        if not self.config.verifier.verify_statement(message.signature, statement):
             return None
-        self._up_to_date.add(sender)
         return message.signature
-
-    def on_retransmit(self) -> list[Send]:
-        # During write-back only the lagging replicas need retransmission.
-        if self.done or self._current_request is None or self._collector is None:
-            return []
-        if self._phase == 2:
-            targets = [
-                r
-                for r in self.config.quorums.replica_ids
-                if r not in self._up_to_date
-            ]
-            return [Send(dest, self._current_request) for dest in targets]
-        return super().on_retransmit()

@@ -81,15 +81,15 @@ class OptimizedWriteOperation(WriteOperation):
             None if message.prepared_ts is None else message.prepared_ts.to_wire(),
             message.nonce,
         )
-        if not self.config.scheme.verify_statement(message.signature, envelope):
+        if not self.config.verifier.verify_statement(message.signature, envelope):
             return None
-        if not message.cert.is_valid(self.config.scheme, self.config.quorums):
+        if not self.config.verifier.certificate_valid(message.cert):
             return None
         if message.prepared_ts is not None:
             if message.prep_sig is None or message.prep_sig.signer != sender:
                 return None
             inner = prepare_reply_statement(message.prepared_ts, self.value_hash)
-            if not self.config.scheme.verify_statement(message.prep_sig, inner):
+            if not self.config.verifier.verify_statement(message.prep_sig, inner):
                 return None
             self._opt_prep_sigs[sender] = (message.prepared_ts, message.prep_sig)
         return message
@@ -142,11 +142,12 @@ class OptimizedWriteOperation(WriteOperation):
         p_max = max((r.cert for r in replies), key=lambda c: c.ts)
         opt_sigs = dict(self._opt_prep_sigs)
         sends = self._begin_prepare(p_max)
-        # Seed the phase-2 collection with matching phase-1 signatures.
+        # Seed the phase-2 round with matching phase-1 signatures ("obtained
+        # either in phase 1 or phase 2"); the round's one-vote guard applies.
         assert self._collector is not None and self._target_ts is not None
         for sender, (ts, sig) in opt_sigs.items():
             if ts == self._target_ts:
-                self._collector.replies.setdefault(sender, sig)
+                self._collector.credit(sender, sig)
         if self._collector.have_quorum:
             return self._advance()
         return sends

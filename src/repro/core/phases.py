@@ -1,0 +1,163 @@
+"""The quorum-round phase engine shared by every protocol variant.
+
+Each phase of every BFT-BC operation — base three-phase writes, the §6
+optimized fast path and its fallback, the §7 strong variant's fetch and
+write-back, plain reads, and the §3.2.2 read write-back — has the same shape:
+send a request batch, validate at most one reply per replica, stop at a
+quorum, and retransmit to the silent set.  :class:`QuorumRound` captures that
+shape once so the variant modules keep only their genuinely variant logic,
+and so the one-valid-vote-per-replica guard lives in exactly one place (a
+Byzantine replica can never get two votes in any phase of any variant).
+
+The engine is sans-I/O: it emits :class:`Send` batches and consumes replies,
+so identical code runs under the deterministic simulator and the asyncio TCP
+transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional
+
+from repro.core.messages import Message
+
+if TYPE_CHECKING:  # avoid an import cycle: config imports nothing from here
+    from repro.core.config import SystemConfig
+
+__all__ = ["Send", "QuorumRound", "ReplyCollector"]
+
+Validator = Callable[[str, Message], Optional[Any]]
+
+
+@dataclass(frozen=True)
+class Send:
+    """An outgoing message addressed to one node."""
+
+    dest: str
+    message: Message
+
+
+class QuorumRound:
+    """One request/reply round against the replica group.
+
+    A round owns the four ingredients every phase repeats: the request to
+    (re)send, the validator that derives a vote from a reply, the quorum
+    predicate, and the retransmit set.  The validator receives
+    ``(sender, message)`` and returns the value to record (possibly a derived
+    object, e.g. a signature) or ``None`` to reject.  Senders that are not
+    replicas, or that already voted, are ignored — one valid vote per replica
+    per round, enforced here for every variant.
+
+    Args:
+        config: the deployment configuration (quorum system, options).
+        request: the message retransmitted to silent replicas; ``None`` for
+            collector-only use (no send side).
+        validator: per-reply validation returning the vote or ``None``.
+        targets: initial recipients; defaults to every replica, trimmed to a
+            preferred quorum when ``config.prefer_quorum`` is set (§3.3.1's
+            O(|Q|) message discipline — retransmission widens naturally).
+        threshold: votes needed for :attr:`have_quorum`; defaults to
+            ``config.quorum_size`` (2f+1).
+        prefill: votes credited before any reply arrives — e.g. replicas a
+            read already knows are up to date (§3.2.2), or phase-1 prepare
+            signatures seeding the §6 fallback.
+    """
+
+    def __init__(
+        self,
+        config: "SystemConfig",
+        request: Optional[Message],
+        validator: Validator,
+        *,
+        targets: Optional[tuple[str, ...]] = None,
+        threshold: Optional[int] = None,
+        prefill: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        self._config = config
+        self._validator = validator
+        self.request = request
+        self.threshold = (
+            config.quorum_size if threshold is None else threshold
+        )
+        if targets is None:
+            targets = config.quorums.replica_ids
+            if config.prefer_quorum:
+                targets = targets[: config.quorum_size]
+        self.targets = targets
+        self.replies: dict[str, Any] = {}
+        if prefill:
+            for sender, vote in prefill.items():
+                self.credit(sender, vote)
+
+    # -- sending -----------------------------------------------------------
+
+    def begin(self) -> list[Send]:
+        """The initial request batch for this round."""
+        if self.request is None:
+            return []
+        return [Send(dest, self.request) for dest in self.targets]
+
+    def retransmit(self) -> list[Send]:
+        """Resend the request to every replica that has not validly voted."""
+        if self.request is None:
+            return []
+        return [Send(dest, self.request) for dest in self.missing()]
+
+    # -- vote collection ---------------------------------------------------
+
+    def add(self, sender: str, message: Message) -> bool:
+        """Record ``message`` if valid and novel; return True on acceptance."""
+        if sender in self.replies:
+            return False
+        if not self._config.quorums.is_replica(sender):
+            return False
+        accepted = self._validator(sender, message)
+        if accepted is None:
+            return False
+        self.replies[sender] = accepted
+        return True
+
+    def credit(self, sender: str, vote: Any) -> bool:
+        """Record a vote obtained outside this round (no message to validate).
+
+        Subject to the same guards as :meth:`add` — an unknown sender is
+        rejected and a replica can never end up with two votes.
+        """
+        if sender in self.replies:
+            return False
+        if not self._config.quorums.is_replica(sender):
+            return False
+        self.replies[sender] = vote
+        return True
+
+    @property
+    def count(self) -> int:
+        """Number of distinct valid votes collected so far."""
+        return len(self.replies)
+
+    @property
+    def have_quorum(self) -> bool:
+        """True once the vote count reaches the round's threshold."""
+        return self.count >= self.threshold
+
+    def responders(self) -> frozenset[str]:
+        """The replicas whose votes were accepted."""
+        return frozenset(self.replies)
+
+    def missing(self) -> tuple[str, ...]:
+        """Replicas that have not yet validly replied (retransmit targets)."""
+        return tuple(
+            r for r in self._config.quorums.replica_ids if r not in self.replies
+        )
+
+
+class ReplyCollector(QuorumRound):
+    """Backwards-compatible collector facade over :class:`QuorumRound`.
+
+    The original seed code exposed a bare collector (no send side); some
+    tests and baseline protocols still construct one directly.  It is now a
+    thin alias so every variant shares the same one-vote-per-replica guard.
+    """
+
+    def __init__(self, config: "SystemConfig", validator: Validator) -> None:
+        super().__init__(config, None, validator)

@@ -161,7 +161,7 @@ class BftBcReplica:
         """
         if wcert is None:
             return True
-        if not wcert.is_valid(self.config.scheme, self.config.quorums):
+        if not self.config.verifier.certificate_valid(wcert):
             self.stats.discard("bad-write-cert")
             return False
         if wcert.ts > self.write_ts:
@@ -225,10 +225,10 @@ class BftBcReplica:
             None if message.write_cert is None else message.write_cert.to_wire(),
             None if message.justify_cert is None else message.justify_cert.to_wire(),
         )
-        if not self.config.scheme.verify_statement(message.signature, statement):
+        if not self.config.verifier.verify_statement(message.signature, statement):
             self.stats.discard("bad-signature")
             return None
-        if not message.prev_cert.is_valid(self.config.scheme, self.config.quorums):
+        if not self.config.verifier.certificate_valid(message.prev_cert):
             self.stats.discard("bad-prepare-cert")
             return None
         # Timestamp succession: t = succ(prepC.ts, c).  This is what stops a
@@ -241,7 +241,7 @@ class BftBcReplica:
             if message.justify_cert is None:
                 self.stats.discard("missing-justify")
                 return None
-            if not message.justify_cert.is_valid(self.config.scheme, self.config.quorums):
+            if not self.config.verifier.certificate_valid(message.justify_cert):
                 self.stats.discard("bad-justify-cert")
                 return None
             if message.ts != message.justify_cert.ts.succ(client):
@@ -275,11 +275,11 @@ class BftBcReplica:
         statement = write_request_statement(
             message.value, message.prepare_cert.to_wire()
         )
-        if not self.config.scheme.verify_statement(message.signature, statement):
+        if not self.config.verifier.verify_statement(message.signature, statement):
             self.stats.discard("bad-signature")
             return None
         cert = message.prepare_cert
-        if not cert.is_valid(self.config.scheme, self.config.quorums):
+        if not self.config.verifier.certificate_valid(cert):
             self.stats.discard("bad-prepare-cert")
             return None
         if cert.h != hash_value(message.value):
@@ -347,7 +347,7 @@ class OptimizedBftBcReplica(BftBcReplica):
             None if message.write_cert is None else message.write_cert.to_wire(),
             message.nonce,
         )
-        if not self.config.scheme.verify_statement(message.signature, statement):
+        if not self.config.verifier.verify_statement(message.signature, statement):
             self.stats.discard("bad-signature")
             return None
         if not self._apply_write_certificate(message.write_cert):

@@ -61,9 +61,7 @@ class StrongWriteOperation(WriteOperation):
     ) -> None:
         super().__init__(client_id, config, value, nonce, write_cert)
         self._justify: Optional[WriteCertificate] = None
-        self._vouches: dict[str, Signature] = {}
         self._fetch_best: Optional[ReadReply] = None
-        self._holders: set[str] = set()
 
     def _justify_cert(self) -> Optional[WriteCertificate]:
         return self._justify
@@ -86,7 +84,7 @@ class StrongWriteOperation(WriteOperation):
         if vouch is None or vouch.signer != sender:
             return False
         statement = write_reply_statement(cert.ts)
-        return self.config.scheme.verify_statement(vouch, statement)
+        return self.config.verifier.verify_statement(vouch, statement)
 
     # -- transitions --------------------------------------------------------
 
@@ -114,8 +112,11 @@ class StrongWriteOperation(WriteOperation):
                 return []
             return self._after_fetch()
         if self._phase == _PHASE_WRITE_BACK:
-            if len(self._vouches) >= self.config.quorum_size:
-                return self._after_write_back()
+            if self._collector.have_quorum:
+                assert self._fetch_best is not None
+                return self._make_justify(
+                    self._fetch_best, dict(self._collector.replies)
+                )
             return []
         return super()._advance()
 
@@ -135,9 +136,9 @@ class StrongWriteOperation(WriteOperation):
         statement = read_reply_statement(
             message.value, message.cert.to_wire(), message.nonce
         )
-        if not self.config.scheme.verify_statement(message.signature, statement):
+        if not self.config.verifier.verify_statement(message.signature, statement):
             return None
-        if not message.cert.is_valid(self.config.scheme, self.config.quorums):
+        if not self.config.verifier.certificate_valid(message.cert):
             return None
         if message.cert.h != hash_value(message.value):
             return None
@@ -150,19 +151,20 @@ class StrongWriteOperation(WriteOperation):
         replies: list[ReadReply] = list(self._collector.replies.values())
         best = max(replies, key=lambda r: (r.cert.ts, r.cert.h))
         self._fetch_best = best
-        self._vouches = {
+        vouches = {
             sender: r.ts_vouch
             for sender, r in self._collector.replies.items()
             if r.cert.ts == best.cert.ts and r.ts_vouch is not None
         }
-        self._holders = set(self._vouches)
-        if len(self._vouches) >= self.config.quorum_size:
-            return self._after_write_back()
-        return self._begin_write_back(best)
+        if len(vouches) >= self.config.quorum_size:
+            return self._make_justify(best, vouches)
+        return self._begin_write_back(best, vouches)
 
     # -- write-back of the highest value ------------------------------------
 
-    def _begin_write_back(self, best: ReadReply) -> list[Send]:
+    def _begin_write_back(
+        self, best: ReadReply, vouches: dict[str, Signature]
+    ) -> list[Send]:
         self._phase = _PHASE_WRITE_BACK
         statement = write_request_statement(best.value, best.cert.to_wire())
         request = WriteRequest(
@@ -171,9 +173,15 @@ class StrongWriteOperation(WriteOperation):
             signature=self._sign(statement),
         )
         targets = tuple(
-            r for r in self.config.quorums.replica_ids if r not in self._holders
+            r for r in self.config.quorums.replica_ids if r not in vouches
         )
-        return self._broadcast(request, self._validate_write_back_reply, targets)
+        # The vouch holders are credited into the round: they count toward
+        # the quorum and are excluded from retransmission, and the combined
+        # replies (vouches + WRITE-REPLY signatures) form the justify
+        # certificate once a quorum is reached.
+        return self._broadcast(
+            request, self._validate_write_back_reply, targets, prefill=vouches
+        )
 
     def _validate_write_back_reply(
         self, sender: str, message: Message
@@ -186,27 +194,13 @@ class StrongWriteOperation(WriteOperation):
         if message.signature.signer != sender:
             return None
         statement = write_reply_statement(message.ts)
-        if not self.config.scheme.verify_statement(message.signature, statement):
+        if not self.config.verifier.verify_statement(message.signature, statement):
             return None
-        self._vouches.setdefault(sender, message.signature)
         return message.signature
 
-    def _after_write_back(self) -> list[Send]:
-        assert self._fetch_best is not None
-        signatures = tuple(self._vouches.values())[: self.config.n]
-        self._justify = WriteCertificate(
-            ts=self._fetch_best.cert.ts, signatures=signatures
-        )
-        return self._begin_prepare(self._fetch_best.cert)
-
-    def on_retransmit(self) -> list[Send]:
-        if (
-            not self.done
-            and self._phase == _PHASE_WRITE_BACK
-            and self._current_request is not None
-        ):
-            targets = [
-                r for r in self.config.quorums.replica_ids if r not in self._vouches
-            ]
-            return [Send(dest, self._current_request) for dest in targets]
-        return super().on_retransmit()
+    def _make_justify(
+        self, best: ReadReply, vouches: dict[str, Signature]
+    ) -> list[Send]:
+        signatures = tuple(vouches.values())[: self.config.n]
+        self._justify = WriteCertificate(ts=best.cert.ts, signatures=signatures)
+        return self._begin_prepare(best.cert)

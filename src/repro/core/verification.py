@@ -1,0 +1,214 @@
+"""Memoizing verification pipeline shared by every protocol role.
+
+BFT-BC's dominant cost is signature and certificate checking: every PREPARE
+and WRITE carries a quorum certificate of 2f+1 signatures, and the paper
+(§3, §6) counts these verifications as the protocol's main overhead.  The
+same certificate is routinely verified many times — on retransmission, during
+a read's write-back, when validating phase-1 replies, and once per role when
+a client and a replica share a process in the simulator.
+
+:class:`Verifier` wraps a :class:`~repro.crypto.signatures.SignatureScheme`
+with two bounded LRU memos:
+
+* a **signature memo** keyed by ``(statement_bytes, signer, signature)``, and
+* a **certificate memo** keyed by a digest of the certificate's wire form,
+
+so a certificate seen twice verifies in O(1) instead of O(|Q|) backend calls.
+
+Caching cannot weaken the §4 safety argument: a verdict is a pure function of
+the signed bytes, the signer's key material, and the signature value — all of
+which are part of the memo key or immutable once the signer is registered
+(:class:`~repro.crypto.keys.KeyRegistry` derives keys deterministically and
+never changes a secret after registration; revocation deliberately does not
+affect verification, per §4.1.1's lurking-write semantics).  The only mutable
+input is *whether* the signer is registered, and registration only grows —
+so the memo declines to cache verdicts for unregistered signers, the one case
+where a later registration could flip the answer.
+
+This module sits between ``repro.crypto`` and the rest of ``repro.core`` in
+the layering (``crypto`` → ``core.verification`` → ``core.*`` → ``net``/
+``sim``); it must not import other ``repro.core`` modules.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Protocol, runtime_checkable
+
+from repro.crypto.hashing import digest_bytes
+from repro.crypto.signatures import Signature, SignatureScheme
+from repro.encoding import canonical_encode
+from repro.errors import CertificateError
+
+__all__ = ["VerificationStats", "Verifier"]
+
+
+@runtime_checkable
+class _Certificate(Protocol):
+    """Structural type for certificates (avoids importing ``core.certificates``)."""
+
+    def to_wire(self) -> tuple:  # pragma: no cover - protocol declaration
+        ...
+
+    def validate(self, scheme: Any, quorums: Any) -> None:  # pragma: no cover
+        ...
+
+
+@dataclass
+class VerificationStats:
+    """Hit/miss counters for the verification pipeline.
+
+    Attributes:
+        signature_checks: calls answered at the signature layer (cached or
+            not), including those made while validating certificates.
+        signature_hits: signature checks answered from the memo.
+        backend_verifies: calls that reached the wrapped scheme's ``verify``.
+        certificate_checks: certificate validations requested.
+        certificate_hits: certificate validations answered from the memo.
+    """
+
+    signature_checks: int = 0
+    signature_hits: int = 0
+    backend_verifies: int = 0
+    certificate_checks: int = 0
+    certificate_hits: int = 0
+
+    @property
+    def signature_hit_rate(self) -> float:
+        """Fraction of signature checks served from the memo (0 when idle)."""
+        if not self.signature_checks:
+            return 0.0
+        return self.signature_hits / self.signature_checks
+
+    @property
+    def certificate_hit_rate(self) -> float:
+        """Fraction of certificate checks served from the memo (0 when idle)."""
+        if not self.certificate_checks:
+            return 0.0
+        return self.certificate_hits / self.certificate_checks
+
+    def reset(self) -> None:
+        """Zero every counter (used between benchmark runs)."""
+        self.signature_checks = 0
+        self.signature_hits = 0
+        self.backend_verifies = 0
+        self.certificate_checks = 0
+        self.certificate_hits = 0
+
+
+class Verifier:
+    """Bounded-LRU memoizing front-end over a signature scheme.
+
+    All protocol code verifies through one of these instead of calling the
+    scheme directly; signing is unaffected.  The verifier deliberately
+    mirrors the scheme's ``verify_statement`` interface so certificate
+    ``validate`` implementations accept either (duck typing), which routes a
+    certificate's per-signature loop through the signature memo on a
+    certificate-level miss.
+
+    Args:
+        scheme: the wrapped signature backend.
+        quorums: quorum system certificates are validated against.
+        max_signatures: signature-memo capacity (LRU eviction beyond it).
+        max_certificates: certificate-memo capacity.
+        enabled: when False, every check passes straight through to the
+            backend (the ablation arm of experiment E4d).
+    """
+
+    def __init__(
+        self,
+        scheme: SignatureScheme,
+        quorums: Any,
+        *,
+        max_signatures: int = 8192,
+        max_certificates: int = 2048,
+        enabled: bool = True,
+    ) -> None:
+        self.scheme = scheme
+        self.quorums = quorums
+        self.enabled = enabled
+        self.stats = VerificationStats()
+        self._max_signatures = max_signatures
+        self._max_certificates = max_certificates
+        self._signature_memo: OrderedDict[tuple[bytes, str, bytes], bool] = (
+            OrderedDict()
+        )
+        self._certificate_memo: OrderedDict[bytes, bool] = OrderedDict()
+
+    # -- signature layer ---------------------------------------------------
+
+    def verify_statement(self, signature: Signature, statement: Any) -> bool:
+        """Memoized equivalent of ``scheme.verify_statement``."""
+        return self.verify(signature, canonical_encode(statement))
+
+    def verify(self, signature: Signature, message: bytes) -> bool:
+        """Memoized equivalent of ``scheme.verify`` over raw bytes."""
+        self.stats.signature_checks += 1
+        if not self.enabled:
+            self.stats.backend_verifies += 1
+            return self.scheme.verify(signature, message)
+        key = (message, signature.signer, signature.value)
+        cached = self._signature_memo.get(key)
+        if cached is not None:
+            self._signature_memo.move_to_end(key)
+            self.stats.signature_hits += 1
+            return cached
+        self.stats.backend_verifies += 1
+        verdict = self.scheme.verify(signature, message)
+        # A verdict for an unregistered signer is the one non-pure case:
+        # registering the signer later would flip False to the real answer,
+        # so never memoize it.
+        if self.scheme.registry.is_registered(signature.signer):
+            self._remember(self._signature_memo, key, verdict, self._max_signatures)
+        return verdict
+
+    # -- certificate layer -------------------------------------------------
+
+    def validate_certificate(self, cert: _Certificate) -> None:
+        """Memoized certificate validation.
+
+        Raises:
+            CertificateError: exactly when ``cert.validate`` would — the memo
+                only short-circuits certificates previously proven valid.
+        """
+        self.stats.certificate_checks += 1
+        if not self.enabled:
+            cert.validate(self, self.quorums)
+            return
+        key = digest_bytes(
+            canonical_encode((type(cert).__name__, cert.to_wire()))
+        )
+        if self._certificate_memo.get(key):
+            self._certificate_memo.move_to_end(key)
+            self.stats.certificate_hits += 1
+            return
+        cert.validate(self, self.quorums)
+        # Only positive verdicts are cached: an invalid certificate can
+        # become valid once its signers register, and revalidating garbage
+        # is cheap because its signature checks still hit the memo.
+        self._remember(self._certificate_memo, key, True, self._max_certificates)
+
+    def certificate_valid(self, cert: _Certificate) -> bool:
+        """Boolean form of :meth:`validate_certificate`."""
+        try:
+            self.validate_certificate(cert)
+        except CertificateError:
+            return False
+        return True
+
+    # -- internals ---------------------------------------------------------
+
+    @staticmethod
+    def _remember(
+        memo: "OrderedDict[Any, bool]", key: Any, verdict: bool, capacity: int
+    ) -> None:
+        memo[key] = verdict
+        memo.move_to_end(key)
+        while len(memo) > capacity:
+            memo.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop both memos (counters are kept; use ``stats.reset()`` too)."""
+        self._signature_memo.clear()
+        self._certificate_memo.clear()

@@ -3,7 +3,7 @@
 The benchmark harness reports exactly the quantities the paper's evaluation
 discusses: phases per operation (E1), messages and bytes per operation (E2),
 latency in network round-trips, fast-path rates for the optimized protocol
-(E10), and signature counts (E4).
+(E10), signature counts (E4), and verification-cache hit rates (E4d).
 """
 
 from __future__ import annotations
@@ -12,6 +12,8 @@ import math
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Optional
+
+from repro.core.verification import VerificationStats
 
 __all__ = ["OperationSample", "Summary", "MetricsCollector"]
 
@@ -64,9 +66,28 @@ class MetricsCollector:
 
     samples: list[OperationSample] = field(default_factory=list)
     retransmit_ticks: int = 0
+    #: Counters of the deployment's shared verification pipeline, attached
+    #: by the cluster harness (see :meth:`attach_verification`).
+    verification: Optional[VerificationStats] = None
 
     def record(self, sample: OperationSample) -> None:
         self.samples.append(sample)
+
+    def attach_verification(self, stats: VerificationStats) -> None:
+        """Expose the deployment's verification counters through metrics."""
+        self.verification = stats
+
+    def verification_hit_rate(self) -> float:
+        """Signature-memo hit rate of the attached verifier (0 when absent)."""
+        if self.verification is None:
+            return 0.0
+        return self.verification.signature_hit_rate
+
+    def verified_signatures_per_op(self) -> float:
+        """Backend signature verifications per completed operation (E4d)."""
+        if self.verification is None or not self.samples:
+            return 0.0
+        return self.verification.backend_verifies / len(self.samples)
 
     # -- views ----------------------------------------------------------------
 

@@ -46,6 +46,9 @@ class ClusterOptions:
     strict_stop: bool = False
     piggyback_write_certs: bool = False
     prefer_quorum: bool = False
+    #: Enable the memoizing verification pipeline (set False for the
+    #: uncached ablation arm of experiment E4d).
+    verification_cache: bool = True
     #: Virtual-time cost of one foreground public-key signature at a
     #: replica (models §3.3.2's signing cost; 0 = free).
     sign_delay: float = 0.0
@@ -75,6 +78,7 @@ class Cluster:
             strict_stop=options.strict_stop,
             piggyback_write_certs=options.piggyback_write_certs,
             prefer_quorum=options.prefer_quorum,
+            verification_cache=options.verification_cache,
         )
         self.scheduler = Scheduler()
         self.network = SimNetwork(
@@ -82,6 +86,8 @@ class Cluster:
         )
         self.recorder = HistoryRecorder(self.scheduler)
         self.metrics = MetricsCollector()
+        assert self.config.verifier is not None
+        self.metrics.attach_verification(self.config.verifier.stats)
         self.replicas: dict[str, BftBcReplica] = {}
         self.replica_nodes: dict[str, ReplicaNode] = {}
         self.clients: dict[str, ClientNode] = {}

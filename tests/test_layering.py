@@ -1,0 +1,68 @@
+"""Tier-1 gate for the package layering (tools/check_layering.py).
+
+The verification refactor introduced explicit layers —
+``crypto`` → ``core.verification`` → ``core.*`` → ``net``/``sim`` — and this
+test keeps them from silently eroding: any new import that reaches *up* the
+stack fails the suite with the offending edge named.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+import check_layering  # noqa: E402
+
+
+def test_layering_clean():
+    assert check_layering.find_violations() == []
+
+
+def test_checker_cli_passes():
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_layering.py")],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "layering ok" in result.stdout
+
+
+def test_checker_flags_synthetic_violation(tmp_path):
+    """A crypto module importing core must be reported as an upward edge."""
+    pkg = tmp_path / "repro" / "crypto"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text('"""pkg."""\n')
+    (pkg / "__init__.py").write_text('"""pkg."""\n')
+    (pkg / "bad.py").write_text("from repro.core.replica import BftBcReplica\n")
+    violations = check_layering.find_violations(tmp_path)
+    assert ("repro.crypto.bad", "repro.core.replica", 1, 3) in violations
+
+
+def test_checker_resolves_relative_imports(tmp_path):
+    """Relative imports are resolved to absolute names before layering."""
+    core = tmp_path / "repro" / "core"
+    core.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text('"""pkg."""\n')
+    (core / "__init__.py").write_text('"""pkg."""\n')
+    (core / "verification.py").write_text("from .config import SystemConfig\n")
+    violations = check_layering.find_violations(tmp_path)
+    assert ("repro.core.verification", "repro.core.config", 2, 3) in violations
+
+
+def test_verification_imports_no_core_siblings():
+    """The pipeline layer depends only on crypto/encoding/errors."""
+    src = ROOT / "src"
+    path = src / "repro" / "core" / "verification.py"
+    imports = check_layering.imports_of(path, "repro.core.verification")
+    uplevel = {
+        m
+        for m in imports
+        if check_layering.layer_of(m) is not None
+        and check_layering.layer_of(m) > 2
+    }
+    assert not uplevel, uplevel

@@ -106,6 +106,88 @@ class TestFallback:
         assert op.done
 
 
+class TestFallbackRetransmissionRules:
+    """Regression pins for the §6 fast-path abandon rule.
+
+    Two triggers: immediately once no timestamp can still reach a quorum
+    (counting silent replicas as potential agreers), and on the first
+    retransmission tick after a quorum of replies when the fast path has not
+    converged.  These pin the behavior across the phase-engine refactor.
+    """
+
+    def _desync(self, replicas, config):
+        """Install bob's write at replicas[2:] so predictions split."""
+        kit = ProtocolKit(config, client="client:bob")
+        p_max = kit.read_ts(replicas)
+        request = kit.prepare_request(p_max, p_max.ts.succ(kit.client), ("w", 1))
+        cert = kit.collect_prepare(replicas, request)
+        for replica in replicas[2:]:
+            replica.handle(kit.client, kit.write_request(("w", 1), cert))
+
+    def test_hopeless_split_falls_back_without_a_tick(
+        self, driver, replicas, config
+    ):
+        """2/2 prediction split with all replicas heard: top + silent < |Q|,
+        so the fast path is abandoned immediately — no retransmit needed."""
+        self._desync(replicas, config)
+        op = driver.run_write(("v", 1))
+        # The fallback decision itself must have fired during delivery.
+        assert op._phase != 1
+        assert not op.fast_path
+        if not op.done:
+            driver.tick()  # only message redelivery, not the decision
+        assert op.done
+        assert op.phases == 3
+
+    def test_quorum_but_unconverged_falls_back_on_first_tick(
+        self, driver, replicas, config
+    ):
+        """With a 2/1 split and one silent replica, a straggler could still
+        tip the majority timestamp to a quorum — the client waits, and
+        abandons the fast path only on the first retransmission tick."""
+        self._desync(replicas, config)
+        driver.drop(replicas[3].node_id)
+        op = driver.run_write(("v", 1))
+        # Quorum of replies (3), but predictions split 2/1: still phase 1.
+        assert not op.done
+        assert op._phase == 1
+        assert op._collector is not None and op._collector.have_quorum
+        driver.tick()
+        assert op.done
+        assert not op.fast_path
+        assert op.phases == 3
+
+    def test_tick_before_quorum_retransmits_instead_of_abandoning(
+        self, driver, replicas
+    ):
+        """Below a quorum of replies a tick must retransmit to the silent
+        replicas, never trigger the fallback."""
+        driver.drop(replicas[2].node_id, replicas[3].node_id)
+        op = driver.run_write(("v", 1))
+        assert not op.done
+        assert op._phase == 1 and op.phases == 1
+        driver.tick()
+        assert op._phase == 1 and op.phases == 1  # still collecting phase 1
+        missing = set(op._collector.missing())
+        assert missing == {replicas[2].node_id, replicas[3].node_id}
+        # Once the silent replicas are reachable again, the retransmission
+        # completes the fast path (all predictions agree).
+        driver.restore(replicas[2].node_id, replicas[3].node_id)
+        driver.tick()
+        assert op.done and op.fast_path
+
+    def test_duplicate_reply_is_a_single_vote(self, driver, replicas):
+        """A duplicated (retransmitted) reply never counts twice."""
+        sends = driver.client.begin_write(("v", 1))
+        op = driver.client.op
+        first = next(s for s in sends if s.dest == replicas[0].node_id)
+        reply = replicas[0].handle(driver.client.node_id, first.message)
+        assert reply is not None
+        driver.client.deliver(replicas[0].node_id, reply)
+        driver.client.deliver(replicas[0].node_id, reply)
+        assert op._collector.count == 1
+
+
 class TestOptimizedReads:
     def test_read_after_fast_write(self, driver):
         driver.run_write(("v", 1))

@@ -1,4 +1,4 @@
-"""Direct unit tests for the per-phase reply collector."""
+"""Direct unit tests for the per-phase quorum rounds and reply collector."""
 
 from __future__ import annotations
 
@@ -7,6 +7,7 @@ import pytest
 from repro.core import make_system
 from repro.core.messages import ReadTsRequest
 from repro.core.operations import ReplyCollector
+from repro.core.phases import QuorumRound
 
 
 @pytest.fixture
@@ -69,6 +70,75 @@ class TestReplyCollector:
         collector = ReplyCollector(config, lambda s, m: ("derived", s))
         collector.add("replica:2", MSG)
         assert collector.replies["replica:2"] == ("derived", "replica:2")
+
+
+class TestQuorumRound:
+    def test_collector_is_a_quorum_round(self, config):
+        """One shared implementation (one-vote guard lives in one place)."""
+        assert issubclass(ReplyCollector, QuorumRound)
+
+    def test_begin_targets_all_replicas(self, config):
+        round_ = QuorumRound(config, MSG, lambda s, m: m)
+        sends = round_.begin()
+        assert [s.dest for s in sends] == list(config.quorums.replica_ids)
+        assert all(s.message is MSG for s in sends)
+
+    def test_prefer_quorum_trims_initial_batch(self, config):
+        config.prefer_quorum = True
+        round_ = QuorumRound(config, MSG, lambda s, m: m)
+        assert len(round_.begin()) == config.quorum_size
+
+    def test_retransmit_targets_only_missing(self, config):
+        round_ = QuorumRound(config, MSG, lambda s, m: m)
+        round_.begin()
+        round_.add("replica:1", MSG)
+        assert [s.dest for s in round_.retransmit()] == [
+            "replica:0",
+            "replica:2",
+            "replica:3",
+        ]
+
+    def test_credit_counts_toward_quorum_and_skips_retransmit(self, config):
+        round_ = QuorumRound(config, MSG, lambda s, m: m)
+        round_.credit("replica:0", "vouch")
+        round_.credit("replica:1", "vouch")
+        assert round_.count == 2
+        assert "replica:0" not in round_.missing()
+        round_.add("replica:2", MSG)
+        assert round_.have_quorum
+
+    def test_credit_cannot_double_vote(self, config):
+        """Neither two credits nor a credit plus a reply give two votes."""
+        round_ = QuorumRound(config, MSG, lambda s, m: m)
+        assert round_.credit("replica:0", "first")
+        assert not round_.credit("replica:0", "second")
+        assert not round_.add("replica:0", MSG)
+        assert round_.replies["replica:0"] == "first"
+        assert round_.count == 1
+
+    def test_credit_rejects_non_replicas(self, config):
+        round_ = QuorumRound(config, MSG, lambda s, m: m)
+        assert not round_.credit("client:mallory", "vote")
+        assert not round_.credit("replica:99", "vote")
+        assert round_.count == 0
+
+    def test_prefill_seeds_votes(self, config):
+        round_ = QuorumRound(
+            config,
+            MSG,
+            lambda s, m: m,
+            targets=("replica:2", "replica:3"),
+            prefill={"replica:0": None, "replica:1": None},
+        )
+        assert round_.count == 2
+        assert [s.dest for s in round_.begin()] == ["replica:2", "replica:3"]
+        assert set(round_.missing()) == {"replica:2", "replica:3"}
+
+    def test_explicit_threshold(self, config):
+        round_ = QuorumRound(config, MSG, lambda s, m: m, threshold=1)
+        assert not round_.have_quorum
+        round_.add("replica:3", MSG)
+        assert round_.have_quorum
 
 
 class TestCostModelCoverage:

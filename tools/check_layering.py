@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Assert the package layering that the verification refactor established.
+
+The intended layering, lowest first (a module may import from its own layer
+or below, never above):
+
+    0  repro.errors, repro.encoding
+    1  repro.crypto
+    2  repro.core.verification
+    3  repro.core (everything else in core)
+    4  repro.spec, repro.analysis
+    5  repro.baselines, repro.byzantine, repro.net, repro.sim, repro (root)
+
+The crucial edges this pins down: ``crypto`` never imports ``core``;
+``core.verification`` sits between ``crypto`` and the rest of ``core`` and
+imports nothing from ``core.*``; protocol logic (``core``) never reaches up
+into transports or the simulator.  Imports are discovered by parsing every
+source file under ``src/repro`` with :mod:`ast` — including imports inside
+``TYPE_CHECKING`` blocks and function bodies, so lazy imports cannot hide a
+cycle-in-waiting.
+
+Run:  python tools/check_layering.py   (exits 1 and lists violations)
+The tier-1 test ``tests/test_layering.py`` runs this on every suite run.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+#: Longest-prefix match decides a module's layer.
+LAYERS: dict[str, int] = {
+    "repro.errors": 0,
+    "repro.encoding": 0,
+    "repro.crypto": 1,
+    "repro.core.verification": 2,
+    "repro.core": 3,
+    "repro.spec": 4,
+    "repro.analysis": 4,
+    "repro.baselines": 5,
+    "repro.byzantine": 5,
+    "repro.net": 5,
+    "repro.sim": 5,
+    "repro": 5,
+}
+
+
+def layer_of(module: str) -> int | None:
+    """The layer of ``module``, by longest matching prefix; None if foreign."""
+    parts = module.split(".")
+    for length in range(len(parts), 0, -1):
+        prefix = ".".join(parts[:length])
+        if prefix in LAYERS:
+            return LAYERS[prefix]
+    return None
+
+
+def module_name_for(path: pathlib.Path, root: pathlib.Path) -> str:
+    relative = path.relative_to(root).with_suffix("")
+    parts = list(relative.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def imports_of(path: pathlib.Path, importer: str) -> set[str]:
+    """Every absolute ``repro.*`` module imported anywhere in ``path``."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    found: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro"):
+                    found.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # Relative import: resolve against the importing package.
+                base = importer.split(".")
+                if path.name != "__init__.py":
+                    base = base[:-1]
+                base = base[: len(base) - (node.level - 1)]
+                module = ".".join(base + ([node.module] if node.module else []))
+            else:
+                module = node.module or ""
+            if module.startswith("repro"):
+                found.add(module)
+    return found
+
+
+def find_violations(src: pathlib.Path = SRC) -> list[tuple[str, str, int, int]]:
+    """Scan the tree; return (importer, imported, importer_layer, imported_layer)."""
+    violations: list[tuple[str, str, int, int]] = []
+    for path in sorted(src.rglob("*.py")):
+        importer = module_name_for(path, src)
+        importer_layer = layer_of(importer)
+        if importer_layer is None:
+            continue
+        for imported in sorted(imports_of(path, importer)):
+            imported_layer = layer_of(imported)
+            if imported_layer is None:
+                continue
+            if imported_layer > importer_layer:
+                violations.append(
+                    (importer, imported, importer_layer, imported_layer)
+                )
+    return violations
+
+
+def main() -> int:
+    violations = find_violations()
+    if violations:
+        print("layering violations (importer -> imported, layers):")
+        for importer, imported, il, tl in violations:
+            print(f"  {importer} (L{il}) -> {imported} (L{tl})")
+        return 1
+    print("layering ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
