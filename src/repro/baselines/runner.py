@@ -11,6 +11,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.baselines.bqs import BqsClient, BqsReplica
 from repro.baselines.phalanx import PhalanxClient, PhalanxReplica
+from repro.core.batching import BatchCoalescer, BatchStats
 from repro.core.config import SystemConfig, make_system
 from repro.core.quorum import QuorumSystem
 from repro.net.simnet import LinkProfile, SimNetwork
@@ -47,6 +48,7 @@ class BaselineCluster:
         profile: Optional[LinkProfile] = None,
         seed: int = 0,
         retransmit_interval: float = 0.05,
+        batching: bool = False,
         replica_overrides: Optional[dict[int, Callable]] = None,
     ) -> None:
         self.config = config
@@ -54,6 +56,12 @@ class BaselineCluster:
         self.network = SimNetwork(self.scheduler, profile=profile, seed=seed)
         self.recorder = HistoryRecorder(self.scheduler)
         self.metrics = MetricsCollector()
+        #: As in :class:`repro.sim.runner.Cluster`: single-object clients
+        #: never share a destination within a round, so the coalescer is a
+        #: pass-through here (the differential tests pin this byte for byte).
+        self.batch_stats: Optional[BatchStats] = BatchStats() if batching else None
+        if self.batch_stats is not None:
+            self.metrics.attach_batching(self.batch_stats)
         self._client_cls = client_cls
         self._retransmit_interval = retransmit_interval
         self.replicas: dict[str, object] = {}
@@ -75,6 +83,11 @@ class BaselineCluster:
             recorder=self.recorder,
             metrics=self.metrics,
             retransmit_interval=self._retransmit_interval,
+            coalescer=(
+                BatchCoalescer(self.batch_stats)
+                if self.batch_stats is not None
+                else None
+            ),
         )
         self.clients[client.node_id] = node
         return node
@@ -131,6 +144,7 @@ def build_bqs_cluster(
     seed: int = 0,
     profile: Optional[LinkProfile] = None,
     write_back: bool = True,
+    batching: bool = False,
     replica_overrides: Optional[dict[int, Callable]] = None,
 ) -> BaselineCluster:
     """A BQS register deployment: 3f+1 replicas, quorums of 2f+1."""
@@ -145,6 +159,7 @@ def build_bqs_cluster(
         client_cls,
         profile=profile,
         seed=seed,
+        batching=batching,
         replica_overrides=replica_overrides,
     )
 

@@ -12,6 +12,12 @@ Public surface:
   :class:`~repro.core.timestamp.Timestamp`, certificates, and messages.
 """
 
+from repro.core.batching import (
+    BatchCoalescer,
+    BatchEnvelope,
+    BatchStats,
+    expand_message,
+)
 from repro.core.certificates import (
     GENESIS_VALUE,
     PrepareCertificate,
@@ -34,6 +40,8 @@ from repro.core.messages import (
     WriteRequest,
     message_from_wire,
     message_to_wire,
+    message_wire_bytes,
+    wire_cache_stats,
 )
 from repro.core.multiobject import (
     MultiObjectClient,
@@ -86,6 +94,12 @@ __all__ = [
     "Message",
     "message_to_wire",
     "message_from_wire",
+    "message_wire_bytes",
+    "wire_cache_stats",
+    "BatchCoalescer",
+    "BatchEnvelope",
+    "BatchStats",
+    "expand_message",
     "ReadTsRequest",
     "ReadTsReply",
     "PrepareRequest",

@@ -21,6 +21,7 @@ from typing import Any, Callable, ClassVar, Optional, TypeVar
 from repro.core.certificates import PrepareCertificate, WriteCertificate
 from repro.core.timestamp import Timestamp
 from repro.crypto.signatures import Signature
+from repro.encoding import canonical_encode
 from repro.errors import ProtocolError
 
 __all__ = [
@@ -28,6 +29,11 @@ __all__ = [
     "register_message",
     "message_to_wire",
     "message_from_wire",
+    "message_wire_bytes",
+    "WireCacheStats",
+    "wire_cache_stats",
+    "reset_wire_cache_stats",
+    "set_wire_cache_enabled",
     "ReadTsRequest",
     "ReadTsReply",
     "PrepareRequest",
@@ -74,6 +80,78 @@ def message_to_wire(message: Message) -> dict[str, Any]:
     wire = message.to_wire()
     wire["kind"] = message.KIND
     return wire
+
+
+@dataclass
+class WireCacheStats:
+    """Counters for the encode-once wire cache (experiment E15 reads these).
+
+    ``hits`` count sends served from a message's cached bytes; ``misses``
+    count first encodes.  ``bytes_saved`` is the encoding work avoided:
+    the cached payload size times the number of hits.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    bytes_encoded: int = 0
+    bytes_saved: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of wire-byte requests served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.bytes_encoded = 0
+        self.bytes_saved = 0
+
+
+_WIRE_STATS = WireCacheStats()
+_WIRE_CACHE_ENABLED = True
+#: Attribute slot used to stash a message's canonical bytes on the instance.
+_WIRE_ATTR = "_cached_wire_bytes"
+
+
+def wire_cache_stats() -> WireCacheStats:
+    """The process-wide encode-once cache counters."""
+    return _WIRE_STATS
+
+
+def reset_wire_cache_stats() -> None:
+    """Zero the cache counters (benchmark isolation)."""
+    _WIRE_STATS.reset()
+
+
+def set_wire_cache_enabled(enabled: bool) -> None:
+    """Toggle the cache (the ablation arm of the wire-cost benchmark)."""
+    global _WIRE_CACHE_ENABLED
+    _WIRE_CACHE_ENABLED = enabled
+
+
+def message_wire_bytes(message: Message) -> bytes:
+    """Canonical wire bytes of ``message``, encoded at most once per instance.
+
+    Messages are frozen dataclasses, so an instance's wire form never
+    changes; the bytes are stashed on the instance the first time they are
+    needed and every later send — each leg of a 3f+1 fan-out, every
+    retransmission — reuses them.  Transports and the simulated network all
+    serialise through here, so a message crosses the encoder exactly once no
+    matter how many links carry it.
+    """
+    cached = message.__dict__.get(_WIRE_ATTR)
+    if cached is not None:
+        _WIRE_STATS.hits += 1
+        _WIRE_STATS.bytes_saved += len(cached)
+        return cached
+    encoded = canonical_encode(message_to_wire(message))
+    _WIRE_STATS.misses += 1
+    _WIRE_STATS.bytes_encoded += len(encoded)
+    if _WIRE_CACHE_ENABLED:
+        object.__setattr__(message, _WIRE_ATTR, encoded)
+    return encoded
 
 
 def message_from_wire(wire: Any) -> Message:

@@ -20,12 +20,14 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Any, ClassVar, Optional
 
+from repro.core.batching import BatchEnvelope, BatchStats, expand_message
 from repro.core.client import BftBcClient
 from repro.core.config import SystemConfig
 from repro.core.messages import (
     Message,
     message_from_wire,
     message_to_wire,
+    message_wire_bytes,
     register_message,
 )
 from repro.core.operations import Send
@@ -110,6 +112,7 @@ class MultiObjectReplica:
         self._replica_cls = replica_cls
         self._objects: dict[str, BftBcReplica] = {}
         self.envelope_discards = 0
+        self.batch_stats = BatchStats()
 
     def object_state(self, obj: str) -> BftBcReplica:
         """The per-object state machine (created on first use)."""
@@ -124,6 +127,34 @@ class MultiObjectReplica:
         return frozenset(self._objects)
 
     def handle(self, sender: str, message: Message) -> Optional[Message]:
+        """Process one frame; batches are unpacked and answered in one frame.
+
+        A :class:`~repro.core.batching.BatchEnvelope` of object messages is
+        expanded, each inner message handled in order, and the replies (all
+        addressed to ``sender``) coalesced back into a single envelope —
+        one reply frame per request frame.
+        """
+        if isinstance(message, BatchEnvelope):
+            replies = [
+                reply
+                for inner in expand_message(message, self.batch_stats)
+                if (reply := self._handle_one(sender, inner)) is not None
+            ]
+            if not replies:
+                return None
+            if len(replies) == 1:
+                return replies[0]
+            self.batch_stats.sends_in += len(replies)
+            self.batch_stats.frames_out += 1
+            self.batch_stats.batches += 1
+            self.batch_stats.messages_batched += len(replies)
+            self.batch_stats.batch_sizes[len(replies)] += 1
+            return BatchEnvelope(
+                payloads=tuple(message_wire_bytes(r) for r in replies)
+            )
+        return self._handle_one(sender, message)
+
+    def _handle_one(self, sender: str, message: Message) -> Optional[Message]:
         if not isinstance(message, ObjectMessage):
             self.envelope_discards += 1
             return None
@@ -156,6 +187,8 @@ class MultiObjectClient:
         self.config = config
         self._client_cls = client_cls
         self._objects: dict[str, BftBcClient] = {}
+        #: Counters for reply batches this client unpacks.
+        self.batch_stats = BatchStats()
         config.registry.register(node_id)
 
     def object_client(self, obj: str) -> BftBcClient:
@@ -174,6 +207,11 @@ class MultiObjectClient:
         return self._wrap(obj, self.object_client(obj).begin_read())
 
     def deliver(self, sender: str, message: Message) -> list[Send]:
+        if isinstance(message, BatchEnvelope):
+            sends: list[Send] = []
+            for inner in expand_message(message, self.batch_stats):
+                sends.extend(self.deliver(sender, inner))
+            return sends
         if not isinstance(message, ObjectMessage):
             return []
         client = self._objects.get(message.obj)
@@ -192,15 +230,25 @@ class MultiObjectClient:
         return sends
 
     def _wrap(self, obj: str, sends: list[Send]) -> list[Send]:
-        return [
-            Send(
-                dest=send.dest,
-                message=ObjectMessage(
+        """Wrap inner sends in :class:`ObjectMessage` envelopes.
+
+        The envelope for a given inner message instance is built once and
+        cached on the instance, so a request fanned out to 3f+1 replicas is
+        wrapped once, and every retransmission of it (the phase engine
+        resends the *same* frozen request object) reuses the envelope — and
+        with it the envelope's cached wire bytes.  No per-retransmit
+        re-encoding of the payload remains.
+        """
+        wrapped: list[Send] = []
+        for send in sends:
+            envelope = send.message.__dict__.get("_cached_envelope")
+            if envelope is None or envelope.obj != obj:
+                envelope = ObjectMessage(
                     obj=obj, payload=message_to_wire(send.message)
-                ),
-            )
-            for send in sends
-        ]
+                )
+                object.__setattr__(send.message, "_cached_envelope", envelope)
+            wrapped.append(Send(dest=send.dest, message=envelope))
+        return wrapped
 
     # -- inspection --------------------------------------------------------------
 

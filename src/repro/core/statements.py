@@ -21,8 +21,10 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.timestamp import Timestamp
+from repro.encoding import intern_encode
 
 __all__ = [
+    "statement_bytes",
     "prepare_reply_statement",
     "write_reply_statement",
     "read_ts_reply_statement",
@@ -32,6 +34,17 @@ __all__ = [
     "read_ts_prep_request_statement",
     "read_ts_prep_reply_statement",
 ]
+
+
+def statement_bytes(statement: tuple[Any, ...]) -> bytes:
+    """The canonical byte form of a statement, interned process-wide.
+
+    Sign, verify, hash, and certificate validation all encode statements
+    through this one cache (:func:`repro.encoding.intern_encode`), so a
+    statement signed by one replica and checked by every other role is
+    serialised exactly once.
+    """
+    return intern_encode(statement)
 
 
 def prepare_reply_statement(ts: Timestamp, value_hash: bytes) -> tuple[Any, ...]:

@@ -38,7 +38,7 @@ from typing import Any, Protocol, runtime_checkable
 
 from repro.crypto.hashing import digest_bytes
 from repro.crypto.signatures import Signature, SignatureScheme
-from repro.encoding import canonical_encode
+from repro.encoding import intern_encode
 from repro.errors import CertificateError
 
 __all__ = ["VerificationStats", "Verifier"]
@@ -139,8 +139,13 @@ class Verifier:
     # -- signature layer ---------------------------------------------------
 
     def verify_statement(self, signature: Signature, statement: Any) -> bool:
-        """Memoized equivalent of ``scheme.verify_statement``."""
-        return self.verify(signature, canonical_encode(statement))
+        """Memoized equivalent of ``scheme.verify_statement``.
+
+        Statement bytes come from the interning cache shared with
+        ``sign_statement``, so a statement signed once and verified at many
+        roles is canonically encoded once per process.
+        """
+        return self.verify(signature, intern_encode(statement))
 
     def verify(self, signature: Signature, message: bytes) -> bool:
         """Memoized equivalent of ``scheme.verify`` over raw bytes."""
@@ -177,7 +182,7 @@ class Verifier:
             cert.validate(self, self.quorums)
             return
         key = digest_bytes(
-            canonical_encode((type(cert).__name__, cert.to_wire()))
+            intern_encode((type(cert).__name__, cert.to_wire()))
         )
         if self._certificate_memo.get(key):
             self._certificate_memo.move_to_end(key)

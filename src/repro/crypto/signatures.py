@@ -32,7 +32,7 @@ from repro.crypto.rsa import (
     rsa_sign,
     rsa_verify,
 )
-from repro.encoding import canonical_encode
+from repro.encoding import intern_encode
 from repro.errors import CryptoError
 
 __all__ = [
@@ -94,12 +94,17 @@ class SignatureScheme(ABC):
         self.stats = SchemeStats()
 
     def sign_statement(self, node_id: str, statement: Any) -> Signature:
-        """Sign a protocol statement (any canonically encodable value)."""
-        return self.sign(node_id, canonical_encode(statement))
+        """Sign a protocol statement (any canonically encodable value).
+
+        Statement bytes come from the interning cache, so the signer, every
+        verifier, and every certificate validator share one encoding of each
+        distinct statement.
+        """
+        return self.sign(node_id, intern_encode(statement))
 
     def verify_statement(self, signature: Signature, statement: Any) -> bool:
-        """Verify a signature over a protocol statement."""
-        return self.verify(signature, canonical_encode(statement))
+        """Verify a signature over a protocol statement (interned encoding)."""
+        return self.verify(signature, intern_encode(statement))
 
     def sign(self, node_id: str, message: bytes) -> Signature:
         """Sign raw bytes as ``node_id``.

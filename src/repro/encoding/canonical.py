@@ -33,14 +33,40 @@ themselves never contain floats.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import EncodingError
 
-__all__ = ["canonical_encode", "canonical_decode"]
+__all__ = ["canonical_encode", "canonical_decode", "EncodeStats", "encode_stats"]
 
 # A conservative bound that protects decoders from hostile length prefixes.
 _MAX_LENGTH = 1 << 30
+
+
+@dataclass
+class EncodeStats:
+    """Process-wide ``canonical_encode`` counters.
+
+    The wire-cost benchmarks (E15) read these to count how many times the
+    system actually serialises anything; every cache layer above (wire cache,
+    statement interning) shows up here as calls that never happen.
+    """
+
+    calls: int = 0
+    bytes_out: int = 0
+
+    def reset(self) -> None:
+        self.calls = 0
+        self.bytes_out = 0
+
+
+_STATS = EncodeStats()
+
+
+def encode_stats() -> EncodeStats:
+    """The process-wide encode counters (reset between benchmark arms)."""
+    return _STATS
 
 
 def canonical_encode(value: Any) -> bytes:
@@ -52,7 +78,10 @@ def canonical_encode(value: Any) -> bytes:
     """
     parts: list[bytes] = []
     _encode_into(value, parts)
-    return b"".join(parts)
+    encoded = b"".join(parts)
+    _STATS.calls += 1
+    _STATS.bytes_out += len(encoded)
+    return encoded
 
 
 def _encode_into(value: Any, parts: list[bytes]) -> None:

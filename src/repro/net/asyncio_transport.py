@@ -20,7 +20,7 @@ import asyncio
 from typing import Any, Optional
 
 from repro.core.client import BftBcClient
-from repro.core.messages import Message, message_from_wire, message_to_wire
+from repro.core.messages import Message, message_from_wire, message_wire_bytes
 from repro.core.operations import Send
 from repro.core.replica import BftBcReplica
 from repro.encoding import FrameDecoder, canonical_decode, canonical_encode, encode_frame
@@ -30,8 +30,15 @@ __all__ = ["ReplicaServer", "AsyncClient"]
 
 
 def _encode_envelope(src: str, message: Message) -> bytes:
+    # The canonical format is self-delimiting, so the envelope dict
+    # ``{"msg": ..., "src": ...}`` (keys in canonical sorted order) can be
+    # assembled around the message's cached bytes without re-encoding it.
     return encode_frame(
-        canonical_encode({"src": src, "msg": message_to_wire(message)})
+        b"du3:msg"
+        + message_wire_bytes(message)
+        + b"u3:src"
+        + canonical_encode(src)
+        + b"e"
     )
 
 

@@ -18,8 +18,8 @@ import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
-from repro.core.messages import Message, message_from_wire, message_to_wire
-from repro.encoding import canonical_decode, canonical_encode
+from repro.core.messages import Message, message_from_wire, message_wire_bytes
+from repro.encoding import canonical_decode
 from repro.errors import NetworkError, ProtocolError, EncodingError
 
 if TYPE_CHECKING:  # imported lazily to avoid a package cycle with repro.sim
@@ -168,8 +168,13 @@ class SimNetwork:
     # -- sending ---------------------------------------------------------------
 
     def send(self, src: str, dst: str, message: Message) -> None:
-        """Send ``message`` from ``src`` to ``dst`` through the lossy fabric."""
-        encoded = canonical_encode(message_to_wire(message))
+        """Send ``message`` from ``src`` to ``dst`` through the lossy fabric.
+
+        Serialisation goes through the encode-once wire cache: a message
+        fanned out to 3f+1 replicas (or retransmitted) is canonically
+        encoded exactly once, and every link reuses the same bytes.
+        """
+        encoded = message_wire_bytes(message)
         self.stats.record_send(message.KIND, len(encoded))
         if self.tap is not None:
             self.tap("sent", src, dst, message.KIND)

@@ -8,7 +8,11 @@ example, and benchmark.
 from repro.sim.explorer import ExplorationResult, ScheduleExplorer
 from repro.sim.faults import FaultAction, FaultSchedule
 from repro.sim.metrics import MetricsCollector, OperationSample, Summary
-from repro.sim.multi_node import MultiObjectClientNode, MultiScriptStep
+from repro.sim.multi_node import (
+    MultiObjectClientNode,
+    MultiObjectReplicaNode,
+    MultiScriptStep,
+)
 from repro.sim.nodes import ClientNode, ReplicaNode, ScriptStep
 from repro.sim.recorder import HistoryRecorder
 from repro.sim.runner import Cluster, ClusterOptions, VARIANTS, build_cluster
@@ -31,6 +35,7 @@ __all__ = [
     "ReplicaNode",
     "ScriptStep",
     "MultiObjectClientNode",
+    "MultiObjectReplicaNode",
     "MultiScriptStep",
     "HistoryRecorder",
     "MetricsCollector",

@@ -3,7 +3,8 @@
 The benchmark harness reports exactly the quantities the paper's evaluation
 discusses: phases per operation (E1), messages and bytes per operation (E2),
 latency in network round-trips, fast-path rates for the optimized protocol
-(E10), signature counts (E4), and verification-cache hit rates (E4d).
+(E10), signature counts (E4), verification-cache hit rates (E4d), and the
+wire fast path's encode-cache and batching counters (E15).
 """
 
 from __future__ import annotations
@@ -13,6 +14,8 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.core.batching import BatchStats
+from repro.core.messages import WireCacheStats
 from repro.core.verification import VerificationStats
 
 __all__ = ["OperationSample", "Summary", "MetricsCollector"]
@@ -69,6 +72,11 @@ class MetricsCollector:
     #: Counters of the deployment's shared verification pipeline, attached
     #: by the cluster harness (see :meth:`attach_verification`).
     verification: Optional[VerificationStats] = None
+    #: Encode-once wire-cache counters (process-wide; attached by the
+    #: cluster harness so experiments read them alongside op metrics).
+    wire_cache: Optional[WireCacheStats] = None
+    #: Cross-object batching counters, when the deployment batches.
+    batching: Optional[BatchStats] = None
 
     def record(self, sample: OperationSample) -> None:
         self.samples.append(sample)
@@ -76,6 +84,14 @@ class MetricsCollector:
     def attach_verification(self, stats: VerificationStats) -> None:
         """Expose the deployment's verification counters through metrics."""
         self.verification = stats
+
+    def attach_wire_cache(self, stats: WireCacheStats) -> None:
+        """Expose the encode-once wire-cache counters through metrics."""
+        self.wire_cache = stats
+
+    def attach_batching(self, stats: BatchStats) -> None:
+        """Expose the batching layer's coalescing counters through metrics."""
+        self.batching = stats
 
     def verification_hit_rate(self) -> float:
         """Signature-memo hit rate of the attached verifier (0 when absent)."""
@@ -88,6 +104,32 @@ class MetricsCollector:
         if self.verification is None or not self.samples:
             return 0.0
         return self.verification.backend_verifies / len(self.samples)
+
+    # -- wire fast path (E15) --------------------------------------------
+
+    def encode_cache_hit_rate(self) -> float:
+        """Fraction of wire serialisations served from the encode-once cache."""
+        if self.wire_cache is None:
+            return 0.0
+        return self.wire_cache.hit_rate
+
+    def encodes_per_op(self) -> float:
+        """Actual canonical encodes of wire frames per completed operation."""
+        if self.wire_cache is None or not self.samples:
+            return 0.0
+        return self.wire_cache.misses / len(self.samples)
+
+    def batch_size_histogram(self) -> Counter:
+        """batch size -> count of emitted batches (empty when not batching)."""
+        if self.batching is None:
+            return Counter()
+        return Counter(self.batching.batch_sizes)
+
+    def frames_saved(self) -> int:
+        """Wire frames avoided by cross-object coalescing."""
+        if self.batching is None:
+            return 0
+        return self.batching.frames_saved
 
     # -- views ----------------------------------------------------------------
 

@@ -10,13 +10,14 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.core.multiobject import MultiObjectClient
+from repro.core.batching import BatchCoalescer, BatchStats
+from repro.core.multiobject import MultiObjectClient, MultiObjectReplica
 from repro.core.messages import Message
 from repro.net.simnet import SimNetwork
 from repro.sim.scheduler import EventHandle, Scheduler
 from repro.spec.histories import History, Invocation, Response
 
-__all__ = ["MultiObjectClientNode", "MultiScriptStep"]
+__all__ = ["MultiObjectClientNode", "MultiObjectReplicaNode", "MultiScriptStep"]
 
 #: ``(object id, "read" | "write", value-or-None)``
 MultiScriptStep = tuple[str, str, Any]
@@ -35,11 +36,16 @@ class MultiObjectClientNode:
         *,
         max_in_flight: int = 4,
         record_history: bool = False,
+        coalescer: Optional[BatchCoalescer] = None,
     ) -> None:
         self.client = client
         self.network = network
         self.scheduler = scheduler
         self.max_in_flight = max_in_flight
+        #: Cross-object batching layer: when set, each send round (dispatch,
+        #: delivery follow-ups, retransmission sweep) emits at most one wire
+        #: frame per destination.
+        self.coalescer = coalescer
         self.results: list[tuple[MultiScriptStep, Any]] = []
         self.done = True
         #: Per-object histories (obj -> History), populated when
@@ -66,6 +72,10 @@ class MultiObjectClientNode:
     # -- scheduling ------------------------------------------------------------
 
     def _dispatch(self) -> None:
+        # Sends from every step issued this round are accumulated and sent
+        # as one round, so the coalescer can merge same-replica frames
+        # across objects (k in-flight ops -> one frame per replica).
+        round_sends = []
         index = 0
         while index < len(self._pending) and len(self._in_flight) < self.max_in_flight:
             obj, kind, value = self._pending[index]
@@ -85,12 +95,12 @@ class MultiObjectClientNode:
                     )
                 )
             if kind == "write":
-                sends = self.client.begin_write(obj, value)
+                round_sends.extend(self.client.begin_write(obj, value))
             elif kind == "read":
-                sends = self.client.begin_read(obj)
+                round_sends.extend(self.client.begin_read(obj))
             else:
                 raise ValueError(f"unknown step kind {kind!r}")
-            self._send_all(sends)
+        self._send_all(round_sends)
 
     def _on_message(self, src: str, message: Message) -> None:
         self._send_all(self.client.deliver(src, message))
@@ -118,6 +128,8 @@ class MultiObjectClientNode:
             self._cancel_retransmit()
 
     def _send_all(self, sends) -> None:
+        if self.coalescer is not None:
+            sends = self.coalescer.coalesce(sends)
         for send in sends:
             self.network.send(self.node_id, send.dest, send.message)
 
@@ -136,3 +148,32 @@ class MultiObjectClientNode:
         if self._retransmit_handle is not None:
             self._retransmit_handle.cancel()
             self._retransmit_handle = None
+
+    @property
+    def batch_stats(self) -> Optional[BatchStats]:
+        """Coalescing counters, when batching is enabled."""
+        return None if self.coalescer is None else self.coalescer.stats
+
+
+class MultiObjectReplicaNode:
+    """Wires a :class:`MultiObjectReplica` into the simulated network.
+
+    The replica itself is batch-aware: a :class:`BatchEnvelope` of object
+    messages is unpacked, handled in order, and answered with at most one
+    reply frame, so the reply fan-in is coalesced symmetrically with the
+    client's request fan-out.
+    """
+
+    def __init__(self, replica: MultiObjectReplica, network: SimNetwork) -> None:
+        self.replica = replica
+        self.network = network
+        network.register(replica.node_id, self._on_message)
+
+    def _on_message(self, src: str, message: Message) -> None:
+        reply = self.replica.handle(src, message)
+        if reply is not None:
+            self.network.send(self.replica.node_id, src, reply)
+
+    @property
+    def node_id(self) -> str:
+        return self.replica.node_id

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional, Sequence
 
+from repro.core.batching import BatchCoalescer, BatchEnvelope, expand_message
 from repro.core.client import BftBcClient, OptimizedBftBcClient
-from repro.core.messages import Message
+from repro.core.messages import Message, message_wire_bytes
 from repro.core.operations import Send
 from repro.core.replica import BftBcReplica
 from repro.net.simnet import SimNetwork
@@ -53,10 +54,21 @@ class ReplicaNode:
         network.register(replica.node_id, self._on_message)
 
     def _on_message(self, src: str, message: Message) -> None:
+        """Handle one frame; a batch is unpacked and answered as one frame."""
         before = self.replica.stats.foreground_signs
-        reply = self.replica.handle(src, message)
-        if reply is None:
+        replies = [
+            reply
+            for inner in expand_message(message)
+            if (reply := self.replica.handle(src, inner)) is not None
+        ]
+        if not replies:
             return
+        if len(replies) == 1:
+            reply: Message = replies[0]
+        else:
+            reply = BatchEnvelope(
+                payloads=tuple(message_wire_bytes(r) for r in replies)
+            )
         delay = self.sign_delay * (self.replica.stats.foreground_signs - before)
         # Behavioural laggards (e.g. byzantine.DelayingReplica) advertise a
         # fixed per-reply delay via this marker attribute.
@@ -85,6 +97,7 @@ class ClientNode:
         recorder: Optional[HistoryRecorder] = None,
         metrics: Optional[MetricsCollector] = None,
         retransmit_interval: float = DEFAULT_RETRANSMIT_INTERVAL,
+        coalescer: Optional[BatchCoalescer] = None,
     ) -> None:
         self.client = client
         self.network = network
@@ -92,6 +105,10 @@ class ClientNode:
         self.recorder = recorder
         self.metrics = metrics
         self.retransmit_interval = retransmit_interval
+        #: Optional cross-object batching layer; single-object operations
+        #: never share a destination within a round, so for this node the
+        #: coalescer is a provable pass-through (see the differential tests).
+        self.coalescer = coalescer
         self._script: list[ScriptStep] = []
         self._next_step = 0
         self._think_time = 0.0
@@ -151,12 +168,16 @@ class ClientNode:
     # -- message plumbing ----------------------------------------------------
 
     def _send_all(self, sends: list[Send]) -> None:
+        if self.coalescer is not None:
+            sends = self.coalescer.coalesce(sends)
         for send in sends:
             self.network.send(self.node_id, send.dest, send.message)
 
     def _on_message(self, src: str, message: Message) -> None:
         was_busy = self.client.busy
-        sends = self.client.deliver(src, message)
+        sends: list[Send] = []
+        for inner in expand_message(message):
+            sends.extend(self.client.deliver(src, inner))
         self._send_all(sends)
         if was_busy and not self.client.busy:
             self._on_op_complete()

@@ -12,8 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from repro.core.batching import BatchCoalescer, BatchStats
 from repro.core.client import BftBcClient, OptimizedBftBcClient, StrongBftBcClient
 from repro.core.config import SystemConfig, make_system
+from repro.core.messages import wire_cache_stats
 from repro.core.replica import BftBcReplica, OptimizedBftBcReplica
 from repro.net.simnet import LinkProfile, SimNetwork
 from repro.sim.faults import FaultSchedule
@@ -49,6 +51,12 @@ class ClusterOptions:
     #: Enable the memoizing verification pipeline (set False for the
     #: uncached ablation arm of experiment E4d).
     verification_cache: bool = True
+    #: Coalesce same-destination sends into batch envelopes.  Single-object
+    #: clients never share a destination within a round, so for this runner
+    #: the layer is a provable pass-through (the differential tests pin the
+    #: runs byte for byte); it exists here so every variant can be exercised
+    #: with the batching path active.
+    batching: bool = False
     #: Virtual-time cost of one foreground public-key signature at a
     #: replica (models §3.3.2's signing cost; 0 = free).
     sign_delay: float = 0.0
@@ -88,6 +96,13 @@ class Cluster:
         self.metrics = MetricsCollector()
         assert self.config.verifier is not None
         self.metrics.attach_verification(self.config.verifier.stats)
+        self.metrics.attach_wire_cache(wire_cache_stats())
+        #: One coalescing-stats block shared by every client of the cluster.
+        self.batch_stats: Optional[BatchStats] = (
+            BatchStats() if options.batching else None
+        )
+        if self.batch_stats is not None:
+            self.metrics.attach_batching(self.batch_stats)
         self.replicas: dict[str, BftBcReplica] = {}
         self.replica_nodes: dict[str, ReplicaNode] = {}
         self.clients: dict[str, ClientNode] = {}
@@ -134,6 +149,11 @@ class Cluster:
             recorder=self.recorder,
             metrics=self.metrics,
             retransmit_interval=self.options.retransmit_interval,
+            coalescer=(
+                BatchCoalescer(self.batch_stats)
+                if self.batch_stats is not None
+                else None
+            ),
         )
         self.clients[client.node_id] = node
         return node

@@ -5,6 +5,12 @@ processing — runs on one of these.  Events fire in (time, insertion-order)
 order, so a run is fully determined by the seed used by the components that
 schedule events.  Virtual time makes latency measurements exact and lets a
 "10 second" experiment finish in milliseconds of wall-clock time.
+
+Cancellation is lazy: :meth:`EventHandle.cancel` marks the entry and the
+queue skips it on pop.  Long runs with heavy timer churn (every operation
+arms and cancels a retransmission timer) would otherwise grow the heap
+without bound, so the scheduler compacts — filters the dead entries and
+re-heapifies — once they outnumber the live ones (see :meth:`_maybe_compact`).
 """
 
 from __future__ import annotations
@@ -18,6 +24,10 @@ from repro.errors import SimulationError
 
 __all__ = ["EventHandle", "Scheduler"]
 
+#: Below this queue size compaction is never worth the re-heapify; the
+#: constant-factor bookkeeping would dominate.
+_COMPACT_MIN_QUEUE = 64
+
 
 @dataclass(order=True)
 class _Event:
@@ -25,16 +35,22 @@ class _Event:
     seq: int
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(compare=False, default=False)
+    #: Set once the event has fired (left the queue), so cancelling a stale
+    #: handle afterwards cannot skew the scheduler's cancelled_pending count.
+    done: bool = field(compare=False, default=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`Scheduler.call_later`; supports cancellation."""
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, event: _Event, scheduler: "Scheduler") -> None:
         self._event = event
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        if not self._event.cancelled and not self._event.done:
+            self._event.cancelled = True
+            self._scheduler._on_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -53,6 +69,10 @@ class Scheduler:
         self._seq = itertools.count()
         self.now: float = 0.0
         self.events_processed = 0
+        #: Cancelled entries still sitting in the heap.
+        self.cancelled_pending = 0
+        #: Times the heap was compacted (filter + re-heapify).
+        self.compactions = 0
 
     def call_later(self, delay: float, action: Callable[[], None]) -> EventHandle:
         """Schedule ``action`` to run ``delay`` time units from now."""
@@ -60,7 +80,7 @@ class Scheduler:
             raise SimulationError(f"negative delay {delay}")
         event = _Event(time=self.now + delay, seq=next(self._seq), action=action)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     def call_at(self, when: float, action: Callable[[], None]) -> EventHandle:
         """Schedule ``action`` at absolute virtual time ``when``."""
@@ -68,19 +88,53 @@ class Scheduler:
             raise SimulationError(f"cannot schedule in the past ({when} < {self.now})")
         event = _Event(time=when, seq=next(self._seq), action=action)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     @property
     def pending(self) -> int:
         """Number of queued (possibly cancelled) events."""
         return len(self._queue)
 
+    @property
+    def live_pending(self) -> int:
+        """Number of queued events that have not been cancelled."""
+        return len(self._queue) - self.cancelled_pending
+
+    # -- cancellation bookkeeping -----------------------------------------
+
+    def _on_cancel(self) -> None:
+        self.cancelled_pending += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Drop cancelled entries once they outnumber the live ones.
+
+        Each compaction is O(live) and at least halves the queue, so the
+        amortised cost per cancellation is O(1) and heap size stays within a
+        constant factor of the live event count.
+        """
+        if (
+            len(self._queue) >= _COMPACT_MIN_QUEUE
+            and self.cancelled_pending > len(self._queue) // 2
+        ):
+            self._queue = [e for e in self._queue if not e.cancelled]
+            heapq.heapify(self._queue)
+            self.cancelled_pending = 0
+            self.compactions += 1
+
+    def _pop_cancelled(self) -> None:
+        """Drop the cancelled entry at the heap root."""
+        heapq.heappop(self._queue)
+        self.cancelled_pending -= 1
+
     def step(self) -> bool:
         """Run the next event; return False if the queue is empty."""
         while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+            if self._queue[0].cancelled:
+                self._pop_cancelled()
                 continue
+            event = heapq.heappop(self._queue)
+            event.done = True
             self.now = event.time
             self.events_processed += 1
             event.action()
@@ -110,7 +164,7 @@ class Scheduler:
             # Peek for the time bound without disturbing cancelled entries.
             next_event = self._queue[0]
             if next_event.cancelled:
-                heapq.heappop(self._queue)
+                self._pop_cancelled()
                 continue
             if until is not None and next_event.time > until:
                 self.now = until

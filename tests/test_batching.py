@@ -1,0 +1,143 @@
+"""Unit tests for the cross-object batching layer (core.batching)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batching import (
+    BatchCoalescer,
+    BatchEnvelope,
+    BatchStats,
+    expand_message,
+)
+from repro.core.messages import (
+    ReadTsRequest,
+    message_from_wire,
+    message_to_wire,
+    message_wire_bytes,
+)
+from repro.core.phases import Send
+from repro.encoding import canonical_decode, canonical_encode
+from repro.errors import ProtocolError
+
+
+def _req(nonce: bytes) -> ReadTsRequest:
+    return ReadTsRequest(nonce=nonce)
+
+
+class TestBatchEnvelope:
+    def test_wire_round_trip(self):
+        batch = BatchEnvelope(
+            payloads=(message_wire_bytes(_req(b"n1")), message_wire_bytes(_req(b"n2")))
+        )
+        decoded = message_from_wire(
+            canonical_decode(canonical_encode(message_to_wire(batch)))
+        )
+        assert decoded == batch
+        assert len(decoded) == 2
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ProtocolError):
+            BatchEnvelope.from_wire({"msgs": ()})
+
+    def test_rejects_non_bytes_payloads(self):
+        with pytest.raises(ProtocolError):
+            BatchEnvelope.from_wire({"msgs": ("not-bytes",)})
+
+    def test_rejects_non_tuple(self):
+        with pytest.raises(ProtocolError):
+            BatchEnvelope.from_wire({"msgs": b"raw"})
+
+
+class TestExpandMessage:
+    def test_plain_message_passes_through(self):
+        request = _req(b"n")
+        assert expand_message(request) == [request]
+
+    def test_batch_unpacks_in_order(self):
+        inner = [_req(b"n1"), _req(b"n2"), _req(b"n3")]
+        batch = BatchEnvelope(payloads=tuple(message_wire_bytes(m) for m in inner))
+        assert expand_message(batch) == inner
+
+    def test_malformed_payload_skipped_and_counted(self):
+        good = _req(b"ok")
+        stats = BatchStats()
+        batch = BatchEnvelope(
+            payloads=(b"\xffgarbage", message_wire_bytes(good))
+        )
+        assert expand_message(batch, stats) == [good]
+        assert stats.malformed_payloads == 1
+
+    def test_nested_batch_discarded(self):
+        inner = BatchEnvelope(payloads=(message_wire_bytes(_req(b"n")),))
+        outer = BatchEnvelope(payloads=(message_wire_bytes(inner),))
+        stats = BatchStats()
+        assert expand_message(outer, stats) == []
+        assert stats.malformed_payloads == 1
+
+
+class TestBatchCoalescer:
+    def test_merges_same_destination(self):
+        coalescer = BatchCoalescer()
+        sends = [
+            Send(dest="replica:0", message=_req(b"n1")),
+            Send(dest="replica:0", message=_req(b"n2")),
+        ]
+        out = coalescer.coalesce(sends)
+        assert len(out) == 1
+        assert out[0].dest == "replica:0"
+        assert isinstance(out[0].message, BatchEnvelope)
+        assert expand_message(out[0].message) == [s.message for s in sends]
+
+    def test_distinct_destinations_pass_through_unchanged(self):
+        coalescer = BatchCoalescer()
+        sends = [
+            Send(dest=f"replica:{i}", message=_req(b"n%d" % i)) for i in range(4)
+        ]
+        assert coalescer.coalesce(list(sends)) == sends
+        assert coalescer.stats.frames_saved == 0
+
+    def test_preserves_first_appearance_order(self):
+        coalescer = BatchCoalescer()
+        sends = [
+            Send(dest="replica:1", message=_req(b"a")),
+            Send(dest="replica:0", message=_req(b"b")),
+            Send(dest="replica:1", message=_req(b"c")),
+        ]
+        out = coalescer.coalesce(sends)
+        assert [s.dest for s in out] == ["replica:1", "replica:0"]
+
+    def test_never_nests_envelopes(self):
+        coalescer = BatchCoalescer()
+        batch = BatchEnvelope(payloads=(message_wire_bytes(_req(b"n")),))
+        sends = [
+            Send(dest="replica:0", message=batch),
+            Send(dest="replica:0", message=_req(b"m")),
+        ]
+        out = coalescer.coalesce(sends)
+        assert out == sends  # group contains a batch: forwarded as-is
+
+    def test_empty_and_singleton_rounds(self):
+        coalescer = BatchCoalescer()
+        assert coalescer.coalesce([]) == []
+        single = [Send(dest="replica:0", message=_req(b"n"))]
+        assert coalescer.coalesce(list(single)) == single
+
+    def test_stats_accounting(self):
+        stats = BatchStats()
+        coalescer = BatchCoalescer(stats)
+        sends = [
+            Send(dest="replica:0", message=_req(b"n1")),
+            Send(dest="replica:0", message=_req(b"n2")),
+            Send(dest="replica:1", message=_req(b"n3")),
+        ]
+        coalescer.coalesce(sends)
+        assert stats.sends_in == 3
+        assert stats.frames_out == 2
+        assert stats.frames_saved == 1
+        assert stats.batches == 1
+        assert stats.messages_batched == 2
+        assert stats.batch_sizes == {2: 1}
+        assert stats.mean_batch_size == 2.0
+        stats.reset()
+        assert stats.sends_in == 0 and not stats.batch_sizes

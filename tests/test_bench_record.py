@@ -1,0 +1,56 @@
+"""Smoke tests for the benchmark-result recorder (tools/bench_record.py)."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import bench_record  # noqa: E402
+
+
+def test_record_and_load_round_trip(tmp_path):
+    target = tmp_path / "BENCH.json"
+    bench_record.record("alpha", {"speedup": 2.5}, path=target)
+    loaded = bench_record.load(target)
+    assert loaded["alpha"]["speedup"] == 2.5
+    assert "recorded_at" in loaded["alpha"]
+    assert "python" in loaded["alpha"]
+
+
+def test_record_merges_without_clobbering(tmp_path):
+    target = tmp_path / "BENCH.json"
+    bench_record.record("alpha", {"x": 1}, path=target)
+    bench_record.record("beta", {"y": 2}, path=target)
+    bench_record.record("alpha", {"x": 3}, path=target)  # re-record overwrites
+    loaded = bench_record.load(target)
+    assert set(loaded) == {"alpha", "beta"}
+    assert loaded["alpha"]["x"] == 3
+    assert loaded["beta"]["y"] == 2
+
+
+def test_load_missing_and_corrupt_files(tmp_path):
+    assert bench_record.load(tmp_path / "absent.json") == {}
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{not json", encoding="utf-8")
+    assert bench_record.load(corrupt) == {}
+    # A corrupt file is recoverable: recording over it starts fresh.
+    bench_record.record("alpha", {"x": 1}, path=corrupt)
+    assert bench_record.load(corrupt)["alpha"]["x"] == 1
+
+
+def test_file_is_valid_sorted_json(tmp_path):
+    target = tmp_path / "BENCH.json"
+    bench_record.record("zeta", {"v": 1}, path=target)
+    bench_record.record("alpha", {"v": 2}, path=target)
+    document = json.loads(target.read_text(encoding="utf-8"))
+    assert list(document) == sorted(document)
+
+
+def test_repo_results_file_exists_and_parses():
+    """The committed BENCH_throughput.json must stay valid JSON."""
+    document = bench_record.load()
+    assert isinstance(document, dict)

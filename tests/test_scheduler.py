@@ -128,3 +128,68 @@ class TestRunLimits:
             sched.run_until_idle()
             return order
         assert run_once() == run_once()
+
+
+class TestLazyCompaction:
+    """Cancelled entries must not grow the heap without bound."""
+
+    def test_cancelled_pending_counts_cancellations(self):
+        sched = Scheduler()
+        handles = [sched.call_later(1.0, lambda: None) for _ in range(10)]
+        assert sched.cancelled_pending == 0
+        for handle in handles[:4]:
+            handle.cancel()
+        assert sched.cancelled_pending == 4
+        assert sched.live_pending == 6
+
+    def test_double_cancel_counts_once(self):
+        sched = Scheduler()
+        handle = sched.call_later(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert sched.cancelled_pending == 1
+
+    def test_cancel_after_fire_does_not_skew_counter(self):
+        sched = Scheduler()
+        handle = sched.call_later(1.0, lambda: None)
+        sched.run_until_idle()
+        handle.cancel()  # stale handle: the event already left the queue
+        assert sched.cancelled_pending == 0
+
+    def test_compaction_bounds_heap_growth(self):
+        sched = Scheduler()
+        # Timer-churn pattern: arm far-future timers and cancel almost all,
+        # like a retransmission timer cancelled on every completion.
+        for _ in range(50):
+            handles = [sched.call_later(100.0, lambda: None) for _ in range(100)]
+            for handle in handles:
+                handle.cancel()
+        assert sched.compactions > 0
+        # The heap holds at most a constant factor of the live events.
+        assert sched.pending <= max(64, 2 * sched.live_pending + 1)
+        assert sched.cancelled_pending <= sched.pending
+
+    def test_compaction_preserves_order_and_live_events(self):
+        sched = Scheduler()
+        fired = []
+        keep = []
+        for i in range(200):
+            handle = sched.call_later(float(i), lambda i=i: fired.append(i))
+            if i % 10 == 0:
+                keep.append(i)
+            else:
+                handle.cancel()
+        sched.run_until_idle()
+        assert fired == keep
+        assert sched.cancelled_pending == 0
+
+    def test_no_compaction_below_threshold(self):
+        sched = Scheduler()
+        handles = [sched.call_later(1.0, lambda: None) for _ in range(10)]
+        for handle in handles:
+            handle.cancel()
+        # Tiny queues are never compacted; popping cleans them up instead.
+        assert sched.compactions == 0
+        sched.run_until_idle()
+        assert sched.pending == 0
+        assert sched.cancelled_pending == 0

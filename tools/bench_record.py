@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Record benchmark results as a merged JSON document.
+
+Benchmarks call :func:`record` to persist their headline numbers to
+``BENCH_throughput.json`` at the repo root (or any path the caller picks).
+The file is a single JSON object mapping benchmark name to its latest
+result payload plus bookkeeping (``recorded_at`` wall-clock stamp and the
+recording host's Python version), merged on every write so independent
+benchmarks can share one file without clobbering each other.
+
+Run standalone to pretty-print the current file:
+
+    python tools/bench_record.py [path]
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import pathlib
+import platform
+import sys
+from typing import Any, Optional
+
+__all__ = ["DEFAULT_PATH", "record", "load"]
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_PATH = REPO_ROOT / "BENCH_throughput.json"
+
+
+def load(path: Optional[pathlib.Path] = None) -> dict[str, Any]:
+    """The current results document (empty dict when absent or corrupt).
+
+    A corrupt file is treated as absent rather than fatal so one bad write
+    never bricks the whole benchmark suite's recording.
+    """
+    target = pathlib.Path(path) if path is not None else DEFAULT_PATH
+    try:
+        loaded = json.loads(target.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    return loaded if isinstance(loaded, dict) else {}
+
+
+def record(
+    name: str,
+    payload: dict[str, Any],
+    path: Optional[pathlib.Path] = None,
+) -> dict[str, Any]:
+    """Merge ``payload`` under ``name`` into the results file; return the doc.
+
+    The payload must be JSON-serialisable.  Existing entries for other
+    benchmarks are preserved; re-recording the same name overwrites it.
+    """
+    target = pathlib.Path(path) if path is not None else DEFAULT_PATH
+    document = load(target)
+    document[name] = {
+        **payload,
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "python": platform.python_version(),
+    }
+    target.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return document
+
+
+def main(argv: list[str]) -> int:
+    target = pathlib.Path(argv[1]) if len(argv) > 1 else DEFAULT_PATH
+    document = load(target)
+    if not document:
+        print(f"no results recorded at {target}")
+        return 1
+    print(json.dumps(document, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -14,7 +14,11 @@ or below, never above):
 The crucial edges this pins down: ``crypto`` never imports ``core``;
 ``core.verification`` sits between ``crypto`` and the rest of ``core`` and
 imports nothing from ``core.*``; protocol logic (``core``) never reaches up
-into transports or the simulator.  Imports are discovered by parsing every
+into transports or the simulator.  The wire fast path keeps the same shape:
+``encoding.interning`` lives at layer 0 so ``crypto`` and ``core`` can share
+interned statement bytes, and ``core.batching`` is ordinary ``core`` (layer
+3) — it may use messages and encoding but never the transports that carry
+its envelopes.  Imports are discovered by parsing every
 source file under ``src/repro`` with :mod:`ast` — including imports inside
 ``TYPE_CHECKING`` blocks and function bodies, so lazy imports cannot hide a
 cycle-in-waiting.
@@ -35,8 +39,10 @@ SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 LAYERS: dict[str, int] = {
     "repro.errors": 0,
     "repro.encoding": 0,
+    "repro.encoding.interning": 0,
     "repro.crypto": 1,
     "repro.core.verification": 2,
+    "repro.core.batching": 3,
     "repro.core": 3,
     "repro.spec": 4,
     "repro.analysis": 4,
