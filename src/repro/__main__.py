@@ -6,6 +6,8 @@ Commands:
 * ``attacks``   — run the §3.2 Byzantine-client attack catalogue.
 * ``compare``   — BFT-BC vs BQS vs Phalanx on one workload (E8-style table).
 * ``simulate``  — a configurable workload (clients, ops, loss, f, variant).
+* ``serve``     — host one durable replica over TCP, journaling to a data
+  directory and recovering from it on startup.
 """
 
 from __future__ import annotations
@@ -155,6 +157,54 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.config import make_system
+    from repro.core.replica import BftBcReplica, OptimizedBftBcReplica
+    from repro.net.asyncio_transport import ReplicaServer
+
+    config = make_system(
+        args.f,
+        seed=b"cluster-seed-%d" % args.seed,
+        strong=(args.variant == "strong"),
+    )
+    if args.node_id not in config.quorums.replica_ids:
+        print(
+            f"unknown node id {args.node_id!r}; "
+            f"expected one of {list(config.quorums.replica_ids)}",
+            file=sys.stderr,
+        )
+        return 1
+    replica_cls = (
+        OptimizedBftBcReplica if args.variant == "optimized" else BftBcReplica
+    )
+
+    async def run() -> None:
+        server = ReplicaServer.durable(
+            args.node_id,
+            config,
+            args.data_dir,
+            host=args.host,
+            port=args.port,
+            replica_cls=replica_cls,
+            fsync=args.fsync,
+        )
+        host, port = await server.start()
+        print(f"replica {args.node_id} serving on {host}:{port} "
+              f"(data dir {args.data_dir}, fsync={args.fsync})")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -178,12 +228,23 @@ def main(argv: list[str] | None = None) -> int:
     sim.add_argument("--dup", type=float, default=0.0)
     sim.add_argument("--max-delay", type=float, default=0.01)
 
+    serve = sub.add_parser("serve", help="host one durable replica over TCP")
+    serve.add_argument("node_id", help="replica id, e.g. replica:0")
+    serve.add_argument("--data-dir", required=True,
+                       help="directory for the WAL and snapshot")
+    serve.add_argument("--variant", choices=("base", "optimized", "strong"),
+                       default="base")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument("--fsync", choices=("always", "never"), default="always")
+
     args = parser.parse_args(argv)
     handlers = {
         "demo": cmd_demo,
         "attacks": cmd_attacks,
         "compare": cmd_compare,
         "simulate": cmd_simulate,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -189,6 +189,38 @@ class CostModel:
         """
         return self.write_encode_calls_uncached() / self.write_encode_calls_cached()
 
+    # -- durability counts (write-ahead logging, E16) -------------------------
+
+    def write_log_records(self, variant: str = "base") -> int:
+        """WAL records one replica appends for one write, steady state.
+
+        Per write: an ``spr`` signing-log entry and a ``plist-set`` at
+        prepare time, the ``install`` and ``swr`` at write time, plus — once
+        the *next* write's certificate arrives — a ``write-ts`` advance and
+        the ``plist-del`` GC of the entry the certificate subsumed.  The
+        optimized fast path logs the same set (optlist instead of plist on
+        the contention-free path).
+        """
+        del variant  # same steady-state count for all three variants
+        return 6
+
+    def write_log_bytes(self, variant: str = "base") -> int:
+        """WAL bytes per write per replica; the install record dominates.
+
+        The install record carries the value and a full certificate —
+        O(|Q|) — while the other five records are O(1) timestamps, hashes
+        and ids (~``header_bytes`` each framed).
+        """
+        small = self.header_bytes
+        install = self.certificate_bytes + self.value_bytes + self.header_bytes
+        return (self.write_log_records(variant) - 1) * small + install
+
+    def fsyncs_per_write(self, *, fsync: str = "always") -> int:
+        """fsync calls per write per replica under the given policy."""
+        if fsync == "never":
+            return 0
+        return self.write_log_records()
+
     # -- frame counts (cross-object batching) --------------------------------
 
     def workload_frames_unbatched(self, objects: int, phases: int = 3) -> int:

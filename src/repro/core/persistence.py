@@ -1,0 +1,345 @@
+"""Durable replica state: the bridge between replicas and their store.
+
+:class:`DurableReplicaState` owns every piece of Figure-2 state a
+:class:`~repro.core.replica.BftBcReplica` holds — ``data``, ``pcert``,
+``plist`` (and the §6 ``optlist``), ``write_ts`` — plus the signing logs the
+executable Lemma 1 invariants read.  All mutation goes through it, and every
+mutation is appended to the backing
+:class:`~repro.storage.base.ReplicaStore` *before* the change becomes
+visible, so a replica can be rebuilt after a crash by replaying
+snapshot + log (:meth:`DurableReplicaState.recover`).
+
+The store traffics only in wire values (canonically encodable tuples and
+dicts); this module owns the translation:
+
+==============  =====================================  =====================
+record tag      payload                                meaning
+==============  =====================================  =====================
+``plist-set``   ``(client, ts_wire, value_hash)``      plist entry written
+``plist-del``   ``(client,)``                          plist entry GC'd
+``optlist-set`` ``(client, ts_wire, value_hash)``      §6 optlist entry
+``optlist-del`` ``(client,)``                          §6 optlist GC
+``install``     ``(value, pcert_wire)``                phase-3 install
+``write-ts``    ``(ts_wire,)``                         write_ts advanced
+``swr``         ``(ts_wire,)``                         WRITE-REPLY signed
+``spr``         ``(ts_wire, value_hash, client)``      PREPARE-REPLY signed
+==============  =====================================  =====================
+
+Replay is idempotent: ``plist``/``optlist`` records are last-writer-wins,
+``install`` and ``write-ts`` carry monotonicity guards, and the signing logs
+are grow-only sets — so a WAL suffix that overlaps an already-applied
+snapshot (a crash between snapshot write and log truncation, or a torn
+final record dropped by the store) re-applies to the same state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from repro.core.certificates import (
+    GENESIS_VALUE,
+    PrepareCertificate,
+    genesis_prepare_certificate,
+)
+from repro.core.timestamp import ZERO_TS, Timestamp
+from repro.crypto.hashing import hash_value
+from repro.errors import StorageError
+from repro.storage import MemoryStore, ReplicaStore
+
+__all__ = ["PlistEntry", "DurableReplicaState"]
+
+
+@dataclass(frozen=True)
+class PlistEntry:
+    """One proposed write: the ``(t, h)`` of a client's prepare."""
+
+    ts: Timestamp
+    value_hash: bytes
+
+
+class LoggedMap:
+    """A ``client -> PlistEntry`` mapping whose mutations hit the WAL.
+
+    Reads are plain dict reads; ``[]=`` and ``del`` append a
+    ``<tag>-set`` / ``<tag>-del`` record before updating the mirror, which
+    is what makes prepare-list entries unforgettable across crashes.
+    """
+
+    __slots__ = ("_store", "_tag", "_entries")
+
+    def __init__(self, store: ReplicaStore, tag: str) -> None:
+        self._store = store
+        self._tag = tag
+        self._entries: dict[str, PlistEntry] = {}
+
+    def get(self, client: str) -> Optional[PlistEntry]:
+        return self._entries.get(client)
+
+    def __getitem__(self, client: str) -> PlistEntry:
+        return self._entries[client]
+
+    def __setitem__(self, client: str, entry: PlistEntry) -> None:
+        self._store.append(
+            (self._tag + "-set", client, entry.ts.to_wire(), entry.value_hash)
+        )
+        self._entries[client] = entry
+        self._store.maybe_compact()
+
+    def __delitem__(self, client: str) -> None:
+        del self._entries[client]  # KeyError before logging a bogus delete
+        self._store.append((self._tag + "-del", client))
+        self._store.maybe_compact()
+
+    def __contains__(self, client: str) -> bool:
+        return client in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def items(self):
+        return self._entries.items()
+
+    def values(self):
+        return self._entries.values()
+
+    # Recovery-time mutation: mirror only, no logging.
+    def _set_silent(self, client: str, entry: PlistEntry) -> None:
+        self._entries[client] = entry
+
+    def _del_silent(self, client: str) -> None:
+        self._entries.pop(client, None)
+
+    def _clear_silent(self) -> None:
+        self._entries.clear()
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            client: (entry.ts.to_wire(), entry.value_hash)
+            for client, entry in self._entries.items()
+        }
+
+
+class LoggedSet:
+    """A grow-only set of signing-log entries, mirrored to the WAL.
+
+    ``add`` appends a record only for genuinely new members, so
+    retransmission-driven re-signing costs no log traffic.
+    """
+
+    __slots__ = ("_store", "_tag", "_members")
+
+    def __init__(self, store: ReplicaStore, tag: str) -> None:
+        self._store = store
+        self._tag = tag
+        self._members: set = set()
+
+    def add(self, member: Any) -> None:
+        if member in self._members:
+            return
+        self._store.append((self._tag,) + self._member_wire(member))
+        self._members.add(member)
+        self._store.maybe_compact()
+
+    def _member_wire(self, member: Any) -> tuple:
+        if self._tag == "swr":  # member: Timestamp
+            return (member.to_wire(),)
+        ts, value_hash, client = member  # spr
+        return (ts.to_wire(), value_hash, client)
+
+    def __contains__(self, member: Any) -> bool:
+        return member in self._members
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def _add_silent(self, member: Any) -> None:
+        self._members.add(member)
+
+    def _clear_silent(self) -> None:
+        self._members.clear()
+
+    def to_wire(self) -> tuple:
+        return tuple(sorted(self._member_wire(m) for m in self._members))
+
+
+class DurableReplicaState:
+    """All Figure-2 replica state, mediated by a :class:`ReplicaStore`.
+
+    Replicas read through properties and mutate through :meth:`install`,
+    :meth:`advance_write_ts`, and the logged ``plist``/``optlist``/signing
+    collections; nothing protocol-visible changes without a corresponding
+    WAL record.  The state registers itself as the store's
+    ``snapshot_source`` so the store can compact the log against the full
+    current state at any time.
+    """
+
+    def __init__(
+        self, store: Optional[ReplicaStore] = None, *, optimized: bool = False
+    ) -> None:
+        self.store: ReplicaStore = store if store is not None else MemoryStore()
+        self._data: Any = GENESIS_VALUE
+        self._pcert: PrepareCertificate = genesis_prepare_certificate()
+        self._write_ts: Timestamp = ZERO_TS
+        self.plist = LoggedMap(self.store, "plist")
+        self.optlist = LoggedMap(self.store, "optlist") if optimized else None
+        self.signed_write_replies = LoggedSet(self.store, "swr")
+        self.signed_prepare_replies = LoggedSet(self.store, "spr")
+        self.store.snapshot_source = self.snapshot_wire
+
+    # -- read side ---------------------------------------------------------
+
+    @property
+    def data(self) -> Any:
+        return self._data
+
+    @property
+    def pcert(self) -> PrepareCertificate:
+        return self._pcert
+
+    @property
+    def write_ts(self) -> Timestamp:
+        return self._write_ts
+
+    # -- write side (always logged) ---------------------------------------
+
+    def install(self, value: Any, cert: PrepareCertificate) -> None:
+        """Phase-3 install: the WAL record precedes the visible change."""
+        self.store.append(("install", value, cert.to_wire()))
+        self._data = value
+        self._pcert = cert
+        self.store.maybe_compact()
+
+    def advance_write_ts(self, ts: Timestamp) -> None:
+        if ts <= self._write_ts:
+            return
+        self.store.append(("write-ts", ts.to_wire()))
+        self._write_ts = ts
+        self.store.maybe_compact()
+
+    def ensure_optlist(self) -> LoggedMap:
+        """The §6 second prepare list, created on first use."""
+        if self.optlist is None:
+            self.optlist = LoggedMap(self.store, "optlist")
+        return self.optlist
+
+    # -- snapshots and fingerprints ---------------------------------------
+
+    def snapshot_wire(self) -> dict[str, Any]:
+        """The full state as one canonical wire value (compaction source)."""
+        return {
+            "data": self._data,
+            "pcert": self._pcert.to_wire(),
+            "write_ts": self._write_ts.to_wire(),
+            "plist": self.plist.to_wire(),
+            "optlist": None if self.optlist is None else self.optlist.to_wire(),
+            "swr": self.signed_write_replies.to_wire(),
+            "spr": self.signed_prepare_replies.to_wire(),
+        }
+
+    def fingerprint(self, *, include_signing_logs: bool = False) -> bytes:
+        """Collision-resistant digest of the Figure-2 state.
+
+        The differential crash-recovery tests compare these across runs, so
+        by default two run-dependent-but-equivalent details are left out:
+        signing logs (a replica that was down for an operation legitimately
+        never signed it) and the *signer sets* inside the stored
+        certificate — any quorum of signatures certifies the same
+        ``(ts, h)``, and which quorum the client happened to assemble
+        depends on who was up.  ``include_signing_logs=True`` restores the
+        logs (used when comparing a replica against its own recovery, where
+        everything must round-trip exactly).
+        """
+        wire = self.snapshot_wire()
+        wire["pcert"] = (self._pcert.ts.to_wire(), self._pcert.h)
+        if not include_signing_logs:
+            del wire["swr"], wire["spr"]
+        return hash_value(wire)
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self) -> None:
+        """Rebuild from snapshot + log; idempotent under torn final records."""
+        snapshot, records = self.store.load()
+        self._data = GENESIS_VALUE
+        self._pcert = genesis_prepare_certificate()
+        self._write_ts = ZERO_TS
+        self.plist._clear_silent()
+        if self.optlist is not None:
+            self.optlist._clear_silent()
+        self.signed_write_replies._clear_silent()
+        self.signed_prepare_replies._clear_silent()
+        if snapshot is not None:
+            self._restore_snapshot(snapshot)
+        for record in records:
+            self._apply_record(record)
+
+    def _restore_snapshot(self, snapshot: Any) -> None:
+        if not isinstance(snapshot, dict):
+            raise StorageError(f"malformed snapshot: {snapshot!r}")
+        self._data = snapshot["data"]
+        self._pcert = PrepareCertificate.from_wire(snapshot["pcert"])
+        self._write_ts = Timestamp.from_wire(snapshot["write_ts"])
+        for client, (ts_wire, value_hash) in snapshot["plist"].items():
+            self.plist._set_silent(
+                client, PlistEntry(Timestamp.from_wire(ts_wire), value_hash)
+            )
+        if snapshot["optlist"] is not None:
+            optlist = self.ensure_optlist()
+            for client, (ts_wire, value_hash) in snapshot["optlist"].items():
+                optlist._set_silent(
+                    client, PlistEntry(Timestamp.from_wire(ts_wire), value_hash)
+                )
+        for (ts_wire,) in snapshot["swr"]:
+            self.signed_write_replies._add_silent(Timestamp.from_wire(ts_wire))
+        for ts_wire, value_hash, client in snapshot["spr"]:
+            self.signed_prepare_replies._add_silent(
+                (Timestamp.from_wire(ts_wire), value_hash, client)
+            )
+
+    def _apply_record(self, record: Any) -> None:
+        if not isinstance(record, tuple) or not record:
+            raise StorageError(f"malformed WAL record: {record!r}")
+        tag = record[0]
+        if tag == "plist-set":
+            _, client, ts_wire, value_hash = record
+            self.plist._set_silent(
+                client, PlistEntry(Timestamp.from_wire(ts_wire), value_hash)
+            )
+        elif tag == "plist-del":
+            self.plist._del_silent(record[1])
+        elif tag == "optlist-set":
+            _, client, ts_wire, value_hash = record
+            self.ensure_optlist()._set_silent(
+                client, PlistEntry(Timestamp.from_wire(ts_wire), value_hash)
+            )
+        elif tag == "optlist-del":
+            self.ensure_optlist()._del_silent(record[1])
+        elif tag == "install":
+            _, value, cert_wire = record
+            cert = PrepareCertificate.from_wire(cert_wire)
+            # Monotonicity guard makes replaying an overlapping suffix safe.
+            if cert.ts > self._pcert.ts or (
+                cert.ts == self._pcert.ts and cert.h > self._pcert.h
+            ):
+                self._data = value
+                self._pcert = cert
+        elif tag == "write-ts":
+            ts = Timestamp.from_wire(record[1])
+            if ts > self._write_ts:
+                self._write_ts = ts
+        elif tag == "swr":
+            self.signed_write_replies._add_silent(Timestamp.from_wire(record[1]))
+        elif tag == "spr":
+            _, ts_wire, value_hash, client = record
+            self.signed_prepare_replies._add_silent(
+                (Timestamp.from_wire(ts_wire), value_hash, client)
+            )
+        else:
+            raise StorageError(f"unknown WAL record tag {tag!r}")

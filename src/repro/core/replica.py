@@ -16,6 +16,14 @@ State per Figure 2:
 * ``write_ts`` — the timestamp of the latest write known to have completed
   at a quorum.
 
+All of it lives behind a :class:`~repro.core.persistence.DurableReplicaState`
+backed by a pluggable :class:`~repro.storage.ReplicaStore`: every mutation is
+write-ahead logged before the corresponding reply can leave the replica, and
+:meth:`BftBcReplica.recover` rebuilds the state from snapshot + log after a
+crash.  The default :class:`~repro.storage.MemoryStore` preserves the old
+zero-copy in-memory behaviour; :class:`~repro.storage.FileLogStore` makes
+the replica durable.
+
 :class:`OptimizedBftBcReplica` (§6) adds the second prepare list
 (``optlist``), performs prepares on the client's behalf in the merged
 phase-1/2, and breaks equal-timestamp ties in phase 3 by larger value hash.
@@ -27,12 +35,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.core.certificates import (
-    GENESIS_VALUE,
-    PrepareCertificate,
-    WriteCertificate,
-    genesis_prepare_certificate,
-)
+from repro.core.certificates import PrepareCertificate, WriteCertificate
 from repro.core.config import SystemConfig
 from repro.core.messages import (
     Message,
@@ -47,6 +50,7 @@ from repro.core.messages import (
     WriteReply,
     WriteRequest,
 )
+from repro.core.persistence import DurableReplicaState, PlistEntry
 from repro.core.statements import (
     prepare_reply_statement,
     prepare_request_statement,
@@ -57,19 +61,12 @@ from repro.core.statements import (
     write_reply_statement,
     write_request_statement,
 )
-from repro.core.timestamp import ZERO_TS, Timestamp
+from repro.core.timestamp import Timestamp
 from repro.crypto.hashing import hash_value
 from repro.crypto.signatures import Signature
+from repro.storage import ReplicaStore
 
 __all__ = ["PlistEntry", "ReplicaStats", "BftBcReplica", "OptimizedBftBcReplica"]
-
-
-@dataclass(frozen=True)
-class PlistEntry:
-    """One proposed write: the ``(t, h)`` of a client's prepare."""
-
-    ts: Timestamp
-    value_hash: bytes
 
 
 @dataclass
@@ -94,21 +91,68 @@ class ReplicaStats:
 class BftBcReplica:
     """Base-protocol replica (Figure 2), plus the §7 strong-mode checks."""
 
-    def __init__(self, node_id: str, config: SystemConfig) -> None:
+    def __init__(
+        self,
+        node_id: str,
+        config: SystemConfig,
+        store: Optional[ReplicaStore] = None,
+    ) -> None:
         self.node_id = node_id
         self.config = config
-        self.data = GENESIS_VALUE
-        self.pcert: PrepareCertificate = genesis_prepare_certificate()
-        self.plist: dict[str, PlistEntry] = {}
-        self.write_ts: Timestamp = ZERO_TS
+        #: All Figure-2 state, write-ahead logged through the store.
+        self._state = DurableReplicaState(store)
         self.stats = ReplicaStats()
         # §3.3.2: WRITE-REPLY signatures pre-computed at prepare time.
+        # Volatile by design — a recovered replica simply re-signs.
         self._presigned: dict[Timestamp, Signature] = {}
-        # Signing logs used by the executable Lemma 1 invariants
-        # (repro.spec.invariants): every WRITE-REPLY timestamp and every
-        # PREPARE-REPLY (ts, hash, client) this replica ever signed.
-        self.signed_write_replies: set[Timestamp] = set()
-        self.signed_prepare_replies: set[tuple[Timestamp, bytes, str]] = set()
+
+    # -- state access (all reads go through the durable state) -------------
+
+    @property
+    def store(self) -> ReplicaStore:
+        """The backing store (``MemoryStore`` unless one was injected)."""
+        return self._state.store
+
+    @property
+    def data(self):
+        return self._state.data
+
+    @property
+    def pcert(self) -> PrepareCertificate:
+        return self._state.pcert
+
+    @property
+    def write_ts(self) -> Timestamp:
+        return self._state.write_ts
+
+    @property
+    def plist(self):
+        """At most one proposed write ``(t, h)`` per client (logged map)."""
+        return self._state.plist
+
+    @property
+    def signed_write_replies(self):
+        """Every WRITE-REPLY timestamp this replica ever signed (Lemma 1)."""
+        return self._state.signed_write_replies
+
+    @property
+    def signed_prepare_replies(self):
+        """Every PREPARE-REPLY ``(ts, hash, client)`` ever signed (Lemma 1)."""
+        return self._state.signed_prepare_replies
+
+    def recover(self) -> None:
+        """Rebuild Figure-2 state from the store's snapshot + log.
+
+        Idempotent, including under a torn final WAL record (the store
+        truncates it).  The presigned-signature cache is volatile and is
+        dropped; recovered replicas re-sign on demand.
+        """
+        self._state.recover()
+        self._presigned.clear()
+
+    def state_fingerprint(self, *, include_signing_logs: bool = False) -> bytes:
+        """Digest of the durable state, for differential recovery tests."""
+        return self._state.fingerprint(include_signing_logs=include_signing_logs)
 
     # -- helpers ----------------------------------------------------------
 
@@ -164,8 +208,7 @@ class BftBcReplica:
         if not self.config.verifier.certificate_valid(wcert):
             self.stats.discard("bad-write-cert")
             return False
-        if wcert.ts > self.write_ts:
-            self.write_ts = wcert.ts
+        self._state.advance_write_ts(wcert.ts)
         if self.config.gc_plist:
             self._gc_prepare_lists()
         return True
@@ -286,8 +329,7 @@ class BftBcReplica:
             self.stats.discard("bad-hash")
             return None
         if self._should_install(cert):
-            self.data = message.value
-            self.pcert = cert
+            self._state.install(message.value, cert)
             self.stats.writes_installed += 1
         signature = self._write_reply_signature(cert.ts)
         return WriteReply(ts=cert.ts, signature=signature)
@@ -317,9 +359,19 @@ class BftBcReplica:
 class OptimizedBftBcReplica(BftBcReplica):
     """§6 replica: merged phase-1/2, second prepare list, hash tie-break."""
 
-    def __init__(self, node_id: str, config: SystemConfig) -> None:
-        super().__init__(node_id, config)
-        self.optlist: dict[str, PlistEntry] = {}
+    def __init__(
+        self,
+        node_id: str,
+        config: SystemConfig,
+        store: Optional[ReplicaStore] = None,
+    ) -> None:
+        super().__init__(node_id, config, store)
+        self._state.ensure_optlist()
+
+    @property
+    def optlist(self):
+        """The §6 second prepare list (logged map, like ``plist``)."""
+        return self._state.optlist
 
     def handle(self, sender: str, message: Message) -> Optional[Message]:
         if isinstance(message, ReadTsPrepRequest):

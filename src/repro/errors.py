@@ -56,6 +56,10 @@ class NetworkError(ReproError):
     """A transport-level failure."""
 
 
+class StorageError(ReproError):
+    """A replica store was misused or its backing medium failed."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator was used incorrectly."""
 

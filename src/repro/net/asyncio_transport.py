@@ -17,14 +17,17 @@ protocol's retransmission recovers, matching the §2 fair-loss model.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Optional
+import os
+from typing import Any, Optional, Union
 
 from repro.core.client import BftBcClient
+from repro.core.config import SystemConfig
 from repro.core.messages import Message, message_from_wire, message_wire_bytes
 from repro.core.operations import Send
 from repro.core.replica import BftBcReplica
 from repro.encoding import FrameDecoder, canonical_decode, canonical_encode, encode_frame
 from repro.errors import EncodingError, NetworkError, OperationFailedError, ProtocolError
+from repro.storage import FileLogStore
 
 __all__ = ["ReplicaServer", "AsyncClient"]
 
@@ -59,6 +62,33 @@ class ReplicaServer:
         self.host = host
         self.port = port
         self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set[asyncio.StreamWriter] = set()
+
+    @classmethod
+    def durable(
+        cls,
+        node_id: str,
+        config: SystemConfig,
+        data_dir: Union[str, os.PathLike],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        replica_cls: type[BftBcReplica] = BftBcReplica,
+        fsync: str = "always",
+        snapshot_interval: Optional[int] = 1024,
+    ) -> "ReplicaServer":
+        """Build a server whose replica journals to ``data_dir``.
+
+        The replica recovers from whatever snapshot + WAL the directory
+        already holds, so restarting a server on the same directory resumes
+        from the pre-crash Figure-2 state.
+        """
+        store = FileLogStore(
+            data_dir, fsync=fsync, snapshot_interval=snapshot_interval
+        )
+        replica = replica_cls(node_id, config, store=store)
+        replica.recover()
+        return cls(replica, host=host, port=port)
 
     async def start(self) -> tuple[str, int]:
         """Start listening; returns the bound (host, port)."""
@@ -70,15 +100,21 @@ class ReplicaServer:
         return self.host, self.port
 
     async def stop(self) -> None:
+        """Stop listening and drop every established connection — the
+        moral equivalent of killing the replica process."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for writer in list(self._connections):
+            writer.close()
+        self._connections.clear()
 
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         decoder = FrameDecoder()
+        self._connections.add(writer)
         try:
             while True:
                 chunk = await reader.read(65536)
@@ -88,9 +124,15 @@ class ReplicaServer:
                     await self._handle_frame(payload, writer)
         except (ConnectionError, EncodingError, asyncio.IncompleteReadError):
             pass
+        except asyncio.CancelledError:
+            # Loop shutdown cancels handler tasks blocked in read();
+            # completing normally keeps the streams machinery from logging
+            # a spurious "exception was never retrieved" at teardown.
+            pass
         finally:
             # Close without awaiting: at interpreter shutdown the surrounding
             # task may already be cancelled, and waiting here would raise.
+            self._connections.discard(writer)
             writer.close()
 
     async def _handle_frame(
@@ -124,6 +166,10 @@ class AsyncClient:
         self._writers: dict[str, asyncio.StreamWriter] = {}
         self._reader_tasks: list[asyncio.Task] = []
         self._inbox: asyncio.Queue[tuple[str, Message]] = asyncio.Queue()
+        #: Successful re-dials of previously broken replica connections
+        #: (via either the retransmission timer or the lazy send path).
+        self.reconnects = 0
+        self._ever_connected: set[str] = set()
 
     async def connect(self) -> None:
         """Open a connection to every reachable replica."""
@@ -138,11 +184,19 @@ class AsyncClient:
         except OSError:
             return False
         self._writers[node_id] = writer
-        task = asyncio.create_task(self._read_loop(node_id, reader))
+        if node_id in self._ever_connected:
+            self.reconnects += 1
+        self._ever_connected.add(node_id)
+        task = asyncio.create_task(self._read_loop(node_id, reader, writer))
         self._reader_tasks.append(task)
         return True
 
-    async def _read_loop(self, node_id: str, reader: asyncio.StreamReader) -> None:
+    async def _read_loop(
+        self,
+        node_id: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
         decoder = FrameDecoder()
         try:
             while True:
@@ -158,7 +212,9 @@ class AsyncClient:
         except (ConnectionError, EncodingError):
             pass
         finally:
-            self._writers.pop(node_id, None)
+            # Only clear the slot if a re-dial hasn't already replaced it.
+            if self._writers.get(node_id) is writer:
+                self._writers.pop(node_id, None)
 
     async def close(self) -> None:
         for task in self._reader_tasks:
@@ -197,16 +253,37 @@ class AsyncClient:
                     self._inbox.get(), timeout=timeout
                 )
             except asyncio.TimeoutError:
+                # A quiet interval is when broken connections matter: without
+                # a live socket the retransmission below would be a no-op
+                # against a restarted replica, so re-dial first.
+                await self._reconnect_broken()
                 await self._send_all(self.client.retransmit())
                 continue
             await self._send_all(self.client.deliver(src, message))
         assert self.client.op is not None
         return self.client.op.result
 
+    async def _reconnect_broken(self) -> None:
+        """Re-dial every replica whose connection is missing or half-dead.
+
+        Runs on the retransmission timer: a replica that crashed and came
+        back (e.g. a durable server restarted on its data directory) left a
+        closed or closing writer behind, and only a fresh connection lets
+        the retransmitted round reach it.
+        """
+        for node_id, (host, port) in self.replica_addrs.items():
+            writer = self._writers.get(node_id)
+            if writer is not None and not writer.is_closing():
+                continue
+            if writer is not None:
+                self._writers.pop(node_id, None)
+                writer.close()
+            await self._try_connect(node_id, host, port)
+
     async def _send_all(self, sends: list[Send]) -> None:
         for send in sends:
             writer = self._writers.get(send.dest)
-            if writer is None:
+            if writer is None or writer.is_closing():
                 # Lazily reconnect; a failure is just message loss.
                 addr = self.replica_addrs.get(send.dest)
                 if addr is None or not await self._try_connect(send.dest, *addr):
@@ -217,5 +294,5 @@ class AsyncClient:
                     _encode_envelope(self.client.node_id, send.message)
                 )
                 await writer.drain()
-            except (ConnectionError, RuntimeError):
+            except (OSError, RuntimeError):
                 self._writers.pop(send.dest, None)

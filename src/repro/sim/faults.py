@@ -5,17 +5,26 @@ partition, heal, degrade a link) applied to a :class:`~repro.net.simnet.SimNetwo
 when the simulation reaches the given virtual time.  Experiments use these to
 exercise the asynchrony and fault assumptions of §2 without hand-writing
 scheduler callbacks.
+
+Network-level :meth:`FaultSchedule.crash` merely stops delivery — the
+replica's in-memory state survives, modelling a partition-style outage.
+Node-level :meth:`FaultSchedule.crash_restart` goes further: it fires the
+:class:`~repro.sim.nodes.ReplicaNode` crash/restart path, which destroys the
+replica object and rebuilds it from its
+:class:`~repro.storage.ReplicaStore` — the schedule that crash-recovery
+experiments use.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable, Mapping, Optional
 
+from repro.errors import SimulationError
 from repro.net.simnet import LinkProfile, SimNetwork
 from repro.sim.scheduler import Scheduler
 
-__all__ = ["FaultAction", "FaultSchedule"]
+__all__ = ["FaultAction", "NodeFaultAction", "FaultSchedule"]
 
 
 @dataclass(frozen=True)
@@ -27,11 +36,26 @@ class FaultAction:
     apply: Callable[[SimNetwork], None]
 
 
+@dataclass(frozen=True)
+class NodeFaultAction:
+    """A timed step that acts on a :class:`~repro.sim.nodes.ReplicaNode`.
+
+    Unlike :class:`FaultAction` these need the node adapter, not just the
+    network, because they destroy and rebuild the replica state machine.
+    """
+
+    time: float
+    description: str
+    node_id: str
+    apply: Callable[[Any], None]
+
+
 @dataclass
 class FaultSchedule:
     """A composable schedule of fault actions."""
 
     actions: list[FaultAction] = field(default_factory=list)
+    node_actions: list[NodeFaultAction] = field(default_factory=list)
 
     def crash(self, time: float, node_id: str) -> "FaultSchedule":
         self.actions.append(
@@ -69,9 +93,51 @@ class FaultSchedule:
         )
         return self
 
-    def install(self, scheduler: Scheduler, network: SimNetwork) -> None:
-        """Arm every action on the scheduler."""
+    def crash_restart(
+        self, time: float, node_id: str, *, down_for: float
+    ) -> "FaultSchedule":
+        """Crash ``node_id`` at ``time`` (losing volatile state) and restart
+        it ``down_for`` later, recovering from its store."""
+        self.node_actions.append(
+            NodeFaultAction(
+                time, f"crash {node_id}", node_id, lambda node: node.crash()
+            )
+        )
+        self.node_actions.append(
+            NodeFaultAction(
+                time + down_for,
+                f"restart {node_id}",
+                node_id,
+                lambda node: node.restart(),
+            )
+        )
+        return self
+
+    def install(
+        self,
+        scheduler: Scheduler,
+        network: SimNetwork,
+        nodes: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """Arm every action on the scheduler.
+
+        ``nodes`` maps node id to :class:`~repro.sim.nodes.ReplicaNode` and
+        is required whenever the schedule contains node-level actions.
+        """
         for action in self.actions:
             scheduler.call_at(
                 action.time, lambda a=action: a.apply(network)
+            )
+        if self.node_actions and nodes is None:
+            raise SimulationError(
+                "schedule has node-level actions but no nodes were supplied"
+            )
+        for node_action in self.node_actions:
+            if node_action.node_id not in nodes:  # type: ignore[operator]
+                raise SimulationError(
+                    f"unknown node {node_action.node_id!r} in fault schedule"
+                )
+            scheduler.call_at(
+                node_action.time,
+                lambda a=node_action: a.apply(nodes[a.node_id]),  # type: ignore[index]
             )

@@ -17,6 +17,7 @@ from typing import Optional
 from repro.core.batching import BatchStats
 from repro.core.messages import WireCacheStats
 from repro.core.verification import VerificationStats
+from repro.storage import StorageStats
 
 __all__ = ["OperationSample", "Summary", "MetricsCollector"]
 
@@ -77,6 +78,9 @@ class MetricsCollector:
     wire_cache: Optional[WireCacheStats] = None
     #: Cross-object batching counters, when the deployment batches.
     batching: Optional[BatchStats] = None
+    #: Per-replica storage counters (log appends, fsyncs, snapshots),
+    #: attached by the cluster harness when stores are in play (E16).
+    storage: dict[str, StorageStats] = field(default_factory=dict)
 
     def record(self, sample: OperationSample) -> None:
         self.samples.append(sample)
@@ -92,6 +96,10 @@ class MetricsCollector:
     def attach_batching(self, stats: BatchStats) -> None:
         """Expose the batching layer's coalescing counters through metrics."""
         self.batching = stats
+
+    def attach_storage(self, stats_by_replica: dict[str, StorageStats]) -> None:
+        """Expose each replica's storage counters through metrics (E16)."""
+        self.storage.update(stats_by_replica)
 
     def verification_hit_rate(self) -> float:
         """Signature-memo hit rate of the attached verifier (0 when absent)."""
@@ -130,6 +138,27 @@ class MetricsCollector:
         if self.batching is None:
             return 0
         return self.batching.frames_saved
+
+    # -- storage / durability (E16) ---------------------------------------
+
+    def storage_totals(self) -> StorageStats:
+        """Sum of every attached replica's storage counters."""
+        total = StorageStats()
+        for stats in self.storage.values():
+            total.add(stats)
+        return total
+
+    def log_appends_per_op(self) -> float:
+        """WAL records appended (across all replicas) per completed op."""
+        if not self.storage or not self.samples:
+            return 0.0
+        return self.storage_totals().appends / len(self.samples)
+
+    def fsyncs_per_op(self) -> float:
+        """fsync calls (across all replicas) per completed op."""
+        if not self.storage or not self.samples:
+            return 0.0
+        return self.storage_totals().fsyncs / len(self.samples)
 
     # -- views ----------------------------------------------------------------
 

@@ -8,6 +8,7 @@ history events, and reports per-operation metrics.
 
 from __future__ import annotations
 
+import random
 from typing import Any, Callable, Optional, Sequence
 
 from repro.core.batching import BatchCoalescer, BatchEnvelope, expand_message
@@ -46,12 +47,45 @@ class ReplicaNode:
         scheduler: Optional[Scheduler] = None,
         *,
         sign_delay: float = 0.0,
+        replica_factory: Optional[Callable[[], BftBcReplica]] = None,
     ) -> None:
         self.replica = replica
         self.network = network
         self.scheduler = scheduler
         self.sign_delay = sign_delay
+        #: Rebuilds a fresh (state-machine-only) replica on restart; the
+        #: default works for any replica whose constructor is
+        #: ``(node_id, config, store=...)``.
+        self._replica_factory = replica_factory or (
+            lambda: type(self.replica)(
+                self.replica.node_id, self.replica.config, store=self.replica.store
+            )
+        )
+        self.crashes = 0
+        self.restarts = 0
         network.register(replica.node_id, self._on_message)
+
+    # -- crash / restart ----------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulate a process crash: the network stops delivering to this
+        node and the replica's store loses whatever a power cut would
+        (everything for :class:`~repro.storage.MemoryStore`, the un-fsynced
+        WAL tail for :class:`~repro.storage.FileLogStore`)."""
+        self.network.crash(self.node_id)
+        self.replica.store.crash()
+        self.crashes += 1
+
+    def restart(self) -> None:
+        """Bring the replica back: a *fresh* state machine is built around
+        the surviving store and :meth:`~repro.core.replica.BftBcReplica.recover`
+        rebuilds the Figure-2 state from snapshot + log before the network
+        resumes delivery."""
+        replica = self._replica_factory()
+        replica.recover()
+        self.replica = replica
+        self.network.recover(self.node_id)
+        self.restarts += 1
 
     def _on_message(self, src: str, message: Message) -> None:
         """Handle one frame; a batch is unpacked and answered as one frame."""
@@ -98,6 +132,9 @@ class ClientNode:
         metrics: Optional[MetricsCollector] = None,
         retransmit_interval: float = DEFAULT_RETRANSMIT_INTERVAL,
         coalescer: Optional[BatchCoalescer] = None,
+        retransmit_backoff: float = 1.0,
+        retransmit_jitter: float = 0.0,
+        retransmit_max_interval: Optional[float] = None,
     ) -> None:
         self.client = client
         self.network = network
@@ -105,6 +142,17 @@ class ClientNode:
         self.recorder = recorder
         self.metrics = metrics
         self.retransmit_interval = retransmit_interval
+        #: Exponential growth factor per unanswered retransmission; 1.0
+        #: (the default) reproduces the historical fixed-period timer.
+        self.retransmit_backoff = retransmit_backoff
+        #: Jitter fraction: each delay is scaled by a uniform draw from
+        #: ``[1 - jitter, 1 + jitter]`` so a fleet of clients that timed out
+        #: together does not retransmit in lockstep forever.
+        self.retransmit_jitter = retransmit_jitter
+        self.retransmit_max_interval = retransmit_max_interval
+        self._retransmit_attempts = 0
+        # Seeded per node id: schedules stay deterministic run-to-run.
+        self._retransmit_rng = random.Random(f"retransmit:{client.node_id}")
         #: Optional cross-object batching layer; single-object operations
         #: never share a destination within a round, so for this node the
         #: coalescer is a provable pass-through (see the differential tests).
@@ -148,6 +196,7 @@ class ClientNode:
         kind, arg = self._script[self._next_step]
         self._next_step += 1
         self._op_started_at = self.scheduler.now
+        self._retransmit_attempts = 0
         if self.recorder is not None:
             self.recorder.record_invocation(self.node_id, kind, arg)
         if kind == "write":
@@ -213,12 +262,26 @@ class ClientNode:
     def _arm_retransmit(self) -> None:
         self._cancel_retransmit()
         self._retransmit_handle = self.scheduler.call_later(
-            self.retransmit_interval, self._retransmit
+            self._retransmit_delay(), self._retransmit
         )
+
+    def _retransmit_delay(self) -> float:
+        """Next timer period: exponential backoff with deterministic jitter."""
+        delay = self.retransmit_interval * (
+            self.retransmit_backoff**self._retransmit_attempts
+        )
+        if self.retransmit_max_interval is not None:
+            delay = min(delay, self.retransmit_max_interval)
+        if self.retransmit_jitter:
+            delay *= 1.0 + self.retransmit_jitter * (
+                2.0 * self._retransmit_rng.random() - 1.0
+            )
+        return delay
 
     def _retransmit(self) -> None:
         if not self.client.busy:
             return
+        self._retransmit_attempts += 1
         sends = self.client.retransmit()
         self._send_all(sends)
         if self.metrics is not None:

@@ -24,6 +24,7 @@ from repro.sim.nodes import ClientNode, ReplicaNode, ScriptStep
 from repro.sim.recorder import HistoryRecorder
 from repro.sim.scheduler import Scheduler
 from repro.spec.histories import History
+from repro.storage import ReplicaStore
 from repro.errors import OperationFailedError, SimulationError
 
 __all__ = ["ClusterOptions", "Cluster", "build_cluster", "VARIANTS"]
@@ -61,6 +62,18 @@ class ClusterOptions:
     #: replica (models §3.3.2's signing cost; 0 = free).
     sign_delay: float = 0.0
     retransmit_interval: float = 0.05
+    #: Exponential growth of the retransmission period per unanswered
+    #: attempt (1.0 = the historical fixed timer), with ``retransmit_jitter``
+    #: spreading clients' retries by a deterministic ±fraction and
+    #: ``retransmit_max_interval`` capping the backoff.
+    retransmit_backoff: float = 1.0
+    retransmit_jitter: float = 0.0
+    retransmit_max_interval: Optional[float] = None
+    #: Called with each replica's node_id to build its backing store.  When
+    #: set, that replica's Figure-2 state is mediated by the produced store
+    #: (e.g. a FileLogStore for durable deployments); None keeps the
+    #: volatile in-memory default.
+    store_factory: Optional[Callable[[str], ReplicaStore]] = None
     #: Replica index -> factory producing a (possibly Byzantine) replica.
     replica_overrides: dict[int, ReplicaFactory] = field(default_factory=dict)
 
@@ -103,11 +116,19 @@ class Cluster:
         )
         if self.batch_stats is not None:
             self.metrics.attach_batching(self.batch_stats)
-        self.replicas: dict[str, BftBcReplica] = {}
         self.replica_nodes: dict[str, ReplicaNode] = {}
         self.clients: dict[str, ClientNode] = {}
         self._extra_done_checks: list[Callable[[], bool]] = []
         self._build_replicas()
+
+    @property
+    def replicas(self) -> dict[str, BftBcReplica]:
+        """Live replica state machines, by node id.
+
+        A property over the nodes because a crash/restart fault swaps the
+        node's replica object for a freshly recovered one.
+        """
+        return {nid: node.replica for nid, node in self.replica_nodes.items()}
 
     # -- construction ------------------------------------------------------------
 
@@ -125,19 +146,26 @@ class Cluster:
 
     def _build_replicas(self) -> None:
         replica_cls = self._replica_class()
+        storage_stats = {}
         for index, node_id in enumerate(self.config.quorums.replica_ids):
             factory = self.options.replica_overrides.get(index)
             if factory is not None:
+                # Byzantine overrides keep their own (volatile) state.
                 replica = factory(node_id, self.config)
+            elif self.options.store_factory is not None:
+                replica = replica_cls(
+                    node_id, self.config, store=self.options.store_factory(node_id)
+                )
             else:
                 replica = replica_cls(node_id, self.config)
-            self.replicas[node_id] = replica
+            storage_stats[node_id] = replica.store.stats
             self.replica_nodes[node_id] = ReplicaNode(
                 replica,
                 self.network,
                 self.scheduler,
                 sign_delay=self.options.sign_delay,
             )
+        self.metrics.attach_storage(storage_stats)
 
     def add_client(self, name: str) -> ClientNode:
         """Create a correct client of the cluster's variant."""
@@ -149,6 +177,9 @@ class Cluster:
             recorder=self.recorder,
             metrics=self.metrics,
             retransmit_interval=self.options.retransmit_interval,
+            retransmit_backoff=self.options.retransmit_backoff,
+            retransmit_jitter=self.options.retransmit_jitter,
+            retransmit_max_interval=self.options.retransmit_max_interval,
             coalescer=(
                 BatchCoalescer(self.batch_stats)
                 if self.batch_stats is not None
@@ -165,7 +196,7 @@ class Cluster:
     # -- execution ------------------------------------------------------------------
 
     def install_faults(self, schedule: FaultSchedule) -> None:
-        schedule.install(self.scheduler, self.network)
+        schedule.install(self.scheduler, self.network, nodes=self.replica_nodes)
 
     def run_scripts(
         self,

@@ -1,0 +1,25 @@
+"""Pluggable durable storage for replica state.
+
+BFT-BC's safety argument (Lemma 1, Theorems 1-2) hinges on replicas never
+forgetting ``plist``/``optlist`` entries, prepare certificates, or
+``write_ts``.  This package provides the persistence layer those guarantees
+stand on: a :class:`ReplicaStore` interface over an append-only log of
+state-change records plus a snapshot, with two backends:
+
+* :class:`MemoryStore` — records kept as live Python objects, zero-copy;
+  the default for the simulator.  Models volatile RAM: a simulated crash
+  wipes it.
+* :class:`FileLogStore` — a length-prefixed canonical-codec write-ahead
+  log with periodic snapshot compaction and configurable fsync policy.
+  Survives crashes; recovery tolerates a torn final record.
+
+The layer sits *below* ``repro.core`` (enforced by
+``tools/check_layering.py``): stores traffic only in canonically encodable
+wire values and never import protocol types.  The mapping between replica
+state and wire records lives in :mod:`repro.core.persistence`.
+"""
+
+from repro.storage.base import MemoryStore, ReplicaStore, StorageStats
+from repro.storage.filelog import FileLogStore
+
+__all__ = ["ReplicaStore", "StorageStats", "MemoryStore", "FileLogStore"]

@@ -54,6 +54,41 @@ def test_checker_resolves_relative_imports(tmp_path):
     assert ("repro.core.verification", "repro.core.config", 2, 3) in violations
 
 
+def test_storage_sits_below_core():
+    """The storage engine is a lower layer than the protocol that uses it."""
+    assert check_layering.layer_of("repro.storage") is not None
+    assert (
+        check_layering.layer_of("repro.storage")
+        < check_layering.layer_of("repro.core")
+    )
+
+
+def test_storage_imports_no_protocol_types():
+    """Stores traffic only in wire values: encoding/errors, never core.
+
+    The protocol-to-wire translation lives in ``repro.core.persistence``;
+    if a store ever imported ``repro.core`` the same backend could no
+    longer serve every replica variant.
+    """
+    src = ROOT / "src"
+    for path in sorted((src / "repro" / "storage").rglob("*.py")):
+        importer = check_layering.module_name_for(path, src)
+        for imported in check_layering.imports_of(path, importer):
+            assert not imported.startswith("repro.core"), (importer, imported)
+            assert not imported.startswith("repro.crypto"), (importer, imported)
+
+
+def test_checker_flags_storage_importing_core(tmp_path):
+    """A store importing protocol state must be reported as an upward edge."""
+    pkg = tmp_path / "repro" / "storage"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text('"""pkg."""\n')
+    (pkg / "__init__.py").write_text('"""pkg."""\n')
+    (pkg / "bad.py").write_text("from repro.core.replica import BftBcReplica\n")
+    violations = check_layering.find_violations(tmp_path)
+    assert ("repro.storage.bad", "repro.core.replica", 1, 3) in violations
+
+
 def test_verification_imports_no_core_siblings():
     """The pipeline layer depends only on crypto/encoding/errors."""
     src = ROOT / "src"

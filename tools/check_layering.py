@@ -5,7 +5,7 @@ The intended layering, lowest first (a module may import from its own layer
 or below, never above):
 
     0  repro.errors, repro.encoding
-    1  repro.crypto
+    1  repro.crypto, repro.storage
     2  repro.core.verification
     3  repro.core (everything else in core)
     4  repro.spec, repro.analysis
@@ -14,7 +14,11 @@ or below, never above):
 The crucial edges this pins down: ``crypto`` never imports ``core``;
 ``core.verification`` sits between ``crypto`` and the rest of ``core`` and
 imports nothing from ``core.*``; protocol logic (``core``) never reaches up
-into transports or the simulator.  The wire fast path keeps the same shape:
+into transports or the simulator.  ``repro.storage`` sits *below*
+``repro.core``: stores traffic only in canonical wire values (encoding,
+layer 0) and never see protocol types — the translation lives in
+``repro.core.persistence`` (layer 3), which is what lets the same store
+back every replica variant.  The wire fast path keeps the same shape:
 ``encoding.interning`` lives at layer 0 so ``crypto`` and ``core`` can share
 interned statement bytes, and ``core.batching`` is ordinary ``core`` (layer
 3) — it may use messages and encoding but never the transports that carry
@@ -41,6 +45,7 @@ LAYERS: dict[str, int] = {
     "repro.encoding": 0,
     "repro.encoding.interning": 0,
     "repro.crypto": 1,
+    "repro.storage": 1,
     "repro.core.verification": 2,
     "repro.core.batching": 3,
     "repro.core": 3,
