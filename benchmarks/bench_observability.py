@@ -1,0 +1,205 @@
+"""E17 — observability overhead and span completeness across transports.
+
+Two claims about the unified instrumentation layer (``repro.obs``):
+
+1. **Cheap when on, free when off.**  Running the E13b wall-clock workload
+   with full instrumentation (spans + histograms + verify sub-timings)
+   costs under ~5% throughput versus the disabled null path; the disabled
+   path itself is the default on every cluster, so uninstrumented runs pay
+   one ``enabled`` check per hook and nothing else.
+2. **Complete traces on both transports.**  One strong write produces
+   spans for all three protocol phases (READ-TS, PREPARE, WRITE) under
+   both the virtual-time simulator and the asyncio TCP transport; the
+   JSON-lines dumps are written to ``traces/`` as reviewable artifacts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import gc
+import json
+import pathlib
+import sys
+import time
+
+from repro import (
+    AsyncClient,
+    BftBcReplica,
+    Instrumentation,
+    LinkProfile,
+    ReplicaServer,
+    StrongBftBcClient,
+    build_cluster,
+    make_system,
+    write_script,
+)
+from repro.analysis import format_table
+from repro.obs import spans_to_jsonl
+
+from benchmarks.conftest import run_once
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "tools"))
+import bench_record  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+TRACE_DIR = REPO_ROOT / "traces"
+WRITE_PHASES = ("READ-TS", "PREPARE", "WRITE")
+
+OPS_EACH = 10
+CLIENTS = 8
+DELAY = 0.005
+
+
+def _wall_clock_arm(*, instrumented: bool, seed: int = 1700) -> dict:
+    """Time the E13b workload with observability on or off (wall clock).
+
+    The GC is parked during the timed region: span recording allocates,
+    and collector pauses otherwise dominate the ~0.15 s runs we compare.
+    """
+    instr = Instrumentation() if instrumented else None
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        cluster = build_cluster(
+            f=1,
+            variant="base",
+            seed=seed,
+            profile=LinkProfile(min_delay=DELAY, max_delay=DELAY),
+            instrumentation=instr,
+        )
+        scripts = {
+            f"w{i}": write_script(f"client:w{i}", OPS_EACH)
+            for i in range(CLIENTS)
+        }
+        cluster.run_scripts(scripts, max_time=600)
+        elapsed = time.perf_counter() - started
+    finally:
+        gc.enable()
+    ops = cluster.metrics.operations
+    result = {
+        "ops": ops,
+        "wall_seconds": elapsed,
+        "ops_per_wall_second": ops / elapsed,
+    }
+    if instrumented:
+        result["spans"] = len(instr.spans())
+        result["series"] = len(instr.histograms)
+    return result
+
+
+def test_e17_observability_overhead(benchmark):
+    """Instrumentation on vs off: best-of-seven interleaved wall timings."""
+
+    def experiment():
+        _wall_clock_arm(instrumented=False)  # warm imports and allocator
+        _wall_clock_arm(instrumented=True)
+        runs = {False: [], True: []}
+        for _ in range(7):
+            for instrumented in (False, True):
+                runs[instrumented].append(
+                    _wall_clock_arm(instrumented=instrumented)
+                )
+        off = min(runs[False], key=lambda r: r["wall_seconds"])
+        on = min(runs[True], key=lambda r: r["wall_seconds"])
+        overhead = on["wall_seconds"] / off["wall_seconds"] - 1
+        print()
+        print(
+            format_table(
+                ["arm", "ops", "wall seconds", "ops / wall second"],
+                [
+                    ["observability off", off["ops"],
+                     round(off["wall_seconds"], 3),
+                     round(off["ops_per_wall_second"], 1)],
+                    ["observability on", on["ops"],
+                     round(on["wall_seconds"], 3),
+                     round(on["ops_per_wall_second"], 1)],
+                ],
+                title=f"E17: observability overhead "
+                f"({on['spans']} spans, {on['series']} series recorded; "
+                f"overhead {overhead:+.1%})",
+            )
+        )
+        return {"off": off, "on": on, "overhead_fraction": overhead}
+
+    results = run_once(benchmark, experiment)
+    assert results["off"]["ops"] == results["on"]["ops"]
+    # Full span + histogram recording must stay in the low single digits;
+    # the bound is looser than the headline claim to absorb CI noise.
+    assert results["overhead_fraction"] < 0.10, results
+    bench_record.record("e17_observability_overhead", results)
+
+
+def _phase_counts(spans) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for span in spans:
+        if span.kind == "phase":
+            counts[span.name] = counts.get(span.name, 0) + 1
+    return counts
+
+
+def _sim_strong_write_trace() -> Instrumentation:
+    instr = Instrumentation()
+    cluster = build_cluster(f=1, variant="strong", seed=1701,
+                            instrumentation=instr)
+    node = cluster.add_client("w")
+    node.run_script(write_script("client:w", 1))
+    cluster.run(max_time=60)
+    return instr
+
+
+def _tcp_strong_write_trace() -> Instrumentation:
+    instr = Instrumentation()
+
+    async def main():
+        config = make_system(f=1, seed=b"e17-trace", strong=True)
+        servers, addrs = [], {}
+        for rid in config.quorums.replica_ids:
+            replica = BftBcReplica(rid, config, instrumentation=instr)
+            server = ReplicaServer(replica)
+            host, port = await server.start()
+            addrs[rid] = (host, port)
+            servers.append(server)
+        client = AsyncClient(
+            StrongBftBcClient("client:w", config, instrumentation=instr), addrs
+        )
+        await client.connect()
+        await client.write(("client:w", 0, "traced-payload"))
+        await client.close()
+        for server in servers:
+            await server.stop()
+
+    asyncio.run(main())
+    return instr
+
+
+def test_e17_strong_write_trace_on_both_transports(benchmark):
+    """One strong write yields all three phase spans on sim and TCP alike."""
+
+    def experiment():
+        TRACE_DIR.mkdir(exist_ok=True)
+        summary = {}
+        for transport, instr in (
+            ("sim", _sim_strong_write_trace()),
+            ("tcp", _tcp_strong_write_trace()),
+        ):
+            spans = instr.spans()
+            dump = spans_to_jsonl(spans)
+            path = TRACE_DIR / f"strong_write_{transport}.jsonl"
+            path.write_text(dump, encoding="utf-8")
+            summary[transport] = {
+                "spans": len(spans),
+                "phase_counts": _phase_counts(spans),
+                "trace_file": str(path.relative_to(REPO_ROOT)),
+            }
+            print(f"{transport}: {len(spans)} spans -> {path}")
+        return summary
+
+    summary = run_once(benchmark, experiment)
+    for transport in ("sim", "tcp"):
+        counts = summary[transport]["phase_counts"]
+        assert counts == {kind: 1 for kind in WRITE_PHASES}, (transport, counts)
+        trace = (REPO_ROOT / summary[transport]["trace_file"]).read_text()
+        names = {json.loads(line)["name"] for line in trace.splitlines()}
+        assert set(WRITE_PHASES) <= names
+    bench_record.record("e17_strong_write_traces", summary)

@@ -13,9 +13,7 @@ This is the paper's core motivation made executable:
 Run:  python examples/byzantine_tolerance_demo.py
 """
 
-from repro import build_cluster, count_lurking_writes
-from repro.baselines.runner import build_bqs_cluster
-from repro.byzantine import (
+from repro import (
     BqsEquivocationAttack,
     BqsTimestampExhaustionAttack,
     Colluder,
@@ -23,9 +21,13 @@ from repro.byzantine import (
     LurkingWriteAttack,
     PartialWriteAttack,
     TimestampExhaustionAttack,
+    build_bqs_cluster,
+    build_cluster,
+    check_bft_linearizable,
+    check_register_linearizable,
+    count_lurking_writes,
+    read_script,
 )
-from repro.sim import read_script
-from repro.spec import check_bft_linearizable, check_register_linearizable
 
 
 def banner(text: str) -> None:

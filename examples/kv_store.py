@@ -13,15 +13,17 @@ key are sequential and atomic.
 Run:  python examples/kv_store.py
 """
 
-from repro.core import (
+from repro import (
+    LinkProfile,
     MultiObjectClient,
+    MultiObjectClientNode,
     MultiObjectReplica,
     OptimizedBftBcClient,
+    OptimizedBftBcReplica,
+    Scheduler,
+    SimNetwork,
     make_system,
 )
-from repro.core.replica import OptimizedBftBcReplica
-from repro.net.simnet import LinkProfile, SimNetwork
-from repro.sim import MultiObjectClientNode, Scheduler
 
 
 def build_kv_cluster(f: int = 1, seed: int = 11):

@@ -11,9 +11,13 @@ Byzantine.
 Run:  python examples/shared_config_store.py
 """
 
-from repro import LinkProfile, build_cluster
-from repro.sim import FaultSchedule, value_for
-from repro.spec import check_register_linearizable
+from repro import (
+    FaultSchedule,
+    LinkProfile,
+    build_cluster,
+    check_register_linearizable,
+    value_for,
+)
 
 
 def config_value(operator: str, version: int) -> tuple:

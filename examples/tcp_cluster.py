@@ -13,8 +13,7 @@ Run:  python examples/tcp_cluster.py
 import asyncio
 import time
 
-from repro.core import BftBcClient, BftBcReplica, make_system
-from repro.net.asyncio_transport import AsyncClient, ReplicaServer
+from repro import AsyncClient, BftBcClient, BftBcReplica, ReplicaServer, make_system
 
 
 async def client_workload(name: str, config, addrs, rounds: int) -> list:

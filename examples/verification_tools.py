@@ -12,10 +12,17 @@ Runs a lurking-write attack while three verification instruments watch:
 Run:  python examples/verification_tools.py
 """
 
-from repro import build_cluster, count_lurking_writes
-from repro.byzantine import Colluder, LurkingWriteAttack
-from repro.sim import MessageTrace, read_script, write_script
-from repro.spec import check_bft_linearizable, check_lemma1
+from repro import (
+    Colluder,
+    LurkingWriteAttack,
+    MessageTrace,
+    build_cluster,
+    check_bft_linearizable,
+    check_lemma1,
+    count_lurking_writes,
+    read_script,
+    write_script,
+)
 
 
 def main() -> None:

@@ -7,20 +7,40 @@ two-phase optimized protocol (§6), the strong BFT-linearizable+ variant
 conditions as executable checkers, a deterministic simulation harness, and
 an asyncio TCP deployment.
 
+This module is the supported public API: everything an example, benchmark,
+or downstream user needs is importable from ``repro`` directly.  Deeper
+module paths are implementation detail (``tools/check_public_api.py``
+enforces the boundary for the repo's own examples and tests).
+
 Quickstart::
 
-    from repro import build_cluster, write_script
+    from repro import Instrumentation, build_cluster, write_script
 
-    cluster = build_cluster(f=1, variant="optimized")
+    instr = Instrumentation()
+    cluster = build_cluster(f=1, variant="optimized", instrumentation=instr)
     alice = cluster.add_client("alice")
     alice.run_script(write_script("client:alice", 3) + [("read", None)])
     cluster.run()
     print(alice.client.last_result)
+    print(sorted(instr.histograms))      # per-phase latency series
 """
 
+from repro.analysis import format_phase_breakdown, format_table
+from repro.baselines import build_bqs_cluster, build_phalanx_cluster
+from repro.byzantine import (
+    BqsEquivocationAttack,
+    BqsTimestampExhaustionAttack,
+    Colluder,
+    EquivocationAttack,
+    LurkingWriteAttack,
+    PartialWriteAttack,
+    TimestampExhaustionAttack,
+)
 from repro.core import (
     BftBcClient,
     BftBcReplica,
+    MultiObjectClient,
+    MultiObjectReplica,
     OptimizedBftBcClient,
     OptimizedBftBcReplica,
     PrepareCertificate,
@@ -28,16 +48,27 @@ from repro.core import (
     StrongBftBcClient,
     SystemConfig,
     Timestamp,
+    Variant,
     WriteCertificate,
     ZERO_TS,
     make_system,
 )
+from repro.net.asyncio_transport import AsyncClient, ReplicaServer
 from repro.net.simnet import LinkProfile, SimNetwork
+from repro.obs import (
+    Instrumentation,
+    LatencyHistogram,
+    Span,
+    render_prometheus,
+    spans_to_jsonl,
+)
 from repro.sim import (
     Cluster,
     ClusterOptions,
     FaultSchedule,
+    MessageTrace,
     MetricsCollector,
+    MultiObjectClientNode,
     Scheduler,
     build_cluster,
     read_script,
@@ -48,17 +79,20 @@ from repro.spec import (
     History,
     check_bft_linearizable,
     check_bft_linearizable_plus,
+    check_lemma1,
     check_register_linearizable,
     count_lurking_writes,
 )
+from repro.storage import FileLogStore, MemoryStore
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     # core
     "make_system",
     "SystemConfig",
+    "Variant",
     "QuorumSystem",
     "Timestamp",
     "ZERO_TS",
@@ -69,6 +103,16 @@ __all__ = [
     "StrongBftBcClient",
     "BftBcReplica",
     "OptimizedBftBcReplica",
+    "MultiObjectClient",
+    "MultiObjectReplica",
+    # observability
+    "Instrumentation",
+    "LatencyHistogram",
+    "Span",
+    "spans_to_jsonl",
+    "render_prometheus",
+    "format_phase_breakdown",
+    "format_table",
     # networking / simulation
     "LinkProfile",
     "SimNetwork",
@@ -78,13 +122,32 @@ __all__ = [
     "build_cluster",
     "FaultSchedule",
     "MetricsCollector",
+    "MessageTrace",
+    "MultiObjectClientNode",
     "write_script",
     "read_script",
     "value_for",
+    # real-network transport and durability
+    "AsyncClient",
+    "ReplicaServer",
+    "FileLogStore",
+    "MemoryStore",
+    # baselines
+    "build_bqs_cluster",
+    "build_phalanx_cluster",
+    # byzantine attack catalogue (the §3.2 issues, executable)
+    "EquivocationAttack",
+    "TimestampExhaustionAttack",
+    "LurkingWriteAttack",
+    "PartialWriteAttack",
+    "Colluder",
+    "BqsEquivocationAttack",
+    "BqsTimestampExhaustionAttack",
     # correctness
     "History",
     "check_register_linearizable",
     "check_bft_linearizable",
     "check_bft_linearizable_plus",
+    "check_lemma1",
     "count_lurking_writes",
 ]

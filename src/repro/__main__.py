@@ -6,6 +6,9 @@ Commands:
 * ``attacks``   — run the §3.2 Byzantine-client attack catalogue.
 * ``compare``   — BFT-BC vs BQS vs Phalanx on one workload (E8-style table).
 * ``simulate``  — a configurable workload (clients, ops, loss, f, variant).
+* ``metrics``   — run an instrumented workload; print the per-phase latency
+  table or Prometheus-style text exposition.
+* ``trace``     — run an instrumented workload; dump its spans as JSON lines.
 * ``serve``     — host one durable replica over TCP, journaling to a data
   directory and recovering from it on startup.
 """
@@ -15,15 +18,17 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import LinkProfile, build_cluster
-from repro.analysis import format_table
+from repro import Instrumentation, LinkProfile, Variant, build_cluster
+from repro.analysis import format_phase_breakdown, format_table
 from repro.sim import make_scripts, read_script, write_script
 from repro.spec import check_register_linearizable
+
+VARIANT_CHOICES = tuple(v.value for v in Variant)
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
     rows = []
-    for variant in ("base", "optimized", "strong"):
+    for variant in Variant:
         cluster = build_cluster(f=args.f, variant=variant, seed=args.seed)
         node = cluster.add_client("demo")
         node.run_script(write_script("client:demo", 5) + read_script(3))
@@ -157,6 +162,47 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _run_instrumented(args: argparse.Namespace) -> Instrumentation:
+    """Run the shared metrics/trace workload under a fresh instrumentation."""
+    instr = Instrumentation()
+    cluster = build_cluster(
+        f=args.f, variant=args.variant, seed=args.seed, instrumentation=instr
+    )
+    names = [f"client:w{i}" for i in range(args.clients)]
+    scripts = make_scripts(
+        names, args.ops, write_fraction=args.write_fraction, seed=args.seed
+    )
+    cluster.run_scripts(
+        {name.split(":")[1]: s for name, s in scripts.items()}, max_time=600
+    )
+    return instr
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs import render_prometheus
+
+    instr = _run_instrumented(args)
+    if args.format == "prometheus":
+        print(render_prometheus(instr.histograms, sources=instr.sources), end="")
+    else:
+        print(format_phase_breakdown(instr))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import spans_to_jsonl
+
+    instr = _run_instrumented(args)
+    dump = spans_to_jsonl(instr.spans())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            stream.write(dump)
+        print(f"wrote {len(instr.spans())} spans to {args.output}")
+    else:
+        print(dump, end="")
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -219,8 +265,7 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("compare", help="BFT-BC vs BQS vs Phalanx")
 
     sim = sub.add_parser("simulate", help="configurable workload")
-    sim.add_argument("--variant", choices=("base", "optimized", "strong"),
-                     default="base")
+    sim.add_argument("--variant", choices=VARIANT_CHOICES, default="base")
     sim.add_argument("--clients", type=int, default=3)
     sim.add_argument("--ops", type=int, default=10)
     sim.add_argument("--write-fraction", type=float, default=0.5)
@@ -228,12 +273,29 @@ def main(argv: list[str] | None = None) -> int:
     sim.add_argument("--dup", type=float, default=0.0)
     sim.add_argument("--max-delay", type=float, default=0.01)
 
+    metrics = sub.add_parser(
+        "metrics", help="instrumented workload; latency histograms"
+    )
+    trace = sub.add_parser(
+        "trace", help="instrumented workload; span dump as JSON lines"
+    )
+    for obs_parser in (metrics, trace):
+        obs_parser.add_argument(
+            "--variant", choices=VARIANT_CHOICES, default="strong"
+        )
+        obs_parser.add_argument("--clients", type=int, default=2)
+        obs_parser.add_argument("--ops", type=int, default=6)
+        obs_parser.add_argument("--write-fraction", type=float, default=0.5)
+    metrics.add_argument(
+        "--format", choices=("table", "prometheus"), default="table"
+    )
+    trace.add_argument("--output", help="write the JSON lines here (default stdout)")
+
     serve = sub.add_parser("serve", help="host one durable replica over TCP")
     serve.add_argument("node_id", help="replica id, e.g. replica:0")
     serve.add_argument("--data-dir", required=True,
                        help="directory for the WAL and snapshot")
-    serve.add_argument("--variant", choices=("base", "optimized", "strong"),
-                       default="base")
+    serve.add_argument("--variant", choices=VARIANT_CHOICES, default="base")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=0)
     serve.add_argument("--fsync", choices=("always", "never"), default="always")
@@ -244,6 +306,8 @@ def main(argv: list[str] | None = None) -> int:
         "attacks": cmd_attacks,
         "compare": cmd_compare,
         "simulate": cmd_simulate,
+        "metrics": cmd_metrics,
+        "trace": cmd_trace,
         "serve": cmd_serve,
     }
     return handlers[args.command](args)

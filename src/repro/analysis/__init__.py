@@ -1,6 +1,13 @@
 """Analytical cost model (§3.3) and report formatting for experiments."""
 
 from repro.analysis.costs import READ_PHASES, WRITE_PHASES, CostModel
-from repro.analysis.report import fit_power_law, format_table
+from repro.analysis.report import fit_power_law, format_phase_breakdown, format_table
 
-__all__ = ["CostModel", "WRITE_PHASES", "READ_PHASES", "format_table", "fit_power_law"]
+__all__ = [
+    "CostModel",
+    "WRITE_PHASES",
+    "READ_PHASES",
+    "format_table",
+    "format_phase_breakdown",
+    "fit_power_law",
+]

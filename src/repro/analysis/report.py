@@ -6,9 +6,9 @@ of the paper's analytical claims), via :func:`format_table`.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
-__all__ = ["format_table", "format_cell", "fit_power_law"]
+__all__ = ["format_table", "format_cell", "format_phase_breakdown", "fit_power_law"]
 
 
 def format_cell(value: Any) -> str:
@@ -45,6 +45,36 @@ def format_table(
     for row in rendered:
         lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def format_phase_breakdown(
+    source: Any, *, title: str | None = "per-phase latency breakdown"
+) -> str:
+    """Render the observability layer's latency series as an aligned table.
+
+    ``source`` is either an :class:`~repro.obs.Instrumentation` handle or a
+    plain ``{series: LatencyHistogram}`` mapping; series are the ``kind.name``
+    histogram keys, so a strong write shows up as ``phase.READ-TS`` /
+    ``phase.PREPARE`` / ``phase.WRITE`` rows — the paper's §3.3 per-phase
+    cost model as measured.
+    """
+    histograms: Mapping[str, Any] = (
+        source if isinstance(source, Mapping) else source.histograms
+    )
+    rows = [
+        [
+            series,
+            hist.count,
+            hist.mean,
+            hist.quantile(0.5),
+            hist.quantile(0.95),
+            hist.maximum if hist.maximum is not None else 0.0,
+        ]
+        for series, hist in sorted(histograms.items())
+    ]
+    return format_table(
+        ["series", "count", "mean", "p50", "p95", "max"], rows, title=title
+    )
 
 
 def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> float:

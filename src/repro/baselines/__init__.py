@@ -21,6 +21,11 @@ from repro.baselines.phalanx import (
     PhalanxReplica,
     PhalanxWriteOperation,
 )
+from repro.baselines.runner import (
+    BaselineCluster,
+    build_bqs_cluster,
+    build_phalanx_cluster,
+)
 
 __all__ = [
     "BqsReplica",
@@ -32,4 +37,7 @@ __all__ = [
     "PhalanxWriteOperation",
     "PhalanxReadOperation",
     "NULL_READ",
+    "BaselineCluster",
+    "build_bqs_cluster",
+    "build_phalanx_cluster",
 ]

@@ -279,11 +279,17 @@ class BqsClient:
     """Client front-end with the same driving interface as BftBcClient."""
 
     def __init__(
-        self, node_id: str, config: SystemConfig, *, write_back: bool = True
+        self,
+        node_id: str,
+        config: SystemConfig,
+        *,
+        write_back: bool = True,
+        instrumentation=None,
     ) -> None:
         self.node_id = node_id
         self.config = config
         self.write_back = write_back
+        self.instrumentation = instrumentation
         credential = config.registry.register(node_id)
         self._nonces = NonceSource(node_id, secret=credential.secret)
         self.op: Optional[Operation] = None
@@ -294,6 +300,7 @@ class BqsClient:
         self.op = BqsWriteOperation(
             self.node_id, self.config, value, self._nonces.next()
         )
+        self.op.instrument(self.instrumentation)
         return self.op.start()
 
     def begin_read(self) -> list[Send]:
@@ -301,6 +308,7 @@ class BqsClient:
         self.op = BqsReadOperation(
             self.node_id, self.config, self._nonces.next(), write_back=self.write_back
         )
+        self.op.instrument(self.instrumentation)
         return self.op.start()
 
     def _check_idle(self) -> None:

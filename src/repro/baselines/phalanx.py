@@ -307,9 +307,12 @@ class PhalanxReadOperation(Operation):
 class PhalanxClient:
     """Client front-end with the same driving interface as BftBcClient."""
 
-    def __init__(self, node_id: str, config: SystemConfig) -> None:
+    def __init__(
+        self, node_id: str, config: SystemConfig, *, instrumentation=None
+    ) -> None:
         self.node_id = node_id
         self.config = config
+        self.instrumentation = instrumentation
         credential = config.registry.register(node_id)
         self._nonces = NonceSource(node_id, secret=credential.secret)
         self.op: Optional[Operation] = None
@@ -321,11 +324,13 @@ class PhalanxClient:
         self.op = PhalanxWriteOperation(
             self.node_id, self.config, value, self._nonces.next()
         )
+        self.op.instrument(self.instrumentation)
         return self.op.start()
 
     def begin_read(self) -> list[Send]:
         self._check_idle()
         self.op = PhalanxReadOperation(self.node_id, self.config, self._nonces.next())
+        self.op.instrument(self.instrumentation)
         return self.op.start()
 
     def _check_idle(self) -> None:

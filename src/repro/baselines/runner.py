@@ -15,6 +15,7 @@ from repro.core.batching import BatchCoalescer, BatchStats
 from repro.core.config import SystemConfig, make_system
 from repro.core.quorum import QuorumSystem
 from repro.net.simnet import LinkProfile, SimNetwork
+from repro.obs.instrumentation import Instrumentation
 from repro.sim.metrics import MetricsCollector
 from repro.sim.nodes import ClientNode, ScriptStep
 from repro.sim.recorder import HistoryRecorder
@@ -50,18 +51,21 @@ class BaselineCluster:
         retransmit_interval: float = 0.05,
         batching: bool = False,
         replica_overrides: Optional[dict[int, Callable]] = None,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         self.config = config
         self.scheduler = Scheduler()
         self.network = SimNetwork(self.scheduler, profile=profile, seed=seed)
         self.recorder = HistoryRecorder(self.scheduler)
-        self.metrics = MetricsCollector()
+        self.instrumentation = instrumentation or Instrumentation.off()
+        self.instrumentation.bind_clock(lambda: self.scheduler.now)
+        self.metrics = MetricsCollector(instrumentation=self.instrumentation)
         #: As in :class:`repro.sim.runner.Cluster`: single-object clients
         #: never share a destination within a round, so the coalescer is a
         #: pass-through here (the differential tests pin this byte for byte).
         self.batch_stats: Optional[BatchStats] = BatchStats() if batching else None
         if self.batch_stats is not None:
-            self.metrics.attach_batching(self.batch_stats)
+            self.instrumentation.attach_batching(self.batch_stats)
         self._client_cls = client_cls
         self._retransmit_interval = retransmit_interval
         self.replicas: dict[str, object] = {}
@@ -75,7 +79,9 @@ class BaselineCluster:
             _BaselineReplicaNode(replica, self.network)
 
     def add_client(self, name: str) -> ClientNode:
-        client = self._client_cls(f"client:{name}", self.config)
+        client = self._client_cls(
+            f"client:{name}", self.config, instrumentation=self.instrumentation
+        )
         node = ClientNode(
             client,  # type: ignore[arg-type]  (duck-typed client interface)
             self.network,
@@ -146,12 +152,13 @@ def build_bqs_cluster(
     write_back: bool = True,
     batching: bool = False,
     replica_overrides: Optional[dict[int, Callable]] = None,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> BaselineCluster:
     """A BQS register deployment: 3f+1 replicas, quorums of 2f+1."""
     config = make_system(f, scheme=scheme, seed=b"bqs-seed-%d" % seed)
 
-    def client_cls(node_id: str, cfg: SystemConfig) -> BqsClient:
-        return BqsClient(node_id, cfg, write_back=write_back)
+    def client_cls(node_id: str, cfg: SystemConfig, **kwargs) -> BqsClient:
+        return BqsClient(node_id, cfg, write_back=write_back, **kwargs)
 
     return BaselineCluster(
         config,
@@ -161,6 +168,7 @@ def build_bqs_cluster(
         seed=seed,
         batching=batching,
         replica_overrides=replica_overrides,
+        instrumentation=instrumentation,
     )
 
 
@@ -171,6 +179,7 @@ def build_phalanx_cluster(
     seed: int = 0,
     profile: Optional[LinkProfile] = None,
     replica_overrides: Optional[dict[int, Callable]] = None,
+    instrumentation: Optional[Instrumentation] = None,
 ) -> BaselineCluster:
     """A Phalanx deployment: 4f+1 replicas, quorums of 3f+1."""
     config = make_system(
@@ -186,4 +195,5 @@ def build_phalanx_cluster(
         profile=profile,
         seed=seed,
         replica_overrides=replica_overrides,
+        instrumentation=instrumentation,
     )

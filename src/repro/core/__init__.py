@@ -25,7 +25,7 @@ from repro.core.certificates import (
     genesis_prepare_certificate,
 )
 from repro.core.client import BftBcClient, OptimizedBftBcClient, StrongBftBcClient
-from repro.core.config import SystemConfig, make_system
+from repro.core.config import SystemConfig, Variant, make_system
 from repro.core.messages import (
     Message,
     PrepareReply,
@@ -61,6 +61,7 @@ from repro.core.verification import VerificationStats, Verifier
 __all__ = [
     "make_system",
     "SystemConfig",
+    "Variant",
     "QuorumSystem",
     "Timestamp",
     "ZERO_TS",

@@ -27,6 +27,7 @@ from repro.core.certificates import WriteCertificate
 from repro.core.messages import Message
 from repro.crypto.nonces import NonceSource
 from repro.errors import ProtocolError
+from repro.obs.instrumentation import Instrumentation
 
 __all__ = ["BftBcClient", "OptimizedBftBcClient", "StrongBftBcClient"]
 
@@ -37,9 +38,17 @@ class BftBcClient:
     write_op_cls: type[WriteOperation] = WriteOperation
     hash_tie_break = False
 
-    def __init__(self, node_id: str, config: SystemConfig) -> None:
+    def __init__(
+        self,
+        node_id: str,
+        config: SystemConfig,
+        *,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
         self.node_id = node_id
         self.config = config
+        #: Observability handle; ``None`` keeps every span a no-op.
+        self.instrumentation = instrumentation
         credential = config.registry.register(node_id)
         self._nonces = NonceSource(node_id, secret=credential.secret)
         #: The write certificate of this client's last completed write,
@@ -57,6 +66,7 @@ class BftBcClient:
         self.op = self.write_op_cls(
             self.node_id, self.config, value, self._nonces.next(), self.write_cert
         )
+        self.op.instrument(self.instrumentation)
         return self.op.start()
 
     def begin_read(self) -> list[Send]:
@@ -69,6 +79,7 @@ class BftBcClient:
             hash_tie_break=self.hash_tie_break,
             write_cert=self.write_cert,
         )
+        self.op.instrument(self.instrumentation)
         return self.op.start()
 
     def _check_idle(self) -> None:
@@ -137,9 +148,15 @@ class StrongBftBcClient(BftBcClient):
 
     write_op_cls = StrongWriteOperation
 
-    def __init__(self, node_id: str, config: SystemConfig) -> None:
+    def __init__(
+        self,
+        node_id: str,
+        config: SystemConfig,
+        *,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
         if not config.strong:
             raise ProtocolError(
                 "StrongBftBcClient requires a configuration with strong=True"
             )
-        super().__init__(node_id, config)
+        super().__init__(node_id, config, instrumentation=instrumentation)

@@ -8,8 +8,9 @@ strict-stop access control, §7 strong mode).
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from repro.core.quorum import QuorumSystem
 from repro.core.verification import Verifier
@@ -21,7 +22,36 @@ from repro.crypto.signatures import (
 )
 from repro.errors import QuorumConfigError
 
-__all__ = ["SystemConfig", "make_system"]
+__all__ = ["Variant", "SystemConfig", "make_system"]
+
+
+class Variant(str, enum.Enum):
+    """The three protocol variants, shared by the cluster, benchmarks, CLI.
+
+    A ``str`` subclass, so existing comparisons against the literal strings
+    (``options.variant == "strong"``) keep working, and :meth:`coerce`
+    accepts either form — the one place variant spelling is validated.
+    """
+
+    BASE = "base"
+    OPTIMIZED = "optimized"
+    STRONG = "strong"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @classmethod
+    def coerce(cls, value: Union[str, "Variant"]) -> "Variant":
+        """Normalise a variant name; raises ``QuorumConfigError`` if unknown."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise QuorumConfigError(
+                f"unknown variant {value!r}; expected one of "
+                f"{tuple(v.value for v in cls)}"
+            ) from None
 
 
 @dataclass

@@ -41,6 +41,8 @@ from repro.core.statements import (
 from repro.core.timestamp import Timestamp
 from repro.crypto.hashing import hash_value
 from repro.crypto.signatures import Signature
+from repro.obs.instrumentation import NULL_INSTRUMENTATION, Instrumentation
+from repro.obs.spans import NULL_SPAN
 
 __all__ = [
     "Send",
@@ -69,6 +71,21 @@ class Operation:
         self.result: Any = None
         self.phases = 0
         self._collector: Optional[QuorumRound] = None
+        self._instr = NULL_INSTRUMENTATION
+        self._obs_op = NULL_SPAN
+        self._obs_phase = NULL_SPAN
+
+    def instrument(self, instr: Optional[Instrumentation]) -> None:
+        """Bind an instrumentation handle; opens the operation's root span.
+
+        Must be called before :meth:`start` (the client does).  With no
+        handle, or a disabled one, every span below is the no-op
+        :data:`~repro.obs.spans.NULL_SPAN`.
+        """
+        if instr is None:
+            return
+        self._instr = instr
+        self._obs_op = instr.op_span(self.op_name, client=self.client_id)
 
     # -- protocol driver interface ----------------------------------------
 
@@ -112,8 +129,17 @@ class Operation:
         credits votes known before the round starts (write-back paths).
         """
         self.phases += 1
+        self._obs_phase.end()
+        self._obs_phase = self._instr.phase_span(
+            message.KIND, parent=self._obs_op
+        )
         self._collector = QuorumRound(
-            self.config, message, validator, targets=targets, prefill=prefill
+            self.config,
+            message,
+            validator,
+            targets=targets,
+            prefill=prefill,
+            span=self._obs_phase,
         )
         return self._collector.begin()
 
@@ -121,6 +147,9 @@ class Operation:
         self.done = True
         self.result = result
         self._collector = None
+        self._obs_phase.end()
+        self._obs_op.set("phases", self.phases)
+        self._obs_op.end()
         return []
 
     def _sign(self, statement: Any) -> Signature:

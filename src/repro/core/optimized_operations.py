@@ -127,6 +127,7 @@ class OptimizedWriteOperation(WriteOperation):
 
     def _take_fast_path(self, ts: Timestamp) -> list[Send]:
         self.fast_path = True
+        self._obs_op.set("fast_path", True)
         self._target_ts = ts
         signatures = tuple(
             sig for (sts, sig) in self._opt_prep_sigs.values() if sts == ts

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Mapping, Optional
 
 from repro.core.messages import Message
+from repro.obs.spans import NULL_SPAN, SpanHandle
 
 if TYPE_CHECKING:  # avoid an import cycle: config imports nothing from here
     from repro.core.config import SystemConfig
@@ -61,6 +62,8 @@ class QuorumRound:
         prefill: votes credited before any reply arrives — e.g. replicas a
             read already knows are up to date (§3.2.2), or phase-1 prepare
             signatures seeding the §6 fallback.
+        span: the open phase span this round reports into (retransmit and
+            vote counters); defaults to the no-op :data:`NULL_SPAN`.
     """
 
     def __init__(
@@ -72,10 +75,12 @@ class QuorumRound:
         targets: Optional[tuple[str, ...]] = None,
         threshold: Optional[int] = None,
         prefill: Optional[Mapping[str, Any]] = None,
+        span: SpanHandle = NULL_SPAN,
     ) -> None:
         self._config = config
         self._validator = validator
         self.request = request
+        self.span = span
         self.threshold = (
             config.quorum_size if threshold is None else threshold
         )
@@ -101,7 +106,10 @@ class QuorumRound:
         """Resend the request to every replica that has not validly voted."""
         if self.request is None:
             return []
-        return [Send(dest, self.request) for dest in self.missing()]
+        sends = [Send(dest, self.request) for dest in self.missing()]
+        if sends:
+            self.span.incr("retransmits")
+        return sends
 
     # -- vote collection ---------------------------------------------------
 

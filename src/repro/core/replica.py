@@ -64,6 +64,7 @@ from repro.core.statements import (
 from repro.core.timestamp import Timestamp
 from repro.crypto.hashing import hash_value
 from repro.crypto.signatures import Signature
+from repro.obs.instrumentation import NULL_INSTRUMENTATION, Instrumentation
 from repro.storage import ReplicaStore
 
 __all__ = ["PlistEntry", "ReplicaStats", "BftBcReplica", "OptimizedBftBcReplica"]
@@ -96,11 +97,20 @@ class BftBcReplica:
         node_id: str,
         config: SystemConfig,
         store: Optional[ReplicaStore] = None,
+        *,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
         self.node_id = node_id
         self.config = config
-        #: All Figure-2 state, write-ahead logged through the store.
-        self._state = DurableReplicaState(store)
+        #: Observability handle; the disabled singleton keeps spans free.
+        self.instrumentation = instrumentation or NULL_INSTRUMENTATION
+        #: The verifier every handler uses — wrapped to time ``verify.*``
+        #: sub-timings when instrumentation is enabled, the raw config
+        #: verifier otherwise (identical object, zero overhead).
+        self.verifier = self.instrumentation.wrap_verifier(config.verifier)
+        #: All Figure-2 state, write-ahead logged through the store
+        #: (wrapped for ``store.*`` sub-timings when instrumented).
+        self._state = DurableReplicaState(self.instrumentation.wrap_store(store))
         self.stats = ReplicaStats()
         # §3.3.2: WRITE-REPLY signatures pre-computed at prepare time.
         # Volatile by design — a recovered replica simply re-signs.
@@ -205,7 +215,7 @@ class BftBcReplica:
         """
         if wcert is None:
             return True
-        if not self.config.verifier.certificate_valid(wcert):
+        if not self.verifier.certificate_valid(wcert):
             self.stats.discard("bad-write-cert")
             return False
         self._state.advance_write_ts(wcert.ts)
@@ -221,7 +231,24 @@ class BftBcReplica:
     # -- dispatch ----------------------------------------------------------
 
     def handle(self, sender: str, message: Message) -> Optional[Message]:
-        """Process one request; return the reply or None (silent discard)."""
+        """Process one request; return the reply or None (silent discard).
+
+        When instrumented, the whole dispatch runs inside a handler span
+        (series ``handler.<KIND>``); the uninstrumented path goes straight
+        to :meth:`_dispatch`.
+        """
+        instr = self.instrumentation
+        if not instr.enabled:
+            return self._dispatch(sender, message)
+        span = instr.handler_span(message.KIND, node=self.node_id)
+        try:
+            reply = self._dispatch(sender, message)
+            span.set("replied", reply is not None)
+            return reply
+        finally:
+            span.end()
+
+    def _dispatch(self, sender: str, message: Message) -> Optional[Message]:
         self.stats.handled[message.KIND] += 1
         if isinstance(message, ReadTsRequest):
             reply = self._handle_read_ts(message)
@@ -268,10 +295,10 @@ class BftBcReplica:
             None if message.write_cert is None else message.write_cert.to_wire(),
             None if message.justify_cert is None else message.justify_cert.to_wire(),
         )
-        if not self.config.verifier.verify_statement(message.signature, statement):
+        if not self.verifier.verify_statement(message.signature, statement):
             self.stats.discard("bad-signature")
             return None
-        if not self.config.verifier.certificate_valid(message.prev_cert):
+        if not self.verifier.certificate_valid(message.prev_cert):
             self.stats.discard("bad-prepare-cert")
             return None
         # Timestamp succession: t = succ(prepC.ts, c).  This is what stops a
@@ -284,7 +311,7 @@ class BftBcReplica:
             if message.justify_cert is None:
                 self.stats.discard("missing-justify")
                 return None
-            if not self.config.verifier.certificate_valid(message.justify_cert):
+            if not self.verifier.certificate_valid(message.justify_cert):
                 self.stats.discard("bad-justify-cert")
                 return None
             if message.ts != message.justify_cert.ts.succ(client):
@@ -318,11 +345,11 @@ class BftBcReplica:
         statement = write_request_statement(
             message.value, message.prepare_cert.to_wire()
         )
-        if not self.config.verifier.verify_statement(message.signature, statement):
+        if not self.verifier.verify_statement(message.signature, statement):
             self.stats.discard("bad-signature")
             return None
         cert = message.prepare_cert
-        if not self.config.verifier.certificate_valid(cert):
+        if not self.verifier.certificate_valid(cert):
             self.stats.discard("bad-prepare-cert")
             return None
         if cert.h != hash_value(message.value):
@@ -364,8 +391,10 @@ class OptimizedBftBcReplica(BftBcReplica):
         node_id: str,
         config: SystemConfig,
         store: Optional[ReplicaStore] = None,
+        *,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> None:
-        super().__init__(node_id, config, store)
+        super().__init__(node_id, config, store, instrumentation=instrumentation)
         self._state.ensure_optlist()
 
     @property
@@ -373,14 +402,14 @@ class OptimizedBftBcReplica(BftBcReplica):
         """The §6 second prepare list (logged map, like ``plist``)."""
         return self._state.optlist
 
-    def handle(self, sender: str, message: Message) -> Optional[Message]:
+    def _dispatch(self, sender: str, message: Message) -> Optional[Message]:
         if isinstance(message, ReadTsPrepRequest):
             self.stats.handled[message.KIND] += 1
             reply = self._handle_read_ts_prep(message)
             if reply is not None:
                 self.stats.replies += 1
             return reply
-        return super().handle(sender, message)
+        return super()._dispatch(sender, message)
 
     def _gc_prepare_lists(self) -> None:
         super()._gc_prepare_lists()
@@ -399,7 +428,7 @@ class OptimizedBftBcReplica(BftBcReplica):
             None if message.write_cert is None else message.write_cert.to_wire(),
             message.nonce,
         )
-        if not self.config.verifier.verify_statement(message.signature, statement):
+        if not self.verifier.verify_statement(message.signature, statement):
             self.stats.discard("bad-signature")
             return None
         if not self._apply_write_certificate(message.write_cert):

@@ -27,6 +27,7 @@ from repro.core.operations import Send
 from repro.core.replica import BftBcReplica
 from repro.encoding import FrameDecoder, canonical_decode, canonical_encode, encode_frame
 from repro.errors import EncodingError, NetworkError, OperationFailedError, ProtocolError
+from repro.obs.instrumentation import Instrumentation
 from repro.storage import FileLogStore
 
 __all__ = ["ReplicaServer", "AsyncClient"]
@@ -64,6 +65,11 @@ class ReplicaServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set[asyncio.StreamWriter] = set()
 
+    @property
+    def instrumentation(self) -> Instrumentation:
+        """The hosted replica's observability handle (wall-clock spans)."""
+        return self.replica.instrumentation
+
     @classmethod
     def durable(
         cls,
@@ -76,17 +82,21 @@ class ReplicaServer:
         replica_cls: type[BftBcReplica] = BftBcReplica,
         fsync: str = "always",
         snapshot_interval: Optional[int] = 1024,
+        instrumentation: Optional[Instrumentation] = None,
     ) -> "ReplicaServer":
         """Build a server whose replica journals to ``data_dir``.
 
         The replica recovers from whatever snapshot + WAL the directory
         already holds, so restarting a server on the same directory resumes
-        from the pre-crash Figure-2 state.
+        from the pre-crash Figure-2 state.  An instrumentation handle times
+        handlers and store calls on the wall clock.
         """
         store = FileLogStore(
             data_dir, fsync=fsync, snapshot_interval=snapshot_interval
         )
-        replica = replica_cls(node_id, config, store=store)
+        replica = replica_cls(
+            node_id, config, store=store, instrumentation=instrumentation
+        )
         replica.recover()
         return cls(replica, host=host, port=port)
 

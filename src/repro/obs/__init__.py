@@ -1,0 +1,57 @@
+"""`repro.obs` — the unified observability layer.
+
+One :class:`Instrumentation` handle threads through
+``ClusterOptions``, the client/replica constructors, and
+:class:`~repro.net.asyncio_transport.ReplicaServer`; it produces
+op/phase/handler :class:`Span` trees, bounded mergeable
+:class:`LatencyHistogram` series, and feeds the exporters
+(:func:`spans_to_jsonl`, :func:`render_prometheus`) behind the
+``python -m repro metrics`` / ``trace`` CLI.  Layer 1: depends only on
+:mod:`repro.errors`.
+"""
+
+from repro.obs.histograms import (
+    DEFAULT_BUCKETS,
+    DEFAULT_GROWTH,
+    DEFAULT_MIN_BOUND,
+    LatencyHistogram,
+)
+from repro.obs.instrumentation import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    ObservabilityError,
+)
+from repro.obs.export import (
+    render_phase_table,
+    render_prometheus,
+    spans_to_jsonl,
+    write_spans_jsonl,
+)
+from repro.obs.spans import (
+    NULL_SPAN,
+    InMemorySpanRecorder,
+    NullSpanRecorder,
+    Span,
+    SpanHandle,
+    SpanRecorder,
+)
+
+__all__ = [
+    "Instrumentation",
+    "NULL_INSTRUMENTATION",
+    "ObservabilityError",
+    "Span",
+    "SpanHandle",
+    "NULL_SPAN",
+    "SpanRecorder",
+    "NullSpanRecorder",
+    "InMemorySpanRecorder",
+    "LatencyHistogram",
+    "DEFAULT_MIN_BOUND",
+    "DEFAULT_GROWTH",
+    "DEFAULT_BUCKETS",
+    "spans_to_jsonl",
+    "write_spans_jsonl",
+    "render_prometheus",
+    "render_phase_table",
+]

@@ -1,0 +1,184 @@
+"""Bounded, mergeable latency histograms with log-spaced buckets.
+
+A :class:`LatencyHistogram` holds a *fixed* set of bucket upper bounds that
+grow geometrically from ``min_bound``: recording is O(log buckets) and the
+memory footprint is constant no matter how many samples arrive — the shape
+required to instrument a hot path.  Two histograms with the same bucket
+layout merge by adding counts, so per-client or per-replica histograms
+aggregate into cluster totals without ever touching raw samples.
+
+Quantiles are estimated from the bucket counts.  The estimate returned for
+``quantile(q)`` is the upper bound of the bucket containing the q-th
+sample, so it never *under*-reports a latency by more than one bucket's
+width — with the default ``growth`` of 2 the estimate is within 2x of the
+true order statistic, which is the right fidelity for "where does a write
+spend its time" questions (the exact-sample summaries in
+:mod:`repro.sim.metrics` remain available when exactness matters).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, Optional
+
+from repro.errors import ReproError
+
+__all__ = ["LatencyHistogram", "DEFAULT_MIN_BOUND", "DEFAULT_GROWTH", "DEFAULT_BUCKETS"]
+
+#: Default smallest bucket bound: 1 microsecond (in seconds).
+DEFAULT_MIN_BOUND = 1e-6
+#: Default geometric growth factor between consecutive bucket bounds.
+DEFAULT_GROWTH = 2.0
+#: Default bucket count; 2^40 microseconds ≈ 12.7 days of headroom.
+DEFAULT_BUCKETS = 40
+
+
+class LatencyHistogram:
+    """Fixed log-spaced-bucket histogram of non-negative durations."""
+
+    __slots__ = ("bounds", "counts", "count", "total", "minimum", "maximum",
+                 "overflow")
+
+    def __init__(
+        self,
+        *,
+        min_bound: float = DEFAULT_MIN_BOUND,
+        growth: float = DEFAULT_GROWTH,
+        buckets: int = DEFAULT_BUCKETS,
+    ) -> None:
+        if min_bound <= 0 or growth <= 1 or buckets < 1:
+            raise ReproError(
+                f"invalid histogram layout (min_bound={min_bound}, "
+                f"growth={growth}, buckets={buckets})"
+            )
+        #: Bucket upper bounds: bounds[i] = min_bound * growth**i.  A value
+        #: lands in the first bucket whose bound is >= the value; values
+        #: beyond the last bound are counted in :attr:`overflow`.
+        self.bounds: tuple[float, ...] = tuple(
+            min_bound * growth**i for i in range(buckets)
+        )
+        self.counts: list[int] = [0] * buckets
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+        self.overflow = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, value: float) -> None:
+        """Record one duration (negative values clamp to zero)."""
+        if value < 0:
+            value = 0.0
+        bounds = self.bounds
+        index = bisect.bisect_left(bounds, value)
+        if index >= len(bounds):
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def record_many(self, values: Iterable[float]) -> None:
+        """Record every duration in ``values``."""
+        for value in values:
+            self.record(value)
+
+    # -- aggregation -------------------------------------------------------
+
+    def same_layout(self, other: "LatencyHistogram") -> bool:
+        """True when ``other`` uses identical bucket bounds."""
+        return self.bounds == other.bounds
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Add ``other``'s counts into this histogram (layouts must match)."""
+        if not self.same_layout(other):
+            raise ReproError("cannot merge histograms with different bucket layouts")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.count += other.count
+        self.total += other.total
+        self.overflow += other.overflow
+        if other.minimum is not None:
+            if self.minimum is None or other.minimum < self.minimum:
+                self.minimum = other.minimum
+        if other.maximum is not None:
+            if self.maximum is None or other.maximum > self.maximum:
+                self.maximum = other.maximum
+        return self
+
+    def copy(self) -> "LatencyHistogram":
+        """An independent histogram with the same layout and counts."""
+        clone = LatencyHistogram.__new__(LatencyHistogram)
+        clone.bounds = self.bounds
+        clone.counts = list(self.counts)
+        clone.count = self.count
+        clone.total = self.total
+        clone.minimum = self.minimum
+        clone.maximum = self.maximum
+        clone.overflow = self.overflow
+        return clone
+
+    # -- statistics --------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        """Exact arithmetic mean of every recorded value (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper bound of the bucket holding the q-th sample (0 when empty).
+
+        ``q`` is clamped to [0, 1].  Samples past the last bucket report the
+        recorded maximum (the histogram cannot bound them any tighter).
+        """
+        if self.count == 0:
+            return 0.0
+        q = min(1.0, max(0.0, q))
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= rank:
+                return self.bounds[index]
+        return self.maximum if self.maximum is not None else self.bounds[-1]
+
+    def nonzero_buckets(self) -> list[tuple[float, int]]:
+        """(upper bound, count) for every occupied bucket, in order."""
+        return [
+            (self.bounds[i], c) for i, c in enumerate(self.counts) if c
+        ]
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-shaped cumulative (le, count) rows over all buckets."""
+        rows: list[tuple[float, int]] = []
+        running = 0
+        for index, count in enumerate(self.counts):
+            running += count
+            rows.append((self.bounds[index], running))
+        return rows
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable snapshot (layout, counts, summary stats)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "overflow": self.overflow,
+            "buckets": [
+                {"le": bound, "count": count}
+                for bound, count in self.nonzero_buckets()
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyHistogram(count={self.count}, mean={self.mean:.6g}, "
+            f"p50={self.quantile(0.5):.6g}, p95={self.quantile(0.95):.6g})"
+        )

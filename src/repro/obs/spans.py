@@ -1,0 +1,252 @@
+"""Spans: timed, attributed intervals forming per-operation trees.
+
+A *span* records one interval of work — a whole client operation, one
+protocol phase inside it, or one replica handler invocation — with a start
+and end time from the owning :class:`~repro.obs.Instrumentation`'s clock
+(virtual time under the simulator, wall clock on the asyncio transport).
+Spans carry an *op id* (``trace_id``): every phase span points at its
+operation span via ``parent_id`` and shares its ``trace_id``, so a dump of
+one run reassembles into per-operation trees — the paper's per-phase cost
+model (§3.3) made observable.
+
+Two recorders exist: :class:`InMemorySpanRecorder` keeps finished spans in
+a bounded list for exporters and tests, and :class:`NullSpanRecorder` drops
+everything — the disabled fast path.  Open spans are represented by
+:class:`SpanHandle`, a small mutable object; :data:`NULL_SPAN` is the
+do-nothing handle that instrumentation-free code paths share, so the hot
+path pays one attribute check and nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = [
+    "Span",
+    "SpanHandle",
+    "NULL_SPAN",
+    "SpanRecorder",
+    "NullSpanRecorder",
+    "InMemorySpanRecorder",
+]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One finished interval of work.
+
+    ``kind`` classifies the span (``"op"``, ``"phase"``, ``"handler"``),
+    ``name`` names the work (operation name or message kind), ``trace_id``
+    is the op id shared by an operation and its phases, and ``parent_id``
+    links a phase to its operation span (``None`` for roots).
+    """
+
+    name: str
+    kind: str
+    trace_id: str
+    span_id: int
+    parent_id: Optional[int]
+    start: float
+    end: float
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed clock units between start and end."""
+        return self.end - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-serialisable view (the JSON-lines exporter's row)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": self.attrs,
+        }
+
+
+class SpanHandle:
+    """A span that is still open: set attributes, then :meth:`end` it.
+
+    Usable as a context manager; ending twice is a no-op so transitions
+    that may fire from several paths (e.g. an operation finishing during a
+    retransmission tick) need no guards.
+    """
+
+    __slots__ = ("name", "kind", "trace_id", "span_id", "parent_id",
+                 "_start", "_attrs", "_finish", "_open")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        trace_id: str,
+        span_id: int,
+        parent_id: Optional[int],
+        start: float,
+        finish: Callable[["SpanHandle", float], None],
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self._start = start
+        self._attrs: dict[str, Any] = {}
+        self._finish = finish
+        self._open = True
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach one attribute to the span."""
+        if self._open:
+            self._attrs[key] = value
+
+    def incr(self, key: str, amount: int = 1) -> None:
+        """Increment a counter attribute (e.g. ``retransmits``)."""
+        if self._open:
+            self._attrs[key] = self._attrs.get(key, 0) + amount
+
+    def end(self) -> None:
+        """Close the span; idempotent."""
+        if self._open:
+            self._open = False
+            self._finish(self, self._start)
+
+    @property
+    def closed(self) -> bool:
+        return not self._open
+
+    def snapshot(self, start: float, end: float) -> Span:
+        """The immutable record of this handle (used by the finisher)."""
+        return Span(
+            name=self.name,
+            kind=self.kind,
+            trace_id=self.trace_id,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            start=start,
+            end=end,
+            attrs=dict(self._attrs),
+        )
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.end()
+
+
+class _NullSpanHandle(SpanHandle):
+    """The shared do-nothing handle; every method returns immediately."""
+
+    def __init__(self) -> None:
+        super().__init__("", "null", "", 0, None, 0.0, lambda _h, _s: None)
+        self._open = False
+
+    def set(self, key: str, value: Any) -> None:  # noqa: D102 (inherited)
+        pass
+
+    def incr(self, key: str, amount: int = 1) -> None:  # noqa: D102
+        pass
+
+    def end(self) -> None:  # noqa: D102
+        pass
+
+    def __repr__(self) -> str:
+        return "NULL_SPAN"
+
+
+#: The handle used wherever no instrumentation is bound — all no-ops.
+NULL_SPAN: SpanHandle = _NullSpanHandle()
+
+
+class SpanRecorder:
+    """Where finished spans go; subclasses override :meth:`record`."""
+
+    def record(self, span: Span) -> None:
+        """Accept one finished span."""
+        raise NotImplementedError
+
+    def record_raw(self, handle: SpanHandle, start: float, end: float) -> None:
+        """Accept a finished handle before materialisation.
+
+        The default materialises immediately; bounded in-memory recording
+        overrides this to defer :meth:`SpanHandle.snapshot` off the hot
+        path (a closed handle's attributes can no longer change).
+        """
+        self.record(handle.snapshot(start, end))
+
+    def drain(self) -> list[Span]:
+        """Return and clear the recorded spans (empty for null recorders)."""
+        return []
+
+
+class NullSpanRecorder(SpanRecorder):
+    """Drops every span — the disabled fast path."""
+
+    def record(self, span: Span) -> None:
+        """Discard the span."""
+
+    def record_raw(self, handle: SpanHandle, start: float, end: float) -> None:
+        """Discard the handle."""
+
+
+class InMemorySpanRecorder(SpanRecorder):
+    """Keeps finished spans in a bounded list.
+
+    When ``max_spans`` is reached new spans are dropped (and counted in
+    :attr:`dropped`) rather than growing without bound — observability must
+    never be the component that runs the process out of memory.  Raw
+    handles are buffered as ``(handle, start, end)`` and only turned into
+    :class:`Span` records when read, keeping the recording path to one
+    list append.
+    """
+
+    def __init__(self, max_spans: int = 200_000) -> None:
+        self.max_spans = max_spans
+        self._finished: list[Span] = []
+        self._raw: list[tuple[SpanHandle, float, float]] = []
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._finished) + len(self._raw)
+
+    def record(self, span: Span) -> None:
+        """Store the span, or count it as dropped past the cap."""
+        if len(self) >= self.max_spans:
+            self.dropped += 1
+            return
+        self._finished.append(span)
+
+    def record_raw(self, handle: SpanHandle, start: float, end: float) -> None:
+        """Buffer the closed handle, or count it as dropped past the cap."""
+        raw = self._raw
+        if len(self._finished) + len(raw) >= self.max_spans:
+            self.dropped += 1
+            return
+        raw.append((handle, start, end))
+
+    def _materialize(self) -> None:
+        if self._raw:
+            self._finished.extend(
+                handle.snapshot(start, end) for handle, start, end in self._raw
+            )
+            self._raw.clear()
+
+    @property
+    def spans(self) -> list[Span]:
+        """Every retained span, oldest first (materialised on demand)."""
+        self._materialize()
+        return self._finished
+
+    def drain(self) -> list[Span]:
+        """Return and clear the recorded spans."""
+        out = self.spans
+        self._finished = []
+        return out

@@ -10,6 +10,7 @@ wire fast path's encode-cache and batching counters (E15).
 from __future__ import annotations
 
 import math
+import warnings
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from typing import Optional
@@ -17,6 +18,7 @@ from typing import Optional
 from repro.core.batching import BatchStats
 from repro.core.messages import WireCacheStats
 from repro.core.verification import VerificationStats
+from repro.obs.instrumentation import Instrumentation
 from repro.storage import StorageStats
 
 __all__ = ["OperationSample", "Summary", "MetricsCollector"]
@@ -66,40 +68,73 @@ def _percentile(ordered: list[float], q: float) -> float:
 
 @dataclass
 class MetricsCollector:
-    """Accumulates operation samples for one simulation run."""
+    """Accumulates operation samples for one simulation run.
+
+    Stats sources (verification, wire cache, batching, storage) live on the
+    collector's :class:`~repro.obs.Instrumentation` handle; the old
+    ``attach_*`` methods survive as deprecated shims that delegate there —
+    and, unlike the historical behaviour, a second attach now raises instead
+    of silently discarding the first source's counters.
+    """
 
     samples: list[OperationSample] = field(default_factory=list)
     retransmit_ticks: int = 0
-    #: Counters of the deployment's shared verification pipeline, attached
-    #: by the cluster harness (see :meth:`attach_verification`).
-    verification: Optional[VerificationStats] = None
-    #: Encode-once wire-cache counters (process-wide; attached by the
-    #: cluster harness so experiments read them alongside op metrics).
-    wire_cache: Optional[WireCacheStats] = None
-    #: Cross-object batching counters, when the deployment batches.
-    batching: Optional[BatchStats] = None
-    #: Per-replica storage counters (log appends, fsyncs, snapshots),
-    #: attached by the cluster harness when stores are in play (E16).
-    storage: dict[str, StorageStats] = field(default_factory=dict)
+    #: The stats-source registry (and span/histogram sink) for this run.
+    #: The cluster harness shares its own handle; a bare collector gets a
+    #: private disabled one, which still registers sources.
+    instrumentation: Instrumentation = field(default_factory=Instrumentation.off)
+
+    @property
+    def verification(self) -> Optional[VerificationStats]:
+        """Counters of the deployment's shared verification pipeline."""
+        return self.instrumentation.source("verification")
+
+    @property
+    def wire_cache(self) -> Optional[WireCacheStats]:
+        """Encode-once wire-cache counters (process-wide)."""
+        return self.instrumentation.source("wire_cache")
+
+    @property
+    def batching(self) -> Optional[BatchStats]:
+        """Cross-object batching counters, when the deployment batches."""
+        return self.instrumentation.source("batching")
+
+    @property
+    def storage(self) -> dict[str, StorageStats]:
+        """Per-replica storage counters (log appends, fsyncs, snapshots)."""
+        return self.instrumentation.source("storage") or {}
 
     def record(self, sample: OperationSample) -> None:
         self.samples.append(sample)
 
+    def _deprecated_attach(self, name: str) -> None:
+        warnings.warn(
+            f"MetricsCollector.attach_{name} is deprecated; attach sources "
+            f"through the Instrumentation handle instead "
+            f"(metrics.instrumentation.attach_{name})",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
     def attach_verification(self, stats: VerificationStats) -> None:
-        """Expose the deployment's verification counters through metrics."""
-        self.verification = stats
+        """Deprecated shim; raises on double attach (see class docstring)."""
+        self._deprecated_attach("verification")
+        self.instrumentation.attach_verification(stats)
 
     def attach_wire_cache(self, stats: WireCacheStats) -> None:
-        """Expose the encode-once wire-cache counters through metrics."""
-        self.wire_cache = stats
+        """Deprecated shim; raises on double attach (see class docstring)."""
+        self._deprecated_attach("wire_cache")
+        self.instrumentation.attach_wire_cache(stats)
 
     def attach_batching(self, stats: BatchStats) -> None:
-        """Expose the batching layer's coalescing counters through metrics."""
-        self.batching = stats
+        """Deprecated shim; raises on double attach (see class docstring)."""
+        self._deprecated_attach("batching")
+        self.instrumentation.attach_batching(stats)
 
     def attach_storage(self, stats_by_replica: dict[str, StorageStats]) -> None:
-        """Expose each replica's storage counters through metrics (E16)."""
-        self.storage.update(stats_by_replica)
+        """Deprecated shim; raises on per-replica double attach."""
+        self._deprecated_attach("storage")
+        self.instrumentation.attach_storage(stats_by_replica)
 
     def verification_hit_rate(self) -> float:
         """Signature-memo hit rate of the attached verifier (0 when absent)."""

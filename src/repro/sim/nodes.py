@@ -58,7 +58,10 @@ class ReplicaNode:
         #: ``(node_id, config, store=...)``.
         self._replica_factory = replica_factory or (
             lambda: type(self.replica)(
-                self.replica.node_id, self.replica.config, store=self.replica.store
+                self.replica.node_id,
+                self.replica.config,
+                store=self.replica.store,
+                instrumentation=self.replica.instrumentation,
             )
         )
         self.crashes = 0

@@ -14,10 +14,11 @@ from typing import Callable, Optional, Sequence
 
 from repro.core.batching import BatchCoalescer, BatchStats
 from repro.core.client import BftBcClient, OptimizedBftBcClient, StrongBftBcClient
-from repro.core.config import SystemConfig, make_system
+from repro.core.config import SystemConfig, Variant, make_system
 from repro.core.messages import wire_cache_stats
 from repro.core.replica import BftBcReplica, OptimizedBftBcReplica
 from repro.net.simnet import LinkProfile, SimNetwork
+from repro.obs.instrumentation import Instrumentation
 from repro.sim.faults import FaultSchedule
 from repro.sim.metrics import MetricsCollector
 from repro.sim.nodes import ClientNode, ReplicaNode, ScriptStep
@@ -29,8 +30,8 @@ from repro.errors import OperationFailedError, SimulationError
 
 __all__ = ["ClusterOptions", "Cluster", "build_cluster", "VARIANTS"]
 
-#: Supported protocol variants.
-VARIANTS = ("base", "optimized", "strong")
+#: Supported protocol variant names (the values of :class:`Variant`).
+VARIANTS = tuple(v.value for v in Variant)
 
 ReplicaFactory = Callable[[str, SystemConfig], BftBcReplica]
 
@@ -40,7 +41,7 @@ class ClusterOptions:
     """Knobs for one simulated deployment."""
 
     f: int = 1
-    variant: str = "base"
+    variant: Variant = Variant.BASE
     scheme: str = "hmac"
     seed: int = 0
     profile: LinkProfile = field(default_factory=LinkProfile.reliable)
@@ -76,12 +77,18 @@ class ClusterOptions:
     store_factory: Optional[Callable[[str], ReplicaStore]] = None
     #: Replica index -> factory producing a (possibly Byzantine) replica.
     replica_overrides: dict[int, ReplicaFactory] = field(default_factory=dict)
+    #: Observability handle threaded through every client and replica of
+    #: the cluster.  ``None`` builds a disabled handle: spans are no-ops,
+    #: but the stats sources still register so metrics accessors work.
+    instrumentation: Optional[Instrumentation] = None
 
     def __post_init__(self) -> None:
-        if self.variant not in VARIANTS:
+        try:
+            self.variant = Variant.coerce(self.variant)
+        except Exception:
             raise SimulationError(
                 f"unknown variant {self.variant!r}; expected one of {VARIANTS}"
-            )
+            ) from None
 
 
 class Cluster:
@@ -106,16 +113,20 @@ class Cluster:
             self.scheduler, profile=options.profile, seed=options.seed
         )
         self.recorder = HistoryRecorder(self.scheduler)
-        self.metrics = MetricsCollector()
+        #: The run's observability handle; spans and histograms use the
+        #: scheduler's virtual clock unless the caller bound another.
+        self.instrumentation = options.instrumentation or Instrumentation.off()
+        self.instrumentation.bind_clock(lambda: self.scheduler.now)
+        self.metrics = MetricsCollector(instrumentation=self.instrumentation)
         assert self.config.verifier is not None
-        self.metrics.attach_verification(self.config.verifier.stats)
-        self.metrics.attach_wire_cache(wire_cache_stats())
+        self.instrumentation.attach_verification(self.config.verifier.stats)
+        self.instrumentation.attach_wire_cache(wire_cache_stats())
         #: One coalescing-stats block shared by every client of the cluster.
         self.batch_stats: Optional[BatchStats] = (
             BatchStats() if options.batching else None
         )
         if self.batch_stats is not None:
-            self.metrics.attach_batching(self.batch_stats)
+            self.instrumentation.attach_batching(self.batch_stats)
         self.replica_nodes: dict[str, ReplicaNode] = {}
         self.clients: dict[str, ClientNode] = {}
         self._extra_done_checks: list[Callable[[], bool]] = []
@@ -154,10 +165,15 @@ class Cluster:
                 replica = factory(node_id, self.config)
             elif self.options.store_factory is not None:
                 replica = replica_cls(
-                    node_id, self.config, store=self.options.store_factory(node_id)
+                    node_id,
+                    self.config,
+                    store=self.options.store_factory(node_id),
+                    instrumentation=self.instrumentation,
                 )
             else:
-                replica = replica_cls(node_id, self.config)
+                replica = replica_cls(
+                    node_id, self.config, instrumentation=self.instrumentation
+                )
             storage_stats[node_id] = replica.store.stats
             self.replica_nodes[node_id] = ReplicaNode(
                 replica,
@@ -165,11 +181,13 @@ class Cluster:
                 self.scheduler,
                 sign_delay=self.options.sign_delay,
             )
-        self.metrics.attach_storage(storage_stats)
+        self.instrumentation.attach_storage(storage_stats)
 
     def add_client(self, name: str) -> ClientNode:
         """Create a correct client of the cluster's variant."""
-        client = self._client_class()(f"client:{name}", self.config)
+        client = self._client_class()(
+            f"client:{name}", self.config, instrumentation=self.instrumentation
+        )
         node = ClientNode(
             client,
             self.network,

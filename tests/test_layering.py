@@ -89,6 +89,26 @@ def test_checker_flags_storage_importing_core(tmp_path):
     assert ("repro.storage.bad", "repro.core.replica", 1, 3) in violations
 
 
+def test_obs_sits_below_core():
+    """The observability layer is below the protocol it instruments."""
+    assert check_layering.layer_of("repro.obs") is not None
+    assert (
+        check_layering.layer_of("repro.obs")
+        < check_layering.layer_of("repro.core")
+    )
+
+
+def test_obs_imports_no_protocol_types():
+    """Instrumentation is transport- and protocol-agnostic: errors only."""
+    src = ROOT / "src"
+    for path in sorted((src / "repro" / "obs").rglob("*.py")):
+        importer = check_layering.module_name_for(path, src)
+        for imported in check_layering.imports_of(path, importer):
+            assert not imported.startswith("repro.core"), (importer, imported)
+            assert not imported.startswith("repro.sim"), (importer, imported)
+            assert not imported.startswith("repro.net"), (importer, imported)
+
+
 def test_verification_imports_no_core_siblings():
     """The pipeline layer depends only on crypto/encoding/errors."""
     src = ROOT / "src"

@@ -1,0 +1,50 @@
+"""The facade boundary holds: examples/tests/benchmarks import public paths.
+
+Runs ``tools/check_public_api.py`` (same pattern as test_layering) and also
+spot-checks the facade exports directly so a failure points at the name.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_check_public_api_passes():
+    result = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "check_public_api.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_facade_exports_resolve():
+    import repro
+
+    missing = [name for name in repro.__all__ if not hasattr(repro, name)]
+    assert missing == []
+
+
+def test_facade_covers_the_supported_entry_points():
+    import repro
+
+    for name in (
+        "build_cluster",
+        "ClusterOptions",
+        "SystemConfig",
+        "Variant",
+        "Instrumentation",
+        "BftBcClient",
+        "OptimizedBftBcClient",
+        "StrongBftBcClient",
+        "BftBcReplica",
+        "OptimizedBftBcReplica",
+        "AsyncClient",
+        "ReplicaServer",
+    ):
+        assert name in repro.__all__, name

@@ -45,6 +45,7 @@ LAYERS: dict[str, int] = {
     "repro.encoding": 0,
     "repro.encoding.interning": 0,
     "repro.crypto": 1,
+    "repro.obs": 1,
     "repro.storage": 1,
     "repro.core.verification": 2,
     "repro.core.batching": 3,
