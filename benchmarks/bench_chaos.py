@@ -1,0 +1,65 @@
+"""E18 — Chaos soak: oracle survival across a seed-derived fault sweep.
+
+Not a paper experiment but a robustness soak over everything the paper
+claims: a large simulated campaign (crashes, restarts from the WAL,
+partitions, reordering links, Byzantine replicas and clients, concurrent
+correct workloads) where every episode must satisfy the full invariant
+oracle battery — Definition 1 BFT-linearizability, the Theorem 1/2
+lurking-write bounds, Lemma 1 over the signing logs, recovery-fingerprint
+and WAL idempotence — plus the TCP proxy campaign against the real
+transport.  The headline numbers (episodes survived, fault volume
+endured) go to ``BENCH_throughput.json`` as the resilience floor.
+
+Marked ``slow`` and ``chaos``: hundreds of simulated episodes, excluded
+from tier-1 runs (``tools/chaos_ci.py`` runs the nightly subset).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+from repro.analysis import format_campaign
+from repro.chaos import CampaignConfig, run_campaign
+from repro.chaos.tcp import TcpChaosConfig, run_tcp_campaign
+
+from benchmarks.conftest import run_once
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "tools"))
+import bench_record  # noqa: E402
+
+pytestmark = [pytest.mark.slow, pytest.mark.chaos]
+
+SEED = 1800
+EPISODES = 300
+
+
+def test_e18_chaos_soak(benchmark):
+    def experiment():
+        campaign = run_campaign(CampaignConfig(seed=SEED, episodes=EPISODES))
+        summary = campaign.summary()
+        tcp = run_tcp_campaign(TcpChaosConfig(seed=SEED))
+        print()
+        print(format_campaign(summary))
+        print()
+        print(format_campaign(tcp))
+        return summary, tcp
+
+    summary, tcp = run_once(benchmark, experiment)
+    bench_record.record(
+        "e18_chaos_soak",
+        {
+            "seed": SEED,
+            "episodes": summary["episodes"],
+            "violations": summary["violations"],
+            "operations": summary["totals"]["operations"],
+            "messages_dropped": summary["totals"]["messages_dropped"],
+            "messages_reordered": summary["totals"]["messages_reordered"],
+            "replica_crashes": summary["totals"]["replica_crashes"],
+            "tcp_ok": tcp["ok"],
+        },
+    )
+    assert summary["violations"] == 0
+    assert tcp["ok"]

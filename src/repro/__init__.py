@@ -4,8 +4,9 @@ A full reproduction of Liskov & Rodrigues, "Tolerating Byzantine Faulty
 Clients in a Quorum System" (ICDCS 2006): the base three-phase protocol, the
 two-phase optimized protocol (§6), the strong BFT-linearizable+ variant
 (§7), the BQS and Phalanx baselines it compares against, the §4 correctness
-conditions as executable checkers, a deterministic simulation harness, and
-an asyncio TCP deployment.
+conditions as executable checkers, a deterministic simulation harness, an
+asyncio TCP deployment, and a seed-deterministic chaos campaign engine with
+invariant oracles and auto-minimized repro artifacts.
 
 This module is the supported public API: everything an example, benchmark,
 or downstream user needs is importable from ``repro`` directly.  Deeper
@@ -35,6 +36,15 @@ from repro.byzantine import (
     LurkingWriteAttack,
     PartialWriteAttack,
     TimestampExhaustionAttack,
+)
+from repro.chaos import (
+    CampaignConfig,
+    EpisodePlan,
+    generate_plan,
+    minimize_episode,
+    replay_artifact,
+    run_campaign,
+    run_episode,
 )
 from repro.core import (
     BftBcClient,
@@ -143,6 +153,14 @@ __all__ = [
     "Colluder",
     "BqsEquivocationAttack",
     "BqsTimestampExhaustionAttack",
+    # chaos campaigns
+    "CampaignConfig",
+    "EpisodePlan",
+    "generate_plan",
+    "run_campaign",
+    "run_episode",
+    "minimize_episode",
+    "replay_artifact",
     # correctness
     "History",
     "check_register_linearizable",

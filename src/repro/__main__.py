@@ -11,6 +11,11 @@ Commands:
 * ``trace``     — run an instrumented workload; dump its spans as JSON lines.
 * ``serve``     — host one durable replica over TCP, journaling to a data
   directory and recovering from it on startup.
+* ``chaos``     — seed-deterministic fault campaigns with invariant oracles:
+  ``chaos run`` sweeps simulated episodes (auto-minimizing any violation to
+  a replayable artifact), ``chaos replay`` re-executes an artifact, and
+  ``chaos tcp`` runs the byte-mangling proxy campaign against the real
+  transport.
 """
 
 from __future__ import annotations
@@ -251,6 +256,66 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import format_campaign
+    from repro.chaos import CampaignConfig, replay_artifact, run_campaign
+    from repro.chaos.tcp import TcpChaosConfig, run_tcp_campaign
+
+    if args.chaos_command == "run":
+        config = CampaignConfig(
+            seed=args.seed,
+            episodes=args.episodes,
+            f=args.f,
+            variants=tuple(args.variants.split(",")),
+        )
+        campaign = run_campaign(
+            config,
+            minimize=not args.no_minimize,
+            artifact_dir=args.artifact_dir,
+        )
+        summary = campaign.summary()
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(format_campaign(summary))
+        return 0 if not summary["violations"] else 1
+
+    if args.chaos_command == "replay":
+        outcome = replay_artifact(args.artifact)
+        actual = outcome.actual
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "note": outcome.note,
+                        "expected": dict(sorted(outcome.expected.items())),
+                        "actual": dict(sorted(actual.items())),
+                        "matches": outcome.matches,
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            if outcome.note:
+                print(f"note: {outcome.note}")
+            for name in sorted(outcome.expected):
+                expected, got = outcome.expected[name], actual.get(name)
+                marker = "ok" if got == expected else "MISMATCH"
+                print(f"{name}: expected {expected}, got {got} [{marker}]")
+            print("replay matches" if outcome.matches else "replay DIVERGED")
+        return 0 if outcome.matches else 1
+
+    summary = run_tcp_campaign(TcpChaosConfig(seed=args.seed, f=args.f))
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(format_campaign(summary))
+    return 0 if summary["ok"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -300,6 +365,39 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--port", type=int, default=0)
     serve.add_argument("--fsync", choices=("always", "never"), default="always")
 
+    chaos = sub.add_parser(
+        "chaos", help="fault campaigns with invariant oracles"
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_run = chaos_sub.add_parser(
+        "run", help="sweep simulated episodes derived from one seed"
+    )
+    chaos_run.add_argument("--seed", type=int, default=0)
+    chaos_run.add_argument("--episodes", type=int, default=25)
+    chaos_run.add_argument(
+        "--variants",
+        default="base,optimized,strong",
+        help="comma-separated protocol variants to round-robin",
+    )
+    chaos_run.add_argument(
+        "--artifact-dir", help="write minimized repro artifacts here"
+    )
+    chaos_run.add_argument(
+        "--no-minimize", action="store_true",
+        help="skip delta-debugging of violations",
+    )
+    chaos_run.add_argument("--json", action="store_true")
+    chaos_replay = chaos_sub.add_parser(
+        "replay", help="re-execute a chaos artifact and compare verdicts"
+    )
+    chaos_replay.add_argument("artifact", help="path to a chaos artifact JSON")
+    chaos_replay.add_argument("--json", action="store_true")
+    chaos_tcp = chaos_sub.add_parser(
+        "tcp", help="proxy campaign against the real TCP transport"
+    )
+    chaos_tcp.add_argument("--seed", type=int, default=0)
+    chaos_tcp.add_argument("--json", action="store_true")
+
     args = parser.parse_args(argv)
     handlers = {
         "demo": cmd_demo,
@@ -309,6 +407,7 @@ def main(argv: list[str] | None = None) -> int:
         "metrics": cmd_metrics,
         "trace": cmd_trace,
         "serve": cmd_serve,
+        "chaos": cmd_chaos,
     }
     return handlers[args.command](args)
 

@@ -1,7 +1,12 @@
 """Analytical cost model (§3.3) and report formatting for experiments."""
 
 from repro.analysis.costs import READ_PHASES, WRITE_PHASES, CostModel
-from repro.analysis.report import fit_power_law, format_phase_breakdown, format_table
+from repro.analysis.report import (
+    fit_power_law,
+    format_campaign,
+    format_phase_breakdown,
+    format_table,
+)
 
 __all__ = [
     "CostModel",
@@ -9,5 +14,6 @@ __all__ = [
     "READ_PHASES",
     "format_table",
     "format_phase_breakdown",
+    "format_campaign",
     "fit_power_law",
 ]

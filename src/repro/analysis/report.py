@@ -8,7 +8,13 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Sequence
 
-__all__ = ["format_table", "format_cell", "format_phase_breakdown", "fit_power_law"]
+__all__ = [
+    "format_table",
+    "format_cell",
+    "format_phase_breakdown",
+    "format_campaign",
+    "fit_power_law",
+]
 
 
 def format_cell(value: Any) -> str:
@@ -95,3 +101,86 @@ def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> float:
     cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(lx, ly))
     var = sum((a - mean_x) ** 2 for a in lx)
     return cov / var
+
+
+def format_campaign(summary: Mapping[str, Any]) -> str:
+    """Render a chaos campaign summary (sim or TCP) as aligned tables.
+
+    Accepts the deterministic dicts produced by
+    :meth:`repro.chaos.engine.CampaignResult.summary` and
+    :func:`repro.chaos.tcp.run_tcp_campaign`; the rendering introduces no
+    wall-clock or path content, so identical summaries format identically.
+    """
+    if summary.get("format") == "repro-chaos-tcp/1":
+        rows = [
+            [
+                ep["variant"],
+                "ok" if ep["ok"] else ",".join(ep["violations"]),
+                ep["operations"],
+                ep["reconnects"],
+                sum(s.get("chunks_dropped", 0) for s in ep["proxy"].values()),
+                sum(s.get("chunks_truncated", 0) for s in ep["proxy"].values()),
+                sum(s.get("garbage_injected", 0) for s in ep["proxy"].values()),
+                sum(s.get("resets", 0) for s in ep["proxy"].values()),
+            ]
+            for ep in summary["episodes"]
+        ]
+        return format_table(
+            ["variant", "verdict", "ops", "redials", "dropped", "truncated",
+             "garbage", "resets"],
+            rows,
+            title=f"TCP chaos campaign (seed {summary['seed']})",
+        )
+
+    rows = [
+        [
+            ep["episode"],
+            ep["variant"],
+            ep["store"],
+            ep["attack"] or "-",
+            ",".join(ep["byzantine"]) or "-",
+            ep["faults"],
+            ep["clients"],
+            "ok" if ep["ok"] else ",".join(ep["violated"]),
+            ep["operations"],
+            ep["messages_dropped"],
+            ep["messages_reordered"],
+        ]
+        for ep in summary["episodes_detail"]
+    ]
+    lines = [
+        format_table(
+            ["ep", "variant", "store", "attack", "byzantine", "faults",
+             "clients", "verdict", "ops", "dropped", "reordered"],
+            rows,
+            title=(
+                f"chaos campaign (seed {summary['seed']}, "
+                f"{summary['episodes']} episodes)"
+            ),
+        )
+    ]
+    totals = summary["totals"]
+    lines.append(
+        f"totals: {totals['operations']} operations, "
+        f"{totals['messages_sent']} messages "
+        f"({totals['messages_dropped']} dropped, "
+        f"{totals['messages_reordered']} reordered), "
+        f"{totals['replica_crashes']} replica crashes"
+    )
+    if summary["violations"]:
+        by_oracle = ", ".join(
+            f"{name}={count}"
+            for name, count in summary["violations_by_oracle"].items()
+        )
+        lines.append(
+            f"VIOLATIONS: {summary['violations']} episodes ({by_oracle})"
+        )
+        for entry in summary["minimized"]:
+            failed = [k for k, ok in entry["verdicts"].items() if not ok]
+            lines.append(
+                f"  minimized episode {entry['episode']}: "
+                f"{entry['faults']} faults, violates {','.join(failed)}"
+            )
+    else:
+        lines.append("violations: none")
+    return "\n".join(lines)

@@ -718,10 +718,32 @@ class CollusionChainAttack(ByzantineActor):
         self._link_deadline = None
         self._read_nonce: Optional[bytes] = None
         self._read_replies: dict[str, ReadTsReply] = {}
+        self._read_attempts = 0
 
     def start(self) -> None:
         self._read_nonce = self.nonces.next()
+        self._send_read_ts()
+
+    def _send_read_ts(self) -> None:
+        # The read phase needs its own retransmission and deadline: with a
+        # Byzantine replica in the quorum system there is no reply slack,
+        # so under fair loss a single un-retimed broadcast can starve the
+        # attack forever (and with it the cluster's done-check).
+        self._read_attempts += 1
         self._broadcast(ReadTsRequest(nonce=self._read_nonce))
+        self._deadline_handle = self.scheduler.call_later(
+            ATTEMPT_TIMEOUT, self._read_timed_out
+        )
+
+    def _read_timed_out(self) -> None:
+        self._deadline_handle = None
+        if self.done or self._chain_prev is not None:
+            return
+        if self._read_attempts < 3:
+            self._send_read_ts()
+            return
+        self.refused_links += 1
+        self._finish()
 
     def handle_raw(self, src: str, message: Message) -> None:
         if self.done:
@@ -741,6 +763,9 @@ class CollusionChainAttack(ByzantineActor):
             return
         self._read_replies[src] = message
         if len(self._read_replies) >= self.config.quorum_size:
+            if self._deadline_handle is not None:
+                self._deadline_handle.cancel()
+                self._deadline_handle = None
             replies = list(self._read_replies.values())
             self._chain_prev = max((r.cert for r in replies), key=lambda c: c.ts)
             if self.config.strong:

@@ -1,0 +1,135 @@
+"""Delta-debugging a violating episode down to a minimal repro.
+
+Classic ddmin (Zeller & Hildebrandt) over the plan's fault-spec list: try
+removing complements of ever-finer chunk partitions, keeping any reduction
+under which the episode still violates at least one of the *originally*
+violated oracles (the target set — a reduction that merely trades the
+violation for a different one is rejected).  Because an
+:class:`~repro.chaos.plan.EpisodePlan` is fully declarative and episodes
+are deterministic, "still fails" is a pure re-execution of the candidate
+plan; every probe costs one simulated run, so the search is capped by a
+run budget.
+
+After the fault list is 1-minimal the shrinker greedily simplifies the
+rest of the plan — drop the attack, drop Byzantine replicas one by one,
+halve the workload, remove clients — each step again only kept if the
+target oracle still fails.  The result is the plan that goes into a
+replayable artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.chaos.plan import EpisodePlan
+from repro.errors import SimulationError
+
+__all__ = ["MinimizationResult", "minimize_episode"]
+
+
+@dataclass
+class MinimizationResult:
+    """The outcome of one minimization: the minimal plan and its verdicts."""
+
+    plan: EpisodePlan
+    original: EpisodePlan
+    #: The originally violated oracle names the search preserved.
+    target: tuple[str, ...]
+    #: Episode executions spent (including the initial confirmation run).
+    runs: int
+    #: The result of executing the minimal plan.
+    final: Any
+
+
+def minimize_episode(
+    plan: EpisodePlan,
+    *,
+    budget: int = 120,
+    runner: Optional[Callable[[EpisodePlan], Any]] = None,
+    **runner_kwargs: Any,
+) -> MinimizationResult:
+    """Shrink ``plan`` while it keeps violating its original oracles.
+
+    ``runner`` defaults to :func:`repro.chaos.engine.run_episode` (with
+    ``runner_kwargs`` forwarded — e.g. the bug-injection
+    ``replica_factory``); tests substitute cheap fake runners.
+
+    Raises:
+        SimulationError: if ``plan`` does not violate any oracle (there is
+            nothing to minimize).
+    """
+    if runner is None:
+        from repro.chaos.engine import run_episode
+
+        runner = lambda p: run_episode(p, **runner_kwargs)  # noqa: E731
+
+    first = runner(plan)
+    target = set(first.violations)
+    if not target:
+        raise SimulationError("episode violates no oracle; nothing to minimize")
+    runs = 1
+    best_result = first
+
+    def still_fails(candidate: EpisodePlan) -> bool:
+        nonlocal runs, best_result
+        if runs >= budget:
+            return False  # budget exhausted: keep the current plan
+        runs += 1
+        result = runner(candidate)
+        if set(result.violations) & target:
+            best_result = result
+            return True
+        return False
+
+    # -- ddmin over the fault list ---------------------------------------
+    faults = list(plan.faults)
+    granularity = 2
+    while len(faults) >= 2:
+        reduced = False
+        for chunk in range(granularity):
+            lo = chunk * len(faults) // granularity
+            hi = (chunk + 1) * len(faults) // granularity
+            candidate = faults[:lo] + faults[hi:]
+            if len(candidate) == len(faults):
+                continue
+            if still_fails(plan.replace(faults=candidate)):
+                faults = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(faults):
+                break
+            granularity = min(len(faults), 2 * granularity)
+    if len(faults) == 1 and still_fails(plan.replace(faults=[])):
+        faults = []
+    minimal = plan.replace(faults=faults)
+
+    # -- greedy shrinking of the rest of the plan ------------------------
+    if minimal.attack is not None and still_fails(minimal.replace(attack=None)):
+        minimal = minimal.replace(attack=None)
+    for index in sorted(minimal.byzantine_replicas):
+        slimmer = dict(minimal.byzantine_replicas)
+        del slimmer[index]
+        if still_fails(minimal.replace(byzantine_replicas=slimmer)):
+            minimal = minimal.replace(byzantine_replicas=slimmer)
+    while minimal.clients > 1 and still_fails(
+        minimal.replace(clients=minimal.clients - 1)
+    ):
+        minimal = minimal.replace(clients=minimal.clients - 1)
+    while minimal.ops_per_client > 1:
+        fewer = max(1, minimal.ops_per_client // 2)
+        if fewer == minimal.ops_per_client or not still_fails(
+            minimal.replace(ops_per_client=fewer)
+        ):
+            break
+        minimal = minimal.replace(ops_per_client=fewer)
+
+    return MinimizationResult(
+        plan=minimal,
+        original=plan,
+        target=tuple(sorted(target)),
+        runs=runs,
+        final=best_result,
+    )

@@ -1,0 +1,170 @@
+"""The invariant oracle battery every chaos episode must pass.
+
+Each oracle checks one property the paper (or the implementation) promises
+to hold under *any* schedule the §2 model admits:
+
+* ``no-exception`` — nothing in the stack raised; an unhandled exception
+  anywhere is a bug regardless of protocol correctness.
+* ``liveness`` — the workload terminated within the episode's virtual-time
+  budget.  Generated plans stay inside the fault assumptions (≤ f replicas
+  Byzantine-or-down at once, partitions heal, ``drop_rate < 1``), so the
+  fair-loss argument of §2 applies and non-termination is a violation.
+* ``bft-linearizable`` — Definition 1 against the recorded history, with
+  the variant's lurking bound and the episode's bad clients.
+* ``lurking-bound`` — Theorem 1/2 explicitly: no bad client's post-stop
+  visible writes exceed ``max_b`` (1 base/strong, 2 optimized).
+* ``lemma1`` — the correct replicas' signing logs satisfy Lemma 1(1–3)
+  (Lemma 1' part 2 for the optimized variant).
+* ``recovery-fingerprint`` — for every correct replica, a twin replica
+  recovered from the same store reproduces the live replica's state
+  fingerprint: recovery is total and the WAL captured every mutation.
+* ``wal-integrity`` — every durable store's ``load()`` is idempotent
+  (two loads return identical snapshot + records).
+
+The battery returns a verdict per oracle; the engine folds these into the
+campaign summary and the minimizer uses the set of violated oracle names
+as its reduction target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.chaos.plan import EpisodePlan
+from repro.spec.bft_linearizability import (
+    check_bft_linearizable,
+    count_lurking_writes,
+)
+from repro.spec.invariants import check_lemma1
+
+if TYPE_CHECKING:
+    from repro.sim.runner import Cluster
+
+__all__ = ["OracleVerdict", "ORACLES", "run_oracle_battery"]
+
+
+@dataclass(frozen=True)
+class OracleVerdict:
+    """One oracle's judgement of one episode."""
+
+    oracle: str
+    ok: bool
+    detail: str = ""
+
+
+#: Battery order (also the order verdicts are reported in).
+ORACLES = (
+    "no-exception",
+    "liveness",
+    "bft-linearizable",
+    "lurking-bound",
+    "lemma1",
+    "recovery-fingerprint",
+    "wal-integrity",
+)
+
+
+def run_oracle_battery(
+    cluster: "Cluster",
+    plan: EpisodePlan,
+    *,
+    bad_clients: frozenset[str] = frozenset(),
+    error_kind: Optional[str] = None,
+    error: str = "",
+) -> dict[str, OracleVerdict]:
+    """Judge one finished (or aborted) episode against every oracle.
+
+    ``error_kind`` is ``"liveness"`` when the run exhausted its budget,
+    ``"exception"`` when something raised, else None; ``error`` carries
+    the message for the verdict detail.
+    """
+    byzantine = frozenset(
+        f"replica:{index}" for index in plan.byzantine_replicas
+    )
+    verdicts: dict[str, OracleVerdict] = {}
+
+    verdicts["no-exception"] = OracleVerdict(
+        "no-exception",
+        error_kind != "exception",
+        error if error_kind == "exception" else "",
+    )
+    verdicts["liveness"] = OracleVerdict(
+        "liveness",
+        error_kind != "liveness",
+        error if error_kind == "liveness" else "",
+    )
+
+    result = check_bft_linearizable(
+        cluster.history, max_b=plan.max_b, bad_clients=set(bad_clients)
+    )
+    verdicts["bft-linearizable"] = OracleVerdict(
+        "bft-linearizable", result.ok, result.violation or ""
+    )
+
+    worst = 0
+    for bad in sorted(bad_clients):
+        worst = max(worst, count_lurking_writes(cluster.history, bad))
+    verdicts["lurking-bound"] = OracleVerdict(
+        "lurking-bound",
+        worst <= plan.max_b,
+        "" if worst <= plan.max_b else (
+            f"{worst} lurking writes exceed the variant bound {plan.max_b}"
+        ),
+    )
+
+    report = check_lemma1(
+        cluster.replicas.values(),
+        f=plan.f,
+        byzantine_replicas=byzantine,
+        max_prepared_per_client=2 if str(plan.variant) == "optimized" else 1,
+    )
+    verdicts["lemma1"] = OracleVerdict(
+        "lemma1", report.ok, "; ".join(report.violations)
+    )
+
+    verdicts["recovery-fingerprint"] = _check_recovery(cluster, byzantine)
+    verdicts["wal-integrity"] = _check_wal(cluster, plan, byzantine)
+    return verdicts
+
+
+def _check_recovery(cluster: "Cluster", byzantine: frozenset[str]) -> OracleVerdict:
+    """A twin recovered from each correct replica's store must match it."""
+    mismatched = []
+    for node_id, replica in sorted(cluster.replicas.items()):
+        if node_id in byzantine:
+            continue
+        twin = type(replica)(node_id, replica.config, store=replica.store)
+        twin.recover()
+        if twin.state_fingerprint() != replica.state_fingerprint():
+            mismatched.append(node_id)
+    return OracleVerdict(
+        "recovery-fingerprint",
+        not mismatched,
+        "" if not mismatched else (
+            "recovered twin diverges from live state at " + ", ".join(mismatched)
+        ),
+    )
+
+
+def _check_wal(
+    cluster: "Cluster", plan: EpisodePlan, byzantine: frozenset[str]
+) -> OracleVerdict:
+    """Durable stores must load idempotently (volatile episodes pass)."""
+    if plan.store != "filelog":
+        return OracleVerdict("wal-integrity", True, "not a durable episode")
+    unstable = []
+    for node_id, replica in sorted(cluster.replicas.items()):
+        if node_id in byzantine:
+            continue
+        first = replica.store.load()
+        second = replica.store.load()
+        if first != second:
+            unstable.append(node_id)
+    return OracleVerdict(
+        "wal-integrity",
+        not unstable,
+        "" if not unstable else (
+            "non-idempotent WAL load at " + ", ".join(unstable)
+        ),
+    )

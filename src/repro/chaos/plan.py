@@ -1,0 +1,323 @@
+"""Seed-derived episode plans: the declarative half of the chaos engine.
+
+An :class:`EpisodePlan` is a fully declarative, JSON-serialisable
+description of one adversarial run — protocol variant, link profile
+(including the :attr:`~repro.net.simnet.LinkProfile.reorder_rate` knob),
+store kind, fault schedule, Byzantine replica substitutions, an optional
+Byzantine client attack, and the correct-client workload.  Everything the
+engine does is a pure function of the plan, which is what makes campaigns
+reproducible from a single integer seed, lets the minimizer shrink a plan
+by deleting fault specs, and lets a violation be checked in as a replayable
+JSON artifact.
+
+:func:`generate_plan` derives episode ``i`` of a campaign from
+``random.Random(f"chaos/{seed}/{i}")``, so any episode can be regenerated
+without replaying the campaign prefix.  Generated plans always stay within
+the fault assumptions of §2: at most ``f`` replicas are Byzantine or down
+at any instant, every partition heals, and ``drop_rate < 1`` preserves
+fair-loss — so a correct protocol must pass every oracle on every
+generated episode, and a violation is always a finding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import SimulationError
+from repro.net.simnet import LinkProfile
+from repro.sim.faults import FaultSchedule
+
+__all__ = [
+    "PLAN_FORMAT",
+    "REPLICA_BEHAVIOURS",
+    "CLIENT_ATTACKS",
+    "EpisodePlan",
+    "CampaignConfig",
+    "generate_plan",
+    "build_schedule",
+]
+
+#: Format tag written into serialised plans and artifacts.
+PLAN_FORMAT = "repro-chaos/1"
+
+#: Byzantine replica substitutions the generator may draw, by catalogue
+#: name (all constructors are ``(node_id, config)``, usable directly as
+#: :attr:`~repro.sim.runner.ClusterOptions.replica_overrides` factories).
+REPLICA_BEHAVIOURS = (
+    "crashed",
+    "stale",
+    "promiscuous",
+    "corrupting",
+    "forging",
+    "delaying",
+    "two-faced",
+)
+
+#: Byzantine client attacks the generator may draw, per variant.  Each
+#: attack is only scheduled on the variant whose §3.2/§6.3 analysis it
+#: exercises, so its done-condition is known to terminate there.
+CLIENT_ATTACKS: dict[str, tuple[str, ...]] = {
+    "base": ("equivocation", "ts-exhaustion", "partial-write", "lurking", "chain"),
+    "optimized": ("lurking-optimized",),
+    "strong": ("chain",),
+}
+
+#: Bound that Definition 1 imposes on one bad client's lurking writes,
+#: per variant (Theorem 1 / Theorem 2).
+MAX_B = {"base": 1, "optimized": 2, "strong": 1}
+
+
+@dataclass
+class EpisodePlan:
+    """One declarative chaos episode (JSON-serialisable, minimizer-shrinkable)."""
+
+    episode: int
+    seed: int
+    variant: str = "base"
+    f: int = 1
+    #: :class:`~repro.net.simnet.LinkProfile` keyword arguments.
+    profile: dict[str, float] = field(default_factory=dict)
+    #: "memory" (volatile) or "filelog" (durable WAL; required for
+    #: crash_restart faults, which rebuild replicas from their stores).
+    store: str = "memory"
+    #: Declarative fault specs, each ``{"op": ..., "time": ..., ...}``;
+    #: see :func:`build_schedule` for the accepted shapes.
+    faults: list[dict[str, Any]] = field(default_factory=list)
+    #: Replica index (as a string, JSON keys are strings) -> behaviour
+    #: name from :data:`REPLICA_BEHAVIOURS`.
+    byzantine_replicas: dict[str, str] = field(default_factory=dict)
+    #: Byzantine client attack name from :data:`CLIENT_ATTACKS`, or None.
+    attack: Optional[str] = None
+    clients: int = 2
+    ops_per_client: int = 4
+    write_fraction: float = 0.6
+    think_time: float = 0.0
+    stagger: float = 0.05
+    max_time: float = 120.0
+
+    def link_profile(self) -> LinkProfile:
+        return LinkProfile(**self.profile)
+
+    @property
+    def max_b(self) -> int:
+        """The lurking-write bound Definition 1 grants this variant."""
+        return MAX_B[str(self.variant)]
+
+    def replace(self, **changes: Any) -> "EpisodePlan":
+        """A copy with ``changes`` applied (lists/dicts deep enough to share
+        nothing mutable with the original)."""
+        plan = dataclasses.replace(self)
+        plan.profile = dict(self.profile)
+        plan.faults = [dict(spec) for spec in self.faults]
+        plan.byzantine_replicas = dict(self.byzantine_replicas)
+        for key, value in changes.items():
+            setattr(plan, key, value)
+        return plan
+
+    def to_json(self) -> dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["format"] = PLAN_FORMAT
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "EpisodePlan":
+        payload = dict(data)
+        fmt = payload.pop("format", PLAN_FORMAT)
+        if fmt != PLAN_FORMAT:
+            raise SimulationError(f"unsupported plan format {fmt!r}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise SimulationError(f"unknown plan fields {sorted(unknown)}")
+        return cls(**payload)
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs of one campaign: everything else derives from ``seed``."""
+
+    seed: int = 0
+    episodes: int = 25
+    f: int = 1
+    variants: tuple[str, ...] = ("base", "optimized", "strong")
+    ops_per_client: int = 4
+    max_clients: int = 3
+    #: Store kinds the generator may draw ("memory", "filelog").
+    stores: tuple[str, ...] = ("memory", "filelog")
+    #: Allow Byzantine replica substitutions / client attacks.
+    byzantine: bool = True
+    attacks: bool = True
+    max_time: float = 120.0
+
+
+def _node(index: int) -> str:
+    return f"replica:{index}"
+
+
+def generate_plan(config: CampaignConfig, episode: int) -> EpisodePlan:
+    """Derive episode ``episode`` of the campaign, independent of the rest."""
+    rng = random.Random(f"chaos/{config.seed}/{episode}")
+    variant = config.variants[episode % len(config.variants)]
+    f = config.f
+    n = 3 * f + 1
+    store = rng.choice(config.stores)
+
+    profile = {
+        "min_delay": 0.001,
+        "max_delay": rng.choice([0.01, 0.02, 0.05]),
+        "drop_rate": rng.choice([0.0, 0.02, 0.05, 0.10]),
+        "duplicate_rate": rng.choice([0.0, 0.02, 0.05]),
+        "corrupt_rate": rng.choice([0.0, 0.0, 0.01]),
+        "reorder_rate": rng.choice([0.0, 0.10, 0.25]),
+    }
+
+    # Byzantine replicas first: they count against the fault budget f for
+    # the whole episode (a substituted replica never behaves correctly).
+    byzantine_replicas: dict[str, str] = {}
+    if config.byzantine and rng.random() < 0.4:
+        behaviours = REPLICA_BEHAVIOURS + (
+            ("silent-optimized",) if variant == "optimized" else ()
+        )
+        for index in sorted(rng.sample(range(n), rng.randint(1, f))):
+            byzantine_replicas[str(index)] = rng.choice(behaviours)
+    crash_budget = f - len(byzantine_replicas)
+
+    # Crash faults: only nodes outside the Byzantine set, never more than
+    # crash_budget down at once, and — matching the §2 model — volatile
+    # stores only lose delivery (network crash) while durable stores may
+    # lose the process itself (crash_restart rebuilds from the WAL).
+    faults: list[dict[str, Any]] = []
+    healthy = [i for i in range(n) if str(i) not in byzantine_replicas]
+    if crash_budget > 0 and rng.random() < 0.7:
+        victims = rng.sample(healthy, min(crash_budget, 1 + rng.randint(0, 1)))
+        at = rng.uniform(0.2, 1.5)
+        for victim in victims[:crash_budget]:
+            down_for = rng.uniform(0.5, 2.0)
+            if store == "filelog" and rng.random() < 0.7:
+                faults.append(
+                    {
+                        "op": "crash_restart",
+                        "time": round(at, 3),
+                        "node": _node(victim),
+                        "down_for": round(down_for, 3),
+                    }
+                )
+            else:
+                faults.append(
+                    {"op": "crash", "time": round(at, 3), "node": _node(victim)}
+                )
+                faults.append(
+                    {
+                        "op": "recover",
+                        "time": round(at + down_for, 3),
+                        "node": _node(victim),
+                    }
+                )
+            # Sequential windows keep at most crash_budget nodes down.
+            at += down_for + rng.uniform(0.2, 1.0)
+
+    # Partitions: cut one client-replica or replica-replica pair, always
+    # healed before the end so fair-loss liveness holds.
+    if rng.random() < 0.5:
+        a = _node(rng.choice(healthy))
+        b = f"client:w{rng.randrange(config.max_clients)}"
+        if rng.random() < 0.3 and len(healthy) > 1:
+            b = _node(rng.choice([i for i in healthy if _node(i) != a]))
+        start = rng.uniform(0.1, 1.0)
+        faults.append({"op": "partition", "time": round(start, 3), "a": a, "b": b})
+        faults.append(
+            {
+                "op": "heal",
+                "time": round(start + rng.uniform(0.3, 1.5), 3),
+                "a": a,
+                "b": b,
+            }
+        )
+
+    # Link degradation: make one directed link nastier than the ambient
+    # profile for the rest of the episode.
+    if rng.random() < 0.5:
+        src = f"client:w{rng.randrange(config.max_clients)}"
+        dst = _node(rng.choice(range(n)))
+        if rng.random() < 0.5:
+            src, dst = dst, src
+        faults.append(
+            {
+                "op": "degrade",
+                "time": round(rng.uniform(0.1, 1.0), 3),
+                "src": src,
+                "dst": dst,
+                "profile": {
+                    "min_delay": 0.002,
+                    "max_delay": rng.choice([0.05, 0.10]),
+                    "drop_rate": rng.choice([0.10, 0.25]),
+                    "duplicate_rate": rng.choice([0.0, 0.10]),
+                    "reorder_rate": rng.choice([0.0, 0.25, 0.5]),
+                },
+            }
+        )
+
+    attack = None
+    if config.attacks and rng.random() < 0.3:
+        attack = rng.choice(CLIENT_ATTACKS[str(variant)])
+
+    return EpisodePlan(
+        episode=episode,
+        seed=rng.randrange(2**31),
+        variant=str(variant),
+        f=f,
+        profile=profile,
+        store=store,
+        faults=faults,
+        byzantine_replicas=byzantine_replicas,
+        attack=attack,
+        clients=rng.randint(1, config.max_clients),
+        ops_per_client=config.ops_per_client,
+        write_fraction=rng.choice([0.4, 0.5, 0.6, 0.8]),
+        think_time=rng.choice([0.0, 0.01]),
+        stagger=rng.choice([0.0, 0.05, 0.1]),
+        max_time=config.max_time,
+    )
+
+
+def build_schedule(faults: list[dict[str, Any]]) -> FaultSchedule:
+    """Materialise declarative fault specs into a :class:`FaultSchedule`.
+
+    Accepted shapes (times are virtual seconds)::
+
+        {"op": "crash",         "time": t, "node": id}
+        {"op": "recover",       "time": t, "node": id}
+        {"op": "crash_restart", "time": t, "node": id, "down_for": d}
+        {"op": "partition",     "time": t, "a": id, "b": id}
+        {"op": "heal",          "time": t, "a": id, "b": id}
+        {"op": "degrade",       "time": t, "src": id, "dst": id,
+         "profile": {LinkProfile kwargs}}
+    """
+    schedule = FaultSchedule()
+    for spec in faults:
+        op = spec.get("op")
+        if op == "crash":
+            schedule.crash(spec["time"], spec["node"])
+        elif op == "recover":
+            schedule.recover(spec["time"], spec["node"])
+        elif op == "crash_restart":
+            schedule.crash_restart(
+                spec["time"], spec["node"], down_for=spec["down_for"]
+            )
+        elif op == "partition":
+            schedule.partition(spec["time"], spec["a"], spec["b"])
+        elif op == "heal":
+            schedule.heal(spec["time"], spec["a"], spec["b"])
+        elif op == "degrade":
+            schedule.degrade_link(
+                spec["time"],
+                spec["src"],
+                spec["dst"],
+                LinkProfile(**spec["profile"]),
+            )
+        else:
+            raise SimulationError(f"unknown fault op {op!r}")
+    return schedule

@@ -1,0 +1,371 @@
+"""The chaos campaign against the real asyncio transport.
+
+The simulator campaign (:mod:`repro.chaos.engine`) is the volume play —
+thousands of deterministic episodes.  This module is the ground-truth
+play: a *smaller* campaign against actual :class:`~repro.net.asyncio_transport.ReplicaServer`
+processes with durable :class:`~repro.storage.FileLogStore` state, real
+sockets, and a :class:`~repro.net.chaos_proxy.ChaosProxy` per replica
+mangling the byte stream (delays, dropped-and-reset chunks, mid-frame
+truncations, garbage frames).  Mid-episode, one replica suffers a
+``crash_restart``: its server is stopped, its store closed, and a fresh
+server recovers from the same data directory on the same port — the
+moral equivalent of ``kill -9`` plus supervised restart.
+
+Each episode records a §4.1 verifiable history at the client boundary
+(wall-clock timestamps) and is judged by the same oracle battery as the
+simulator campaign via a duck-typed cluster adapter — so one definition
+of "correct" covers both worlds.  TCP scheduling is not deterministic,
+which is exactly the point: the oracles must hold on *every* schedule,
+and this campaign samples schedules the simulator cannot produce.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.chaos.oracles import OracleVerdict, run_oracle_battery
+from repro.chaos.plan import EpisodePlan
+from repro.core.client import (
+    BftBcClient,
+    OptimizedBftBcClient,
+    StrongBftBcClient,
+)
+from repro.core.config import SystemConfig, make_system
+from repro.core.replica import BftBcReplica, OptimizedBftBcReplica
+from repro.errors import OperationFailedError
+from repro.net.asyncio_transport import AsyncClient, ReplicaServer
+from repro.net.chaos_proxy import ChaosProxy, ProxyProfile
+from repro.spec.histories import History, Invocation, Response
+
+__all__ = [
+    "TcpChaosConfig",
+    "TcpEpisodeResult",
+    "run_tcp_episode",
+    "run_tcp_campaign",
+]
+
+_REPLICA_CLS = {
+    "base": BftBcReplica,
+    "optimized": OptimizedBftBcReplica,
+    "strong": BftBcReplica,
+}
+_CLIENT_CLS = {
+    "base": BftBcClient,
+    "optimized": OptimizedBftBcClient,
+    "strong": StrongBftBcClient,
+}
+
+
+@dataclass
+class TcpChaosConfig:
+    """One TCP chaos episode's knobs (an episode per variant is typical)."""
+
+    seed: int = 0
+    f: int = 1
+    variants: tuple[str, ...] = ("base", "optimized", "strong")
+    clients: int = 2
+    ops_per_client: int = 3
+    write_fraction: float = 0.6
+    #: Stop one replica mid-episode and recover a fresh server from its
+    #: data directory on the same port.
+    crash_restart: bool = True
+    down_for: float = 0.25
+    #: Byte-level fault rates applied by every replica's proxy.
+    proxy: ProxyProfile = field(
+        default_factory=lambda: ProxyProfile(
+            delay_rate=0.2,
+            max_delay=0.005,
+            drop_rate=0.04,
+            truncate_rate=0.03,
+            garbage_rate=0.05,
+            reset_rate=0.03,
+        )
+    )
+    retransmit_interval: float = 0.08
+    op_timeout: float = 30.0
+    fsync: str = "always"
+
+
+@dataclass
+class TcpEpisodeResult:
+    """One TCP episode: verdicts plus transport-level effect counters."""
+
+    variant: str
+    verdicts: dict[str, OracleVerdict]
+    operations: int
+    reconnects: int
+    proxy_stats: dict[str, dict[str, int]]
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return all(v.ok for v in self.verdicts.values())
+
+    @property
+    def violations(self) -> tuple[str, ...]:
+        return tuple(
+            name for name, v in sorted(self.verdicts.items()) if not v.ok
+        )
+
+    def to_summary(self) -> dict[str, Any]:
+        return {
+            "variant": self.variant,
+            "ok": self.ok,
+            "violations": list(self.violations),
+            "operations": self.operations,
+            "reconnects": self.reconnects,
+            "proxy": {
+                node: dict(sorted(stats.items()))
+                for node, stats in sorted(self.proxy_stats.items())
+            },
+            "error": self.error,
+        }
+
+
+class _WallRecorder:
+    """Appends §4.1 events with wall-clock (event-loop) timestamps."""
+
+    def __init__(self, obj: str = "x") -> None:
+        self.history = History()
+        self.obj = obj
+
+    def _now(self) -> float:
+        return asyncio.get_running_loop().time()
+
+    def invocation(self, client: str, op: str, arg: Any = None) -> None:
+        self.history.append(
+            Invocation(client=client, obj=self.obj, op=op, arg=arg, time=self._now())
+        )
+
+    def response(self, client: str, value: Any = None) -> None:
+        self.history.append(
+            Response(client=client, obj=self.obj, value=value, time=self._now())
+        )
+
+
+class _TcpCluster:
+    """Duck-typed stand-in for :class:`repro.sim.runner.Cluster`, exposing
+    exactly what :func:`~repro.chaos.oracles.run_oracle_battery` reads."""
+
+    def __init__(
+        self, history: History, replicas: dict[str, BftBcReplica]
+    ) -> None:
+        self.history = history
+        self.replicas = replicas
+
+
+async def _client_workload(
+    name: str,
+    client: AsyncClient,
+    recorder: _WallRecorder,
+    rng: random.Random,
+    config: TcpChaosConfig,
+) -> int:
+    """Run one client's mixed script, recording invocations/responses."""
+    operations = 0
+    for seq in range(config.ops_per_client):
+        if seq == 0 or rng.random() < config.write_fraction:
+            value = (name, seq, "tcp")
+            recorder.invocation(name, "write", value)
+            await client.write(value)
+            recorder.response(name, None)
+        else:
+            recorder.invocation(name, "read", None)
+            value = await client.read()
+            recorder.response(name, value)
+        operations += 1
+    return operations
+
+
+async def _crash_restart(
+    servers: dict[str, ReplicaServer],
+    victim: str,
+    system: SystemConfig,
+    data_dir: Path,
+    config: TcpChaosConfig,
+    replica_cls: type[BftBcReplica],
+) -> None:
+    """Kill ``victim``'s server process-style, then recover it in place."""
+    await asyncio.sleep(0.15)
+    server = servers[victim]
+    host, port = server.host, server.port
+    await server.stop()
+    server.replica.store.close()
+    await asyncio.sleep(config.down_for)
+    reborn = ReplicaServer.durable(
+        victim,
+        system,
+        data_dir / victim.replace(":", "_"),
+        host=host,
+        port=port,
+        replica_cls=replica_cls,
+        fsync=config.fsync,
+    )
+    await reborn.start()
+    servers[victim] = reborn
+
+
+async def _run_episode(
+    config: TcpChaosConfig, variant: str, data_dir: Path
+) -> TcpEpisodeResult:
+    rng = random.Random(f"chaos-tcp/{config.seed}/{variant}")
+    system = make_system(
+        config.f,
+        seed=b"tcp-chaos-%d" % config.seed,
+        strong=(variant == "strong"),
+    )
+    replica_cls = _REPLICA_CLS[variant]
+    client_cls = _CLIENT_CLS[variant]
+
+    servers: dict[str, ReplicaServer] = {}
+    proxies: dict[str, ChaosProxy] = {}
+    addrs: dict[str, tuple[str, int]] = {}
+    clients: list[AsyncClient] = []
+    recorder = _WallRecorder()
+    error_kind: Optional[str] = None
+    error = ""
+    operations = 0
+    chaos_task: Optional[asyncio.Task] = None
+    try:
+        for index, rid in enumerate(system.quorums.replica_ids):
+            server = ReplicaServer.durable(
+                rid,
+                system,
+                data_dir / rid.replace(":", "_"),
+                replica_cls=replica_cls,
+                fsync=config.fsync,
+            )
+            host, port = await server.start()
+            proxy = ChaosProxy(
+                host,
+                port,
+                profile=config.proxy,
+                seed=config.seed * 1000 + index,
+            )
+            addrs[rid] = await proxy.start()
+            servers[rid] = server
+            proxies[rid] = proxy
+
+        names = [f"client:t{i}" for i in range(config.clients)]
+        for name in names:
+            client = AsyncClient(
+                client_cls(name, system),
+                addrs,
+                retransmit_interval=config.retransmit_interval,
+                op_timeout=config.op_timeout,
+            )
+            await client.connect()
+            clients.append(client)
+
+        if config.crash_restart:
+            victim = rng.choice(list(servers))
+            chaos_task = asyncio.create_task(
+                _crash_restart(
+                    servers, victim, system, data_dir, config, replica_cls
+                )
+            )
+
+        try:
+            counts = await asyncio.gather(
+                *(
+                    _client_workload(
+                        name,
+                        client,
+                        recorder,
+                        random.Random(f"chaos-tcp/{config.seed}/{variant}/{name}"),
+                        config,
+                    )
+                    for name, client in zip(names, clients)
+                )
+            )
+            operations = sum(counts)
+        except OperationFailedError as exc:
+            error_kind, error = "liveness", str(exc)
+        except Exception as exc:  # the no-exception oracle's evidence
+            error_kind, error = "exception", f"{type(exc).__name__}: {exc}"
+
+        if chaos_task is not None:
+            await chaos_task
+            chaos_task = None
+
+        plan = EpisodePlan(
+            episode=0,
+            seed=config.seed,
+            variant=variant,
+            f=config.f,
+            store="filelog",
+            clients=config.clients,
+            ops_per_client=config.ops_per_client,
+        )
+        battery_cluster = _TcpCluster(
+            recorder.history,
+            {rid: server.replica for rid, server in servers.items()},
+        )
+        verdicts = run_oracle_battery(
+            battery_cluster, plan, error_kind=error_kind, error=error
+        )
+        return TcpEpisodeResult(
+            variant=variant,
+            verdicts=verdicts,
+            operations=operations,
+            reconnects=sum(client.reconnects for client in clients),
+            proxy_stats={
+                rid: proxy.stats.as_dict() for rid, proxy in proxies.items()
+            },
+            error=error,
+        )
+    finally:
+        if chaos_task is not None:
+            chaos_task.cancel()
+            try:
+                await chaos_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        for client in clients:
+            await client.close()
+        for proxy in proxies.values():
+            await proxy.stop()
+        for server in servers.values():
+            await server.stop()
+            server.replica.store.close()
+
+
+def run_tcp_episode(
+    config: TcpChaosConfig,
+    variant: str,
+    data_dir: Optional[Path] = None,
+) -> TcpEpisodeResult:
+    """Run one TCP chaos episode for ``variant`` and judge it."""
+    if data_dir is not None:
+        return asyncio.run(_run_episode(config, variant, Path(data_dir)))
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-tcp-") as tmp:
+        return asyncio.run(_run_episode(config, variant, Path(tmp)))
+
+
+def run_tcp_campaign(
+    config: Optional[TcpChaosConfig] = None,
+    data_dir: Optional[Path] = None,
+) -> dict[str, Any]:
+    """One episode per configured variant; returns a summary dict.
+
+    The summary's shape matches what :mod:`tools.chaos_ci` records: a
+    per-variant verdict map plus aggregate transport-effect counters.
+    """
+    config = config or TcpChaosConfig()
+    episodes: list[TcpEpisodeResult] = []
+    for variant in config.variants:
+        base = None if data_dir is None else Path(data_dir) / variant
+        if base is not None:
+            base.mkdir(parents=True, exist_ok=True)
+        episodes.append(run_tcp_episode(config, variant, base))
+    return {
+        "format": "repro-chaos-tcp/1",
+        "seed": config.seed,
+        "ok": all(ep.ok for ep in episodes),
+        "episodes": [ep.to_summary() for ep in episodes],
+    }

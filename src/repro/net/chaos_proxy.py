@@ -1,0 +1,234 @@
+"""A byte-mangling TCP proxy: chaos injection for the real transport.
+
+The simulator's :class:`~repro.net.simnet.LinkProfile` faults operate on
+whole messages; a real deployment also faces *byte-level* adversity —
+half-written frames, injected garbage, connections reset mid-stream.  A
+:class:`ChaosProxy` sits between an :class:`~repro.net.asyncio_transport.AsyncClient`
+and one :class:`~repro.net.asyncio_transport.ReplicaServer` and applies a
+seeded :class:`ProxyProfile` of such faults to the forwarded stream, so the
+chaos campaign (:mod:`repro.chaos.tcp`) can assert the protocol's §2
+fair-loss recovery story against the actual framing, retransmission, and
+re-dial code paths.
+
+Fault semantics keep the stream honest about what TCP can do: dropping or
+truncating bytes *within* a live connection would silently desynchronise
+the framing (something real TCP never does), so ``drop``/``truncate``
+always close the connection afterwards — from the endpoints' perspective
+they are a connection reset with (for truncate) a half-delivered frame.
+``garbage`` injects a complete, well-framed noise payload (exercising the
+codec's rejection path without killing the connection) or, half the time,
+raw bad-magic bytes (exercising the hard connection-drop path).
+
+Per-connection randomness derives from ``random.Random(f"chaos-proxy/
+{seed}/{n}")`` for the *n*-th accepted connection, so a proxy's behaviour
+is reproducible given the same seed and connection order (TCP scheduling
+itself is of course not deterministic — the simulator remains the
+authority on exact replay; the proxy's job is coverage, not replay).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from dataclasses import dataclass, field, fields
+from typing import Optional
+
+from repro.encoding import encode_frame
+from repro.errors import SimulationError
+
+__all__ = ["ProxyProfile", "ProxyStats", "ChaosProxy"]
+
+
+@dataclass(frozen=True)
+class ProxyProfile:
+    """Per-chunk fault rates applied to each forwarded direction."""
+
+    #: Probability of sleeping before forwarding a chunk (adds latency
+    #: without reordering — the pump is sequential per direction).
+    delay_rate: float = 0.0
+    min_delay: float = 0.0
+    max_delay: float = 0.005
+    #: Probability of discarding a chunk and closing the connection (a
+    #: reset whose final bytes were never delivered).
+    drop_rate: float = 0.0
+    #: Probability of forwarding a random prefix of a chunk and closing —
+    #: the peer sees a mid-frame disconnect.
+    truncate_rate: float = 0.0
+    #: Probability of injecting a garbage frame (or raw bad-magic bytes)
+    #: ahead of a chunk.
+    garbage_rate: float = 0.0
+    #: Probability of closing the connection outright before a chunk.
+    reset_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if value < 0:
+                raise SimulationError(f"{spec.name} must be >= 0, got {value}")
+        for name in ("delay_rate", "drop_rate", "truncate_rate",
+                     "garbage_rate", "reset_rate"):
+            if getattr(self, name) > 1:
+                raise SimulationError(f"{name} must be <= 1")
+        if self.min_delay > self.max_delay:
+            raise SimulationError("min_delay must be <= max_delay")
+
+
+@dataclass
+class ProxyStats:
+    """What one proxy did to the bytes that passed through it."""
+
+    connections: int = 0
+    #: Upstream dials that failed (the replica was down); the client-side
+    #: connection is closed immediately so the dialer can re-try later.
+    refused: int = 0
+    chunks_forwarded: int = 0
+    chunks_delayed: int = 0
+    chunks_dropped: int = 0
+    chunks_truncated: int = 0
+    garbage_injected: int = 0
+    resets: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+
+class ChaosProxy:
+    """Forwards TCP both ways between a listener and one upstream address,
+    applying a :class:`ProxyProfile` of byte-level faults per chunk."""
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        *,
+        profile: Optional[ProxyProfile] = None,
+        seed: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.profile = profile or ProxyProfile()
+        self.seed = seed
+        self.host = host
+        self.port = port
+        self.stats = ProxyStats()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    async def start(self) -> tuple[str, int]:
+        """Start listening; returns the bound (host, port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        """Stop listening and tear down every forwarded connection."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        for task in list(self._conn_tasks):
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._conn_tasks.clear()
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.connections += 1
+        rng = random.Random(f"chaos-proxy/{self.seed}/{self.stats.connections}")
+        try:
+            up_reader, up_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port
+            )
+        except OSError:
+            # Upstream down (e.g. mid crash_restart): refuse by closing, so
+            # the dialer's next retransmission tick re-dials.
+            self.stats.refused += 1
+            writer.close()
+            return
+        self._writers.add(writer)
+        self._writers.add(up_writer)
+        pumps = [
+            asyncio.create_task(self._pump(reader, up_writer, rng)),
+            asyncio.create_task(self._pump(up_reader, writer, rng)),
+        ]
+        for task in pumps:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            # Either side finishing (EOF, fault-triggered close, error)
+            # tears down the whole forwarded connection.
+            await asyncio.wait(pumps, return_when=asyncio.FIRST_COMPLETED)
+        finally:
+            for task in pumps:
+                task.cancel()
+            for end in (writer, up_writer):
+                self._writers.discard(end)
+                end.close()
+
+    async def _pump(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        rng: random.Random,
+    ) -> None:
+        profile = self.profile
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    return
+                if profile.reset_rate and rng.random() < profile.reset_rate:
+                    self.stats.resets += 1
+                    return
+                if profile.drop_rate and rng.random() < profile.drop_rate:
+                    self.stats.chunks_dropped += 1
+                    return
+                if (
+                    profile.truncate_rate
+                    and len(chunk) > 1
+                    and rng.random() < profile.truncate_rate
+                ):
+                    writer.write(chunk[: rng.randrange(1, len(chunk))])
+                    await writer.drain()
+                    self.stats.chunks_truncated += 1
+                    return
+                if profile.garbage_rate and rng.random() < profile.garbage_rate:
+                    writer.write(self._garbage(rng))
+                    self.stats.garbage_injected += 1
+                if profile.delay_rate and rng.random() < profile.delay_rate:
+                    await asyncio.sleep(
+                        rng.uniform(profile.min_delay, profile.max_delay)
+                    )
+                    self.stats.chunks_delayed += 1
+                writer.write(chunk)
+                await writer.drain()
+                self.stats.chunks_forwarded += 1
+        except (OSError, ConnectionError, asyncio.CancelledError):
+            return
+
+    @staticmethod
+    def _garbage(rng: random.Random) -> bytes:
+        """A well-framed noise payload, or raw bad-magic bytes.
+
+        The framed flavour survives the peer's frame decoder and dies in
+        envelope decoding (silently discarded, connection lives); the raw
+        flavour fails the magic check and drops the connection.
+        """
+        if rng.random() < 0.5:
+            payload = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 48)))
+            return encode_frame(payload)
+        return bytes(rng.randrange(256) for _ in range(rng.randrange(2, 16)))

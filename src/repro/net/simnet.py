@@ -39,6 +39,11 @@ class LinkProfile:
         drop_rate: probability a message is silently lost.
         duplicate_rate: probability a message is delivered twice.
         corrupt_rate: probability one byte of the encoding is flipped.
+        reorder_rate: probability a message is held back past several
+            delay windows, so messages sent after it overtake it.  Mild
+            reordering already arises from the uniform delay draw; this
+            knob forces the aggressive out-of-order deliveries the §2
+            model permits ("deliver them out of order").
     """
 
     min_delay: float = 0.001
@@ -46,6 +51,7 @@ class LinkProfile:
     drop_rate: float = 0.0
     duplicate_rate: float = 0.0
     corrupt_rate: float = 0.0
+    reorder_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0 <= self.drop_rate <= 1:
@@ -54,6 +60,8 @@ class LinkProfile:
             raise NetworkError(f"duplicate_rate {self.duplicate_rate} out of range")
         if not 0 <= self.corrupt_rate <= 1:
             raise NetworkError(f"corrupt_rate {self.corrupt_rate} out of range")
+        if not 0 <= self.reorder_rate <= 1:
+            raise NetworkError(f"reorder_rate {self.reorder_rate} out of range")
         if self.min_delay < 0 or self.max_delay < self.min_delay:
             raise NetworkError(
                 f"invalid delay range [{self.min_delay}, {self.max_delay}]"
@@ -80,6 +88,17 @@ class LinkProfile:
         )
 
 
+#: The distinct causes a message can be lost to, as recorded in
+#: :attr:`NetworkStats.dropped_by_reason`.
+DROP_REASONS = (
+    "link-loss",      # the stochastic drop_rate fired
+    "partitioned",    # src/dst pair currently partitioned
+    "crashed",        # src or dst crashed (at send or while in flight)
+    "parse-failure",  # delivered bytes failed to decode (corruption)
+    "unregistered",   # destination has no handler
+)
+
+
 @dataclass
 class NetworkStats:
     """Aggregate traffic counters (experiments E2/E8 read these)."""
@@ -89,10 +108,13 @@ class NetworkStats:
     messages_dropped: int = 0
     messages_duplicated: int = 0
     messages_corrupted: int = 0
+    messages_reordered: int = 0
     bytes_sent: int = 0
     bytes_delivered: int = 0
     sent_by_kind: dict[str, int] = field(default_factory=dict)
     bytes_by_kind: dict[str, int] = field(default_factory=dict)
+    dropped_by_kind: dict[str, int] = field(default_factory=dict)
+    dropped_by_reason: dict[str, int] = field(default_factory=dict)
 
     def record_send(self, kind: str, size: int) -> None:
         self.messages_sent += 1
@@ -100,16 +122,24 @@ class NetworkStats:
         self.sent_by_kind[kind] = self.sent_by_kind.get(kind, 0) + 1
         self.bytes_by_kind[kind] = self.bytes_by_kind.get(kind, 0) + size
 
+    def record_drop(self, kind: str, reason: str) -> None:
+        self.messages_dropped += 1
+        self.dropped_by_kind[kind] = self.dropped_by_kind.get(kind, 0) + 1
+        self.dropped_by_reason[reason] = self.dropped_by_reason.get(reason, 0) + 1
+
     def reset(self) -> None:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
         self.messages_duplicated = 0
         self.messages_corrupted = 0
+        self.messages_reordered = 0
         self.bytes_sent = 0
         self.bytes_delivered = 0
         self.sent_by_kind.clear()
         self.bytes_by_kind.clear()
+        self.dropped_by_kind.clear()
+        self.dropped_by_reason.clear()
 
 
 class SimNetwork:
@@ -179,14 +209,14 @@ class SimNetwork:
         if self.tap is not None:
             self.tap("sent", src, dst, message.KIND)
         if src in self._crashed or dst in self._crashed:
-            self._drop(src, dst, message.KIND)
+            self._drop(src, dst, message.KIND, "crashed")
             return
         if (src, dst) in self._partitioned:
-            self._drop(src, dst, message.KIND)
+            self._drop(src, dst, message.KIND, "partitioned")
             return
         profile = self._link_overrides.get((src, dst), self.profile)
         if self._rng.random() < profile.drop_rate:
-            self._drop(src, dst, message.KIND)
+            self._drop(src, dst, message.KIND, "link-loss")
             return
         if profile.corrupt_rate and self._rng.random() < profile.corrupt_rate:
             encoded = self._flip_byte(encoded)
@@ -199,12 +229,21 @@ class SimNetwork:
             self.stats.messages_duplicated += 1
         for _ in range(copies):
             delay = self._rng.uniform(profile.min_delay, profile.max_delay)
+            if profile.reorder_rate and self._rng.random() < profile.reorder_rate:
+                # Hold the copy back past several delay windows so that
+                # messages sent after it overtake it on delivery.
+                window = max(profile.max_delay, 1e-3)
+                delay += self._rng.uniform(window, 4.0 * window)
+                self.stats.messages_reordered += 1
             self.scheduler.call_later(
-                delay, lambda data=encoded: self._deliver(src, dst, data)
+                delay,
+                lambda data=encoded, kind=message.KIND: self._deliver(
+                    src, dst, data, kind
+                ),
             )
 
-    def _drop(self, src: str, dst: str, kind: str) -> None:
-        self.stats.messages_dropped += 1
+    def _drop(self, src: str, dst: str, kind: str, reason: str) -> None:
+        self.stats.record_drop(kind, reason)
         if self.tap is not None:
             self.tap("dropped", src, dst, kind)
 
@@ -216,20 +255,20 @@ class SimNetwork:
         mutated[index] ^= 1 << self._rng.randrange(8)
         return bytes(mutated)
 
-    def _deliver(self, src: str, dst: str, encoded: bytes) -> None:
+    def _deliver(self, src: str, dst: str, encoded: bytes, kind: str) -> None:
         if dst in self._crashed:
-            self._drop(src, dst, "?")
+            self._drop(src, dst, kind, "crashed")
             return
         handler = self._handlers.get(dst)
         if handler is None:
-            self._drop(src, dst, "?")
+            self._drop(src, dst, kind, "unregistered")
             return
         try:
             message = message_from_wire(canonical_decode(encoded))
         except (EncodingError, ProtocolError):
             # A corrupted message fails to parse and is discarded, exactly
             # like a loss — the retransmission machinery recovers.
-            self._drop(src, dst, "?")
+            self._drop(src, dst, kind, "parse-failure")
             return
         self.stats.messages_delivered += 1
         self.stats.bytes_delivered += len(encoded)

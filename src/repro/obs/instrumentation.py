@@ -153,6 +153,20 @@ class Instrumentation:
             return NULL_SPAN
         return self._span(name, "handler", node, None)
 
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record an instantaneous annotation as a zero-duration span.
+
+        The chaos engine uses this to mark fault injections ("chaos.crash
+        replica:0", …) on the same timeline as the op/phase spans, so a
+        trace dump shows exactly which operations straddled a fault.
+        """
+        if not self.enabled:
+            return
+        handle = self._span(name, "event", name, None)
+        for key, value in attrs.items():
+            handle.set(key, value)
+        handle.end()
+
     def spans(self) -> list[Span]:
         """Every finished span the recorder retained (oldest first)."""
         return list(getattr(self.recorder, "spans", []))

@@ -52,10 +52,26 @@ class NodeFaultAction:
 
 @dataclass
 class FaultSchedule:
-    """A composable schedule of fault actions."""
+    """A composable schedule of fault actions.
+
+    A schedule is built once (the ``crash``/``partition``/… builders all
+    return ``self`` for chaining), validated as it is built, and installed
+    exactly once: :meth:`install` arms every action and raises
+    :class:`~repro.errors.SimulationError` on a second call — arming the
+    same actions twice would double-fire every fault.  Overlapping
+    :meth:`crash_restart` windows for one node are rejected at build time:
+    a restart scheduled while the node is still down from an earlier
+    crash would bring it back early and silently change the experiment.
+    """
 
     actions: list[FaultAction] = field(default_factory=list)
     node_actions: list[NodeFaultAction] = field(default_factory=list)
+    #: Down-windows per node, ``node_id -> [(crash_time, restart_time)]``,
+    #: maintained by :meth:`crash_restart` for overlap validation.
+    _down_windows: dict[str, list[tuple[float, float]]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+    _installed: bool = field(default=False, init=False, repr=False, compare=False)
 
     def crash(self, time: float, node_id: str) -> "FaultSchedule":
         self.actions.append(
@@ -97,7 +113,27 @@ class FaultSchedule:
         self, time: float, node_id: str, *, down_for: float
     ) -> "FaultSchedule":
         """Crash ``node_id`` at ``time`` (losing volatile state) and restart
-        it ``down_for`` later, recovering from its store."""
+        it ``down_for`` later, recovering from its store.
+
+        Raises:
+            SimulationError: if ``down_for`` is not positive, or the new
+                down-window ``[time, time + down_for)`` overlaps an earlier
+                crash_restart window for the same node (the restart would
+                fire while the node is still down from the other crash).
+        """
+        if down_for <= 0:
+            raise SimulationError(
+                f"crash_restart down_for must be positive, got {down_for}"
+            )
+        window = (time, time + down_for)
+        for start, end in self._down_windows.get(node_id, ()):
+            if window[0] < end and start < window[1]:
+                raise SimulationError(
+                    f"crash_restart window [{window[0]}, {window[1]}) for "
+                    f"{node_id!r} overlaps existing down-window "
+                    f"[{start}, {end})"
+                )
+        self._down_windows.setdefault(node_id, []).append(window)
         self.node_actions.append(
             NodeFaultAction(
                 time, f"crash {node_id}", node_id, lambda node: node.crash()
@@ -123,20 +159,35 @@ class FaultSchedule:
 
         ``nodes`` maps node id to :class:`~repro.sim.nodes.ReplicaNode` and
         is required whenever the schedule contains node-level actions.
+
+        Ordering is explicit: network actions are armed before node
+        actions, and within each list actions fire in time order with
+        same-time ties resolved by the order they were added to the
+        schedule.  A schedule installs exactly once; a second call raises
+        (it would arm — and fire — every action twice).
         """
-        for action in self.actions:
-            scheduler.call_at(
-                action.time, lambda a=action: a.apply(network)
+        if self._installed:
+            raise SimulationError(
+                "fault schedule is already installed; installing twice "
+                "would fire every action twice"
             )
+        # Validate everything before arming anything, so a failed install
+        # leaves neither half-armed actions nor a spent schedule behind.
         if self.node_actions and nodes is None:
             raise SimulationError(
                 "schedule has node-level actions but no nodes were supplied"
             )
         for node_action in self.node_actions:
-            if node_action.node_id not in nodes:  # type: ignore[operator]
+            if node_action.node_id not in (nodes or {}):
                 raise SimulationError(
                     f"unknown node {node_action.node_id!r} in fault schedule"
                 )
+        self._installed = True
+        for action in sorted(self.actions, key=lambda a: a.time):
+            scheduler.call_at(
+                action.time, lambda a=action: a.apply(network)
+            )
+        for node_action in sorted(self.node_actions, key=lambda a: a.time):
             scheduler.call_at(
                 node_action.time,
                 lambda a=node_action: a.apply(nodes[a.node_id]),  # type: ignore[index]

@@ -1,0 +1,37 @@
+"""The committed chaos corpus replays green.
+
+``traces/chaos/`` holds the deepest *surviving* episodes found by the
+seed-7 campaign — schedules with Byzantine replicas, client attacks,
+crash/restarts, and hostile links that the protocol nonetheless handled
+correctly.  Their green replay is a regression floor: a code change that
+turns any of them red has made the protocol less resilient than the
+checked-in evidence says it is.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.chaos import replay_artifact
+
+CORPUS = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "traces" / "chaos").glob(
+        "*.json"
+    )
+)
+
+
+def test_corpus_is_committed():
+    assert len(CORPUS) >= 2, "the chaos corpus must ship with the repo"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_artifact_replays_green(path):
+    outcome = replay_artifact(path)
+    assert outcome.matches, (
+        f"{path.name} diverged: expected {outcome.expected}, "
+        f"got {outcome.actual}"
+    )
+    assert outcome.result.ok

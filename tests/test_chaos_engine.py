@@ -1,0 +1,211 @@
+"""The chaos campaign engine: determinism, oracle catches, minimization.
+
+The two load-bearing claims tested here:
+
+* a campaign is a pure function of its seed — byte-identical summaries on
+  re-run, and zero violations on the healthy protocol;
+* a deliberately injected protocol bug (a replica that skips the Figure-2
+  phase-3 timestamp-ordering check before installing) is *caught* by a
+  moderate campaign and *minimized* to a tiny replayable plan.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.chaos import (
+    CampaignConfig,
+    EpisodePlan,
+    generate_plan,
+    load_artifact,
+    minimize_episode,
+    replay_artifact,
+    run_campaign,
+    run_episode,
+    save_artifact,
+)
+from repro.core.replica import BftBcReplica
+from repro.errors import SimulationError
+
+
+class RegressingReplica(BftBcReplica):
+    """BUG FIXTURE: installs any write with a valid certificate, skipping
+    the ``cert.ts > pcert.ts`` phase-3 ordering check — so a duplicated or
+    reordered WRITE of an older timestamp regresses the replica's state."""
+
+    def _should_install(self, cert):
+        return True
+
+
+def buggy_factory(node_id, config, store):
+    if store is not None:
+        return RegressingReplica(node_id, config, store=store)
+    return RegressingReplica(node_id, config)
+
+
+class TestCampaignDeterminism:
+    def test_summary_byte_identical_across_runs(self):
+        config = CampaignConfig(seed=7, episodes=6)
+        first = run_campaign(config).summary()
+        second = run_campaign(config).summary()
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_healthy_protocol_survives(self):
+        campaign = run_campaign(CampaignConfig(seed=13, episodes=9))
+        assert not campaign.violations
+        summary = campaign.summary()
+        assert summary["totals"]["operations"] > 0
+        assert summary["totals"]["messages_sent"] > 0
+
+    def test_episode_rerun_is_exact(self):
+        plan = generate_plan(CampaignConfig(seed=21), 3)
+        a, b = run_episode(plan), run_episode(plan)
+        assert a.to_summary() == b.to_summary()
+
+
+class TestBugCatchAcceptance:
+    def test_injected_bug_caught_and_minimized(self, tmp_path):
+        """The ISSUE's acceptance bar: a ≤50-episode campaign catches the
+        regression, and the minimized repro has ≤5 fault actions."""
+        config = CampaignConfig(
+            seed=7,
+            episodes=50,
+            variants=("base",),
+            attacks=False,
+            byzantine=False,
+        )
+        campaign = run_campaign(
+            config,
+            replica_factory=buggy_factory,
+            minimize=True,
+            minimize_budget=60,
+            artifact_dir=tmp_path,
+        )
+        assert campaign.violations, "the campaign must catch the bug"
+        assert campaign.minimized, "violations must be minimized"
+        for plan, verdicts, path in campaign.minimized:
+            assert len(plan.faults) <= 5
+            assert not all(verdicts.values())
+            # The artifact replays to the same verdict under the bug.
+            outcome = replay_artifact(path, replica_factory=buggy_factory)
+            assert outcome.matches
+
+    def test_minimized_artifact_passes_on_fixed_code(self, tmp_path):
+        """Replaying a bug artifact on the healthy protocol flips the
+        verdict — which is exactly how a fixed bug shows up."""
+        config = CampaignConfig(
+            seed=7, episodes=50, variants=("base",),
+            attacks=False, byzantine=False,
+        )
+        campaign = run_campaign(
+            config,
+            replica_factory=buggy_factory,
+            minimize=True,
+            minimize_budget=60,
+            artifact_dir=tmp_path,
+        )
+        _plan, _verdicts, path = campaign.minimized[0]
+        outcome = replay_artifact(path)  # no buggy factory: healthy replicas
+        assert outcome.result.ok
+        assert not outcome.matches
+
+
+class TestMinimizer:
+    def _fake_runner(self, guilty_predicate):
+        """A runner whose 'episode' violates iff the plan satisfies the
+        predicate; counts invocations."""
+        calls = []
+
+        @dataclasses.dataclass
+        class FakeResult:
+            violations: tuple
+
+        def runner(plan):
+            calls.append(plan)
+            bad = guilty_predicate(plan)
+            return FakeResult(violations=("lemma1",) if bad else ())
+
+        return runner, calls
+
+    def _plan_with_faults(self, count):
+        return EpisodePlan(
+            episode=0,
+            seed=1,
+            faults=[
+                {"op": "crash", "time": float(i), "node": "replica:0"}
+                for i in range(count)
+            ],
+            clients=3,
+            ops_per_client=8,
+        )
+
+    def test_ddmin_finds_single_guilty_fault(self):
+        guilty = {"op": "crash", "time": 5.0, "node": "replica:0"}
+        runner, calls = self._fake_runner(
+            lambda plan: guilty in plan.faults
+        )
+        result = minimize_episode(self._plan_with_faults(8), runner=runner)
+        assert result.plan.faults == [guilty]
+        assert result.target == ("lemma1",)
+        assert result.runs == len(calls)
+
+    def test_greedy_shrinks_workload(self):
+        runner, _ = self._fake_runner(lambda plan: True)
+        result = minimize_episode(self._plan_with_faults(4), runner=runner)
+        assert result.plan.faults == []
+        assert result.plan.clients == 1
+        assert result.plan.ops_per_client == 1
+
+    def test_budget_caps_probes(self):
+        runner, calls = self._fake_runner(lambda plan: True)
+        minimize_episode(self._plan_with_faults(12), runner=runner, budget=5)
+        assert len(calls) <= 5 + 1  # the confirmation run plus the budget
+
+    def test_non_violating_plan_rejected(self):
+        runner, _ = self._fake_runner(lambda plan: False)
+        with pytest.raises(SimulationError, match="nothing to minimize"):
+            minimize_episode(self._plan_with_faults(3), runner=runner)
+
+    def test_reduction_must_preserve_original_oracle(self):
+        """A reduction that trades the violation for a different oracle's
+        failure is rejected."""
+        calls = []
+
+        @dataclasses.dataclass
+        class FakeResult:
+            violations: tuple
+
+        def runner(plan):
+            calls.append(plan)
+            if len(plan.faults) >= 2:
+                return FakeResult(violations=("lemma1",))
+            if len(plan.faults) == 1:
+                return FakeResult(violations=("liveness",))
+            return FakeResult(violations=())
+
+        plan = self._plan_with_faults(4)
+        result = minimize_episode(plan, runner=runner)
+        assert len(result.plan.faults) == 2
+        assert result.target == ("lemma1",)
+
+
+class TestArtifacts:
+    def test_save_load_round_trip(self, tmp_path):
+        plan = generate_plan(CampaignConfig(seed=5), 2)
+        path = tmp_path / "art.json"
+        save_artifact(path, plan, {"lemma1": True}, note="hello")
+        loaded_plan, verdicts, note = load_artifact(path)
+        assert loaded_plan == plan
+        assert verdicts == {"lemma1": True}
+        assert note == "hello"
+
+    def test_load_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else/1"}', encoding="utf-8")
+        with pytest.raises(SimulationError, match="not a chaos artifact"):
+            load_artifact(path)

@@ -44,3 +44,71 @@ class TestCli:
 
     def test_f2(self, capsys):
         assert main(["--f", "2", "demo"]) == 0
+
+
+class TestChaosCli:
+    def test_chaos_run_deterministic_stdout(self, capsys):
+        assert main(["chaos", "run", "--seed", "5", "--episodes", "4"]) == 0
+        first = capsys.readouterr().out
+        assert main(["chaos", "run", "--seed", "5", "--episodes", "4"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "chaos campaign (seed 5, 4 episodes)" in first
+        assert "violations: none" in first
+
+    def test_chaos_run_json(self, capsys):
+        import json
+
+        assert main(
+            ["chaos", "run", "--seed", "5", "--episodes", "3", "--json"]
+        ) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["format"] == "repro-chaos-campaign/1"
+        assert summary["episodes"] == 3
+        assert summary["violations"] == 0
+
+    def test_chaos_run_writes_artifacts_on_violation(self, capsys, tmp_path,
+                                                     monkeypatch):
+        """With an oracle forced red the campaign exits 1 and pins
+        minimized artifacts."""
+        import repro.chaos.engine as engine_mod
+
+        real_battery = engine_mod.run_oracle_battery
+
+        def rigged_battery(*args, **kwargs):
+            from repro.chaos.oracles import OracleVerdict
+
+            verdicts = dict(real_battery(*args, **kwargs))
+            verdicts["lemma1"] = OracleVerdict(
+                "lemma1", False, "rigged for the CLI test"
+            )
+            return verdicts
+
+        monkeypatch.setattr(engine_mod, "run_oracle_battery", rigged_battery)
+        code = main(
+            [
+                "chaos", "run", "--seed", "5", "--episodes", "2",
+                "--variants", "base", "--artifact-dir", str(tmp_path),
+            ]
+        )
+        assert code == 1
+        assert "VIOLATIONS" in capsys.readouterr().out
+        assert list(tmp_path.glob("chaos-seed5-ep*.json"))
+
+    def test_chaos_replay_corpus(self, capsys):
+        import pathlib
+
+        corpus = sorted(
+            (pathlib.Path(__file__).resolve().parent.parent / "traces" /
+             "chaos").glob("*.json")
+        )
+        assert corpus
+        assert main(["chaos", "replay", str(corpus[0])]) == 0
+        assert "replay matches" in capsys.readouterr().out
+
+    def test_chaos_tcp(self, capsys):
+        assert main(["chaos", "tcp", "--seed", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "TCP chaos campaign" in out
+        for variant in ("base", "optimized", "strong"):
+            assert variant in out

@@ -206,3 +206,125 @@ class TestStats:
         net.stats.reset()
         assert net.stats.messages_sent == 0
         assert net.stats.bytes_by_kind == {}
+
+
+class TestDropAccounting:
+    """Dropped messages are attributed to their real kind and a reason."""
+
+    def test_link_loss_reason_and_kind(self):
+        sched, net = make_net(LinkProfile(drop_rate=1.0))
+        net.register("b", lambda s, m: None)
+        net.send("a", "b", MSG)
+        sched.run_until_idle()
+        assert net.stats.dropped_by_reason == {"link-loss": 1}
+        assert net.stats.dropped_by_kind == {"READ-TS": 1}
+
+    def test_partitioned_reason(self):
+        sched, net = make_net()
+        net.register("b", lambda s, m: None)
+        net.partition("a", "b")
+        net.send("a", "b", MSG)
+        sched.run_until_idle()
+        assert net.stats.dropped_by_reason == {"partitioned": 1}
+
+    def test_crashed_source_reason(self):
+        sched, net = make_net()
+        net.register("b", lambda s, m: None)
+        net.crash("a")
+        net.send("a", "b", MSG)
+        sched.run_until_idle()
+        assert net.stats.dropped_by_reason == {"crashed": 1}
+
+    def test_crashed_destination_counts_real_kind(self):
+        """A message in flight when its destination crashes is dropped with
+        the 'crashed' reason under the message's actual kind — the
+        regression this accounting split pins down."""
+        sched, net = make_net(LinkProfile(min_delay=0.5, max_delay=0.5))
+        net.register("b", lambda s, m: None)
+        net.send("a", "b", MSG)
+        net.crash("b")
+        sched.run_until_idle()
+        assert net.stats.dropped_by_reason == {"crashed": 1}
+        assert net.stats.dropped_by_kind == {"READ-TS": 1}
+
+    def test_unregistered_destination_reason(self):
+        sched, net = make_net()
+        net.send("a", "ghost", MSG)
+        sched.run_until_idle()
+        assert net.stats.dropped_by_reason == {"unregistered": 1}
+
+    def test_corruption_parse_failure_reason(self):
+        sched, net = make_net(LinkProfile(corrupt_rate=1.0))
+        got = []
+        net.register("b", lambda s, m: got.append(m))
+        for _ in range(5):
+            net.send("a", "b", MSG)
+        sched.run_until_idle()
+        # Bit flips that break parsing are dropped as parse-failure; flips
+        # that survive parsing deliver (possibly altered) messages.
+        dropped = net.stats.dropped_by_reason.get("parse-failure", 0)
+        assert dropped + len(got) == 5
+        assert net.stats.messages_dropped == dropped
+
+    def test_totals_match_reason_split(self):
+        sched, net = make_net(LinkProfile(drop_rate=0.5), seed=5)
+        net.register("b", lambda s, m: None)
+        for _ in range(40):
+            net.send("a", "b", MSG)
+        sched.run_until_idle()
+        assert net.stats.messages_dropped == sum(
+            net.stats.dropped_by_reason.values()
+        )
+        assert net.stats.messages_dropped == sum(
+            net.stats.dropped_by_kind.values()
+        )
+
+    def test_reset_clears_split_counters(self):
+        sched, net = make_net(LinkProfile(drop_rate=1.0))
+        net.register("b", lambda s, m: None)
+        net.send("a", "b", MSG)
+        sched.run_until_idle()
+        net.stats.reset()
+        assert net.stats.dropped_by_reason == {}
+        assert net.stats.dropped_by_kind == {}
+        assert net.stats.messages_reordered == 0
+
+
+class TestReorderRate:
+    def test_reorder_rate_validated(self):
+        with pytest.raises(NetworkError):
+            LinkProfile(reorder_rate=1.5)
+        with pytest.raises(NetworkError):
+            LinkProfile(reorder_rate=-0.1)
+
+    def test_reordering_forced_and_counted(self):
+        sched, net = make_net(
+            LinkProfile(min_delay=0.01, max_delay=0.01, reorder_rate=0.5),
+            seed=7,
+        )
+        got = []
+        net.register("b", lambda src, msg: got.append(msg.nonce))
+        for i in range(30):
+            net.send("a", "b", ReadTsRequest(nonce=bytes([i]) * 16))
+        sched.run_until_idle()
+        assert len(got) == 30
+        assert got != sorted(got)
+        assert net.stats.messages_reordered > 0
+
+    def test_zero_rate_consumes_no_extra_randomness(self):
+        """reorder_rate=0 must leave the RNG draw sequence untouched, so
+        seeded runs predating the knob replay identically."""
+        def deliveries(profile):
+            sched, net = make_net(profile, seed=11)
+            times = []
+            net.register("b", lambda src, msg: times.append(sched.now))
+            for _ in range(10):
+                net.send("a", "b", MSG)
+            sched.run_until_idle()
+            return times
+
+        with_knob = deliveries(
+            LinkProfile(min_delay=0.0, max_delay=0.5, reorder_rate=0.0)
+        )
+        without = deliveries(LinkProfile(min_delay=0.0, max_delay=0.5))
+        assert with_knob == without

@@ -122,3 +122,75 @@ class TestFaultSchedules:
         schedule = FaultSchedule().crash(1.0, "r").partition(2.0, "a", "b")
         descriptions = [a.description for a in schedule.actions]
         assert descriptions == ["crash r", "partition a | b"]
+
+
+class TestFaultScheduleHardening:
+    """The validation added with the chaos engine: schedules that could
+    fire nonsense (overlapping restarts, double installs) are rejected
+    loudly instead of corrupting an episode."""
+
+    def test_crash_restart_requires_positive_down_time(self):
+        import pytest
+
+        from repro.errors import SimulationError
+
+        schedule = FaultSchedule()
+        with pytest.raises(SimulationError, match="must be positive"):
+            schedule.crash_restart(1.0, "replica:0", down_for=0.0)
+
+    def test_overlapping_restart_windows_rejected(self):
+        import pytest
+
+        from repro.errors import SimulationError
+
+        schedule = FaultSchedule()
+        schedule.crash_restart(1.0, "replica:0", down_for=2.0)
+        with pytest.raises(SimulationError, match="overlaps"):
+            schedule.crash_restart(2.5, "replica:0", down_for=1.0)
+
+    def test_adjacent_and_cross_node_windows_allowed(self):
+        schedule = FaultSchedule()
+        schedule.crash_restart(1.0, "replica:0", down_for=2.0)
+        schedule.crash_restart(3.0, "replica:0", down_for=1.0)  # touches, ok
+        schedule.crash_restart(1.5, "replica:1", down_for=2.0)  # other node
+        assert len(schedule.node_actions) == 6
+
+    def test_double_install_rejected(self):
+        import pytest
+
+        from repro.errors import SimulationError
+
+        sched = Scheduler()
+        net = SimNetwork(sched)
+        schedule = FaultSchedule()
+        schedule.crash(1.0, "a")
+        schedule.install(sched, net)
+        with pytest.raises(SimulationError, match="already installed"):
+            schedule.install(sched, net)
+
+    def test_failed_install_leaves_schedule_usable(self):
+        """Validation runs before arming: an install that fails on an
+        unknown node arms nothing and the schedule can be installed again
+        once the caller fixes the node map."""
+        import pytest
+
+        from repro.errors import SimulationError
+
+        sched = Scheduler()
+        net = SimNetwork(sched)
+        schedule = FaultSchedule()
+        schedule.crash(1.0, "a")
+        schedule.crash_restart(2.0, "replica:0", down_for=0.5)
+        with pytest.raises(SimulationError, match="unknown node"):
+            schedule.install(sched, net, nodes={})
+        assert sched.pending == 0  # nothing was half-armed
+
+        class FakeNode:
+            def crash(self):
+                pass
+
+            def restart(self):
+                pass
+
+        schedule.install(sched, net, nodes={"replica:0": FakeNode()})
+        assert sched.pending > 0

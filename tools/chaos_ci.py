@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Nightly chaos smoke campaign with a fixed seed.
+
+Runs a moderate simulated campaign plus the TCP proxy campaign, fails
+loudly on any oracle violation, and records the headline counters to
+``BENCH_throughput.json`` (via :mod:`tools.bench_record`) so the nightly
+dashboard can chart chaos coverage next to the throughput numbers.
+
+The seed is fixed so a red nightly is immediately reproducible:
+
+    python -m repro chaos run --seed 20060625 --episodes 60
+
+Usage:
+
+    python tools/chaos_ci.py [--seed N] [--episodes K] [--skip-tcp]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import bench_record  # noqa: E402
+
+#: ICDCS 2006's opening day — arbitrary, stable, and greppable.
+DEFAULT_SEED = 20060625
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.analysis import format_campaign
+    from repro.chaos import CampaignConfig, run_campaign
+    from repro.chaos.tcp import TcpChaosConfig, run_tcp_campaign
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--episodes", type=int, default=60)
+    parser.add_argument("--skip-tcp", action="store_true")
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    campaign = run_campaign(
+        CampaignConfig(seed=args.seed, episodes=args.episodes)
+    )
+    summary = campaign.summary()
+    print(format_campaign(summary))
+    sim_seconds = time.time() - started
+
+    tcp_summary = None
+    if not args.skip_tcp:
+        started = time.time()
+        tcp_summary = run_tcp_campaign(TcpChaosConfig(seed=args.seed))
+        print()
+        print(format_campaign(tcp_summary))
+        tcp_seconds = time.time() - started
+    else:
+        tcp_seconds = 0.0
+
+    bench_record.record(
+        "chaos_smoke",
+        {
+            "seed": args.seed,
+            "episodes": summary["episodes"],
+            "violations": summary["violations"],
+            "operations": summary["totals"]["operations"],
+            "messages_sent": summary["totals"]["messages_sent"],
+            "messages_dropped": summary["totals"]["messages_dropped"],
+            "messages_reordered": summary["totals"]["messages_reordered"],
+            "replica_crashes": summary["totals"]["replica_crashes"],
+            "sim_seconds": round(sim_seconds, 3),
+            "tcp_ok": None if tcp_summary is None else tcp_summary["ok"],
+            "tcp_seconds": round(tcp_seconds, 3),
+        },
+    )
+
+    failed = summary["violations"] > 0 or (
+        tcp_summary is not None and not tcp_summary["ok"]
+    )
+    if failed:
+        print("\nCHAOS SMOKE FAILED", file=sys.stderr)
+        return 1
+    print("\nchaos smoke clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

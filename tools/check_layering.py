@@ -56,6 +56,7 @@ LAYERS: dict[str, int] = {
     "repro.byzantine": 5,
     "repro.net": 5,
     "repro.sim": 5,
+    "repro.chaos": 5,
     "repro": 5,
 }
 
