@@ -71,8 +71,8 @@ def test_e16_durability_cost(benchmark, tmp_path):
     def experiment():
         arms = {
             "memory": _arm("memory", tmp_path, fsync=None),
-            "wal+fsync": _arm("wal-fsync", tmp_path, fsync="always"),
-            "wal only": _arm("wal-nofsync", tmp_path, fsync="never"),
+            "wal_fsync": _arm("wal-fsync", tmp_path, fsync="always"),
+            "wal_only": _arm("wal-nofsync", tmp_path, fsync="never"),
         }
         rows = [
             [
@@ -105,24 +105,24 @@ def test_e16_durability_cost(benchmark, tmp_path):
     # actual bytes and never syncs.
     assert (
         arms["memory"]["log_appends"]
-        == arms["wal+fsync"]["log_appends"]
-        == arms["wal only"]["log_appends"]
+        == arms["wal_fsync"]["log_appends"]
+        == arms["wal_only"]["log_appends"]
     )
     assert arms["memory"]["bytes_written"] == 0
     assert arms["memory"]["fsyncs"] == 0
-    assert arms["wal+fsync"]["bytes_written"] > 0
-    assert arms["wal only"]["fsyncs"] == 0
-    assert arms["wal+fsync"]["fsyncs"] > 0
+    assert arms["wal_fsync"]["bytes_written"] > 0
+    assert arms["wal_only"]["fsyncs"] == 0
+    assert arms["wal_fsync"]["fsyncs"] > 0
 
     # Measured appends per write match the §3.3 analytical model.  Each
     # replica journals every write, so the cluster-wide rate is n times the
     # per-replica model (the denominator counts client operations).
     model = CostModel(quorums=QuorumSystem.bft_bc(f=1))
     predicted = model.write_log_records("base") * model.quorums.n
-    assert arms["wal+fsync"]["appends_per_op"] == pytest.approx(
+    assert arms["wal_fsync"]["appends_per_op"] == pytest.approx(
         predicted, rel=0.15
-    ), (arms["wal+fsync"]["appends_per_op"], predicted)
-    assert arms["wal+fsync"]["fsyncs_per_op"] == pytest.approx(
+    ), (arms["wal_fsync"]["appends_per_op"], predicted)
+    assert arms["wal_fsync"]["fsyncs_per_op"] == pytest.approx(
         model.fsyncs_per_write(fsync="always") * model.quorums.n, rel=0.15
     )
 
@@ -132,6 +132,6 @@ def test_e16_durability_cost(benchmark, tmp_path):
     }
     payload["fsync_slowdown"] = (
         arms["memory"]["ops_per_wall_second"]
-        / arms["wal+fsync"]["ops_per_wall_second"]
+        / arms["wal_fsync"]["ops_per_wall_second"]
     )
     bench_record.record("e16_durability_cost", payload)

@@ -1,0 +1,108 @@
+"""E19 — Aggregate throughput vs shard count (`bench_shard_scaling.py`).
+
+Sharding is the paper's answer to single-group capacity: each group runs
+the full BFT-BC protocol for the objects it owns, so aggregate throughput
+should grow with the shard count while per-operation latency stays flat.
+This experiment fixes a workload (clients x ops over a shared object
+population) and replays it on 1, 2, 4, and 8 shards with a per-frame
+``service_delay`` — the simulator's capacity model: every received frame
+occupies its replica for a fixed service time, so a single group is
+CPU-bound and extra groups add real parallel capacity.
+
+Throughput is measured in *virtual* time (deterministic, seed-stable),
+aggregate ops/s across all routers.
+
+Marked ``slow``: whole-cluster simulations, excluded from tier-1 runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import zlib
+
+import pytest
+
+from repro.analysis import format_table
+from repro.sim import build_shard_cluster
+
+from benchmarks.conftest import run_once
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "tools"))
+import bench_record  # noqa: E402
+
+pytestmark = pytest.mark.slow
+
+SHARD_COUNTS = (1, 2, 4, 8)
+CLIENTS = 4
+OPS_PER_CLIENT = 24
+OBJECTS = 32
+SERVICE_DELAY = 0.002
+
+
+def _workload(client: str) -> list[tuple[str, str, object]]:
+    """A fixed read/write mix over the shared object population."""
+    steps: list[tuple[str, str, object]] = []
+    for op in range(OPS_PER_CLIENT):
+        obj = f"obj-{zlib.crc32(f'{client}/{op}'.encode()) % OBJECTS}"
+        if op % 3 == 2:
+            steps.append((obj, "read", None))
+        else:
+            steps.append((obj, "write", (f"client:{client}", op + 1, None)))
+    return steps
+
+
+def _arm(shards: int) -> dict:
+    cluster = build_shard_cluster(
+        shards=shards, seed=1900, service_delay=SERVICE_DELAY
+    )
+    scripts = {f"w{i}": _workload(f"w{i}") for i in range(CLIENTS)}
+    cluster.run_scripts(scripts, max_time=600)
+    ops = cluster.total_ops()
+    elapsed = cluster.scheduler.now
+    return {
+        "shards": shards,
+        "ops": ops,
+        "virtual_seconds": elapsed,
+        "ops_per_virtual_second": ops / elapsed,
+    }
+
+
+def test_e19_shard_scaling(benchmark):
+    def experiment():
+        arms = {f"shards_{count}": _arm(count) for count in SHARD_COUNTS}
+        rows = [
+            [
+                arm["shards"],
+                arm["ops"],
+                round(arm["virtual_seconds"], 3),
+                round(arm["ops_per_virtual_second"], 1),
+            ]
+            for arm in arms.values()
+        ]
+        print()
+        print(
+            format_table(
+                ["shards", "ops", "virtual s", "ops/s"],
+                rows,
+                title="E19: aggregate throughput vs shard count",
+            )
+        )
+        return arms
+
+    arms = run_once(benchmark, experiment)
+
+    # Same workload regardless of shard count.
+    assert len({arm["ops"] for arm in arms.values()}) == 1
+    assert arms["shards_1"]["ops"] == CLIENTS * OPS_PER_CLIENT
+
+    # The point of the experiment: capacity grows with the shard count.
+    rates = [
+        arms[f"shards_{count}"]["ops_per_virtual_second"]
+        for count in SHARD_COUNTS
+    ]
+    for slower, faster in zip(rates, rates[1:]):
+        assert faster > slower, rates
+    assert rates[-1] > 2.5 * rates[0], rates
+
+    bench_record.record("e19_shard_scaling", arms)

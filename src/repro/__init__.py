@@ -5,8 +5,11 @@ Clients in a Quorum System" (ICDCS 2006): the base three-phase protocol, the
 two-phase optimized protocol (§6), the strong BFT-linearizable+ variant
 (§7), the BQS and Phalanx baselines it compares against, the §4 correctness
 conditions as executable checkers, a deterministic simulation harness, an
-asyncio TCP deployment, and a seed-deterministic chaos campaign engine with
-invariant oracles and auto-minimized repro artifacts.
+asyncio TCP deployment, a seed-deterministic chaos campaign engine with
+invariant oracles and auto-minimized repro artifacts, and a sharding layer
+(consistent-hash placement over many replica groups with online Byzantine
+reconfiguration — epoch changes installed by quorum-signed directory
+entries, never consensus).
 
 This module is the supported public API: everything an example, benchmark,
 or downstream user needs is importable from ``repro`` directly.  Deeper
@@ -40,11 +43,14 @@ from repro.byzantine import (
 from repro.chaos import (
     CampaignConfig,
     EpisodePlan,
+    ShardEpisodePlan,
     generate_plan,
     minimize_episode,
     replay_artifact,
+    replay_shard_artifact,
     run_campaign,
     run_episode,
+    run_shard_episode,
 )
 from repro.core import (
     BftBcClient,
@@ -64,6 +70,7 @@ from repro.core import (
     make_system,
 )
 from repro.net.asyncio_transport import AsyncClient, ReplicaServer
+from repro.net.shard_transport import AsyncShardRouter, ShardReplicaServer
 from repro.net.simnet import LinkProfile, SimNetwork
 from repro.obs import (
     Instrumentation,
@@ -71,6 +78,14 @@ from repro.obs import (
     Span,
     render_prometheus,
     spans_to_jsonl,
+)
+from repro.shard import (
+    HashRing,
+    Reconfigurator,
+    ShardConfig,
+    ShardDirectory,
+    ShardReplica,
+    ShardRouter,
 )
 from repro.sim import (
     Cluster,
@@ -80,7 +95,10 @@ from repro.sim import (
     MetricsCollector,
     MultiObjectClientNode,
     Scheduler,
+    ShardCluster,
+    ShardClusterOptions,
     build_cluster,
+    build_shard_cluster,
     read_script,
     value_for,
     write_script,
@@ -115,6 +133,18 @@ __all__ = [
     "OptimizedBftBcReplica",
     "MultiObjectClient",
     "MultiObjectReplica",
+    # sharding and online reconfiguration
+    "HashRing",
+    "ShardConfig",
+    "ShardDirectory",
+    "ShardReplica",
+    "ShardRouter",
+    "Reconfigurator",
+    "ShardCluster",
+    "ShardClusterOptions",
+    "build_shard_cluster",
+    "AsyncShardRouter",
+    "ShardReplicaServer",
     # observability
     "Instrumentation",
     "LatencyHistogram",
@@ -156,11 +186,14 @@ __all__ = [
     # chaos campaigns
     "CampaignConfig",
     "EpisodePlan",
+    "ShardEpisodePlan",
     "generate_plan",
     "run_campaign",
     "run_episode",
+    "run_shard_episode",
     "minimize_episode",
     "replay_artifact",
+    "replay_shard_artifact",
     # correctness
     "History",
     "check_register_linearizable",

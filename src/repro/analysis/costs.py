@@ -221,6 +221,102 @@ class CostModel:
             return 0
         return self.write_log_records()
 
+    # -- reconfiguration counts (repro.shard, E19 companion) ------------------
+
+    def reconfigure_messages(self) -> int:
+        """Messages for one replace-one-member epoch change, reliable net.
+
+        Sign round: ``CFG-SIGN-REQ`` to every old member except the one
+        being removed and a ``CFG-SIGN-REPLY`` from each — ``2(n-1)``.
+        Install round: ``EPOCH-INSTALL`` to the old ∪ new member union
+        (``n+1`` nodes for a one-for-one swap) and an ``EPOCH-ACK`` from
+        each — ``2(n+1)``.  Total ``4n``, independent of f beyond n=3f+1.
+        """
+        n = self.quorums.n
+        return 2 * (n - 1) + 2 * (n + 1)
+
+    def reconfigure_signatures(self) -> int:
+        """Endorsement signatures produced for one epoch change.
+
+        Every reachable old member (``n-1``) signs the successor statement
+        once; the directory entry then carries a quorum's worth
+        (:meth:`reconfigure_entry_signatures`) of them.
+        """
+        return self.quorums.n - 1
+
+    def reconfigure_entry_signatures(self) -> int:
+        """Signatures a directory entry carries: a quorum of the old epoch."""
+        return self.quorums.quorum_size
+
+    def reconfigure_verifications(self) -> int:
+        """Backend signature verifications for one epoch change.
+
+        The reconfigurator verifies each endorsement until it has a quorum
+        (``q``) and validates its own entry at install (``q``); each of the
+        ``n+1`` old ∪ new members validates the entry once on install
+        (``q`` each).  Entry validation calls the scheme directly — these
+        are *statement* signatures, not certificates, so the certificate
+        memo never absorbs them: ``q(n+3)`` total.
+        """
+        q = self.quorums.quorum_size
+        return q * (self.quorums.n + 3)
+
+    def reconfigure_bytes(self) -> int:
+        """Total bytes for one epoch change; install frames dominate.
+
+        Sign requests/replies are O(1) (a member list and one signature);
+        each install request carries the full entry — a quorum of
+        signatures, O(|Q|) — to ``n+1`` nodes: O(|Q|^2) overall, the same
+        asymptotic shape as a write.
+        """
+        n = self.quorums.n
+        hdr = self.header_bytes
+        entry = self.certificate_bytes + hdr  # config + quorum of sigs
+        return (
+            (n - 1) * hdr  # sign requests (config statement)
+            + (n - 1) * (self.signature_bytes + hdr)  # sign replies
+            + (n + 1) * (entry + hdr)  # install requests carry the entry
+            + (n + 1) * hdr  # acks
+        )
+
+    def state_transfer_messages(self) -> int:
+        """Messages for one joining replica's bootstrap, reliable net.
+
+        One ``XFER-REQ`` to each of the n previous members and one
+        ``XFER-REPLY`` back — ``2n``.  The joiner only *needs* 2f+1
+        replies, but on a reliable network every request lands and every
+        member answers.
+        """
+        return 2 * self.quorums.n
+
+    def state_transfer_bytes(self, objects: int) -> int:
+        """Bytes for one bootstrap carrying ``objects`` object snapshots.
+
+        Each reply ships, per object, the durable state (value, prepare
+        certificate, timestamps — O(|Q|)) plus a 32-byte fingerprint; all
+        n members send the full set, so the transfer is ``O(n · objects ·
+        |Q|)`` and the 2f+1-of-n validation overlap is pure redundancy
+        bought for Byzantine tolerance.
+        """
+        n = self.quorums.n
+        snapshot = self.certificate_bytes + self.value_bytes + self.header_bytes
+        return n * self.header_bytes + n * objects * (snapshot + 32)
+
+    def state_transfer_verifications(self, objects: int) -> int:
+        """Certificate verifications a joining replica performs.
+
+        Per object it validates every distinct candidate's embedded
+        prepare certificate (``q`` signatures each) — but the certificate
+        memo collapses identical candidates from different members, so the
+        steady-state cost is one certificate per object: ``objects · q``.
+        """
+        return objects * self.quorums.quorum_size
+
+    def directory_fetch_messages(self) -> int:
+        """Messages for one stale client's refresh: ``DIR-REQ`` to all n
+        members of the believed configuration plus n replies."""
+        return 2 * self.quorums.n
+
     # -- frame counts (cross-object batching) --------------------------------
 
     def workload_frames_unbatched(self, objects: int, phases: int = 3) -> int:

@@ -34,17 +34,31 @@ from repro.chaos.engine import (
     run_episode,
 )
 from repro.chaos.minimize import MinimizationResult, minimize_episode
-from repro.chaos.oracles import ORACLES, OracleVerdict, run_oracle_battery
+from repro.chaos.oracles import (
+    ORACLES,
+    SHARD_ORACLES,
+    OracleVerdict,
+    check_epoch_agreement,
+    run_oracle_battery,
+)
 from repro.chaos.plan import (
     CampaignConfig,
     EpisodePlan,
     build_schedule,
     generate_plan,
 )
+from repro.chaos.shard import (
+    ShardEpisodePlan,
+    ShardEpisodeResult,
+    replay_shard_artifact,
+    run_shard_episode,
+    save_shard_artifact,
+)
 
 __all__ = [
     "ARTIFACT_FORMAT",
     "ORACLES",
+    "SHARD_ORACLES",
     "CampaignConfig",
     "CampaignResult",
     "EpisodePlan",
@@ -52,13 +66,19 @@ __all__ = [
     "MinimizationResult",
     "OracleVerdict",
     "ReplayOutcome",
+    "ShardEpisodePlan",
+    "ShardEpisodeResult",
     "build_schedule",
+    "check_epoch_agreement",
     "generate_plan",
     "load_artifact",
     "minimize_episode",
     "replay_artifact",
+    "replay_shard_artifact",
     "run_campaign",
     "run_episode",
     "run_oracle_battery",
+    "run_shard_episode",
     "save_artifact",
+    "save_shard_artifact",
 ]

@@ -40,8 +40,15 @@ from repro.spec.invariants import check_lemma1
 
 if TYPE_CHECKING:
     from repro.sim.runner import Cluster
+    from repro.sim.shard_cluster import ShardCluster
 
-__all__ = ["OracleVerdict", "ORACLES", "run_oracle_battery"]
+__all__ = [
+    "OracleVerdict",
+    "ORACLES",
+    "SHARD_ORACLES",
+    "run_oracle_battery",
+    "check_epoch_agreement",
+]
 
 
 @dataclass(frozen=True)
@@ -63,6 +70,10 @@ ORACLES = (
     "recovery-fingerprint",
     "wal-integrity",
 )
+
+#: Battery order for sharded episodes: the seven above, judged per object
+#: across every shard, plus the reconfiguration-specific oracle.
+SHARD_ORACLES = ORACLES + ("epoch-agreement",)
 
 
 def run_oracle_battery(
@@ -167,4 +178,63 @@ def _check_wal(
         "" if not unstable else (
             "non-idempotent WAL load at " + ", ".join(unstable)
         ),
+    )
+
+
+def check_epoch_agreement(cluster: "ShardCluster") -> OracleVerdict:
+    """All live members of every shard settled on one installed epoch.
+
+    After a reconfiguration quiesces, safety requires agreement on *which*
+    configuration governs each shard: every reconfiguration ran to
+    completion, every live current member serves exactly the installed
+    epoch (nobody is stuck on a superseded one or left half-bootstrapped),
+    every replaced-but-running member retired, and no correct member was
+    ever asked to endorse two different successors of one epoch (the
+    equivocation guard never fired on a correct-only schedule).
+    """
+    problems: list[str] = []
+    for node in cluster.reconfigurations:
+        if not node.done:
+            problems.append(
+                f"reconfiguration {node.node_id} stuck in phase "
+                f"{node.reconfigurator.phase!r}"
+            )
+    for shard in cluster.shard_ids:
+        installed = cluster.directory.epoch(shard)
+        members = cluster.directory.config(shard).members
+        for member in members:
+            node = cluster.replica_nodes.get(member)
+            if node is None or node.crashed:
+                continue
+            replica = node.replica
+            if not replica.ready:
+                problems.append(f"{member} never finished bootstrap")
+            elif replica.retired:
+                problems.append(f"{member} retired despite being a member")
+            elif replica.epoch != installed:
+                problems.append(
+                    f"{member} serves epoch {replica.epoch}, "
+                    f"installed is {installed}"
+                )
+            if replica.directory.epoch(shard) != installed:
+                problems.append(
+                    f"{member} directory tip {replica.directory.epoch(shard)} "
+                    f"!= installed {installed}"
+                )
+            if replica.sign_conflicts:
+                problems.append(
+                    f"{member} saw {replica.sign_conflicts} conflicting "
+                    f"sign requests"
+                )
+        for node_id, node in cluster.replica_nodes.items():
+            replica = node.replica
+            if (
+                replica.shard == shard
+                and node_id not in members
+                and not node.crashed
+                and not replica.retired
+            ):
+                problems.append(f"replaced member {node_id} never retired")
+    return OracleVerdict(
+        "epoch-agreement", not problems, "; ".join(problems)
     )

@@ -12,13 +12,18 @@ state machines:
   driver, created lazily;
 * **signatures are scoped per object**: a :class:`ScopedSignatureScheme`
   prefixes every signed statement with the object id, so a certificate or
-  signed request for object A can never be replayed against object B.
+  signed request for object A can never be replayed against object B;
+* envelopes may carry a configuration **epoch** tag (``repro.shard``):
+  a replica pinned to an epoch rejects envelopes tagged with any other
+  epoch (outside an explicit handoff allowance) by answering with an
+  :class:`EpochStaleReply`, which tells the client to refresh its shard
+  directory before retrying.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, ClassVar, Optional
+from typing import Any, Callable, ClassVar, Optional
 
 from repro.core.batching import BatchEnvelope, BatchStats, expand_message
 from repro.core.client import BftBcClient
@@ -35,9 +40,11 @@ from repro.core.replica import BftBcReplica
 from repro.crypto.signatures import Signature, SignatureScheme
 from repro.encoding import canonical_encode
 from repro.errors import ProtocolError
+from repro.storage.base import ReplicaStore
 
 __all__ = [
     "ObjectMessage",
+    "EpochStaleReply",
     "ScopedSignatureScheme",
     "MultiObjectReplica",
     "MultiObjectClient",
@@ -47,22 +54,60 @@ __all__ = [
 @register_message
 @dataclass(frozen=True)
 class ObjectMessage(Message):
-    """Envelope: ``payload`` is the wire form of a single-object message."""
+    """Envelope: ``payload`` is the wire form of a single-object message.
+
+    ``epoch`` is ``None`` for single-group deployments; sharded clients tag
+    every envelope with the configuration epoch they believe governs the
+    object's group so replicas can detect stale routing.
+    """
 
     KIND: ClassVar[str] = "OBJ"
     obj: str
     payload: dict[str, Any]
+    epoch: Optional[int] = None
 
     def to_wire(self) -> dict[str, Any]:
-        return {"obj": self.obj, "payload": self.payload}
+        return {"obj": self.obj, "payload": self.payload, "epoch": self.epoch}
 
     @classmethod
     def from_wire(cls, wire: dict[str, Any]) -> "ObjectMessage":
         obj = wire["obj"]
         payload = wire["payload"]
-        if not isinstance(obj, str) or not isinstance(payload, dict):
+        epoch = wire.get("epoch")
+        if (
+            not isinstance(obj, str)
+            or not isinstance(payload, dict)
+            or not (epoch is None or isinstance(epoch, int))
+        ):
             raise ProtocolError(f"malformed object envelope: {wire!r}")
-        return cls(obj=obj, payload=payload)
+        return cls(obj=obj, payload=payload, epoch=epoch)
+
+
+@register_message
+@dataclass(frozen=True)
+class EpochStaleReply(Message):
+    """Replica's answer to an envelope tagged with the wrong epoch.
+
+    Carries the epoch the replica currently serves.  The reply is unsigned
+    — it only *prompts* a directory refresh, and the refreshed directory
+    entries themselves are quorum-signed, so forging it can waste a fetch
+    but never misroute an operation.
+    """
+
+    KIND: ClassVar[str] = "EPOCH-STALE"
+    obj: str
+    epoch: int
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"obj": self.obj, "epoch": self.epoch}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "EpochStaleReply":
+        obj = wire["obj"]
+        epoch = wire["epoch"]
+        if not isinstance(obj, str) or not isinstance(epoch, int):
+            raise ProtocolError(f"malformed epoch-stale reply: {wire!r}")
+        return cls(obj=obj, epoch=epoch)
 
 
 class ScopedSignatureScheme(SignatureScheme):
@@ -106,25 +151,70 @@ class MultiObjectReplica:
         node_id: str,
         config: SystemConfig,
         replica_cls: type[BftBcReplica] = BftBcReplica,
+        *,
+        store_factory: Optional[Callable[[str], ReplicaStore]] = None,
     ) -> None:
         self.node_id = node_id
         self.config = config
         self._replica_cls = replica_cls
+        #: Optional per-object store provider (``obj -> ReplicaStore``);
+        #: ``None`` keeps each state machine on its default in-memory store.
+        self._store_factory = store_factory
         self._objects: dict[str, BftBcReplica] = {}
         self.envelope_discards = 0
         self.batch_stats = BatchStats()
+        #: When set, envelopes tagged with a different epoch are refused.
+        self.epoch: Optional[int] = None
+        self._also_accept: frozenset[int] = frozenset()
+        self.stale_epoch_discards = 0
 
     def object_state(self, obj: str) -> BftBcReplica:
         """The per-object state machine (created on first use)."""
         state = self._objects.get(obj)
         if state is None:
-            state = self._replica_cls(self.node_id, _scoped_config(self.config, obj))
+            kwargs: dict[str, Any] = {}
+            if self._store_factory is not None:
+                kwargs["store"] = self._store_factory(obj)
+            state = self._replica_cls(
+                self.node_id, _scoped_config(self.config, obj), **kwargs
+            )
             self._objects[obj] = state
         return state
 
     @property
     def objects(self) -> frozenset[str]:
         return frozenset(self._objects)
+
+    # -- epoch pinning (repro.shard) ---------------------------------------
+
+    def set_epoch(self, epoch: int, also_accept: tuple[int, ...] = ()) -> None:
+        """Pin this replica to a configuration epoch.
+
+        Envelopes tagged with any epoch outside ``{epoch} | also_accept``
+        are answered with :class:`EpochStaleReply` instead of being
+        processed.  ``also_accept`` is the bounded handoff allowance: during
+        a reconfiguration the previous epoch stays serviceable until the
+        window closes (a later ``set_epoch(epoch)`` call with no allowance).
+        Untagged envelopes are always served — single-group deployments
+        never tag.
+        """
+        self.epoch = epoch
+        self._also_accept = frozenset(also_accept)
+
+    def update_quorums(self, quorums: Any) -> None:
+        """Swap the quorum system governing every object's certificates.
+
+        Used at epoch installation: membership changed, so certificate
+        validation (and its memo) must follow.  Mutates the shared config
+        and each existing per-object config in place — per-object configs
+        are copies made by :func:`_scoped_config`, so the shared object
+        alone is not enough.
+        """
+        self.config.quorums = quorums
+        self.config.verifier.rebind_quorums(quorums)
+        for state in self._objects.values():
+            state.config.quorums = quorums
+            state.config.verifier.rebind_quorums(quorums)
 
     def handle(self, sender: str, message: Message) -> Optional[Message]:
         """Process one frame; batches are unpacked and answered in one frame.
@@ -158,6 +248,14 @@ class MultiObjectReplica:
         if not isinstance(message, ObjectMessage):
             self.envelope_discards += 1
             return None
+        if (
+            self.epoch is not None
+            and message.epoch is not None
+            and message.epoch != self.epoch
+            and message.epoch not in self._also_accept
+        ):
+            self.stale_epoch_discards += 1
+            return EpochStaleReply(obj=message.obj, epoch=self.epoch)
         try:
             inner = message_from_wire(message.payload)
         except ProtocolError:
@@ -166,7 +264,9 @@ class MultiObjectReplica:
         reply = self.object_state(message.obj).handle(sender, inner)
         if reply is None:
             return None
-        return ObjectMessage(obj=message.obj, payload=message_to_wire(reply))
+        return ObjectMessage(
+            obj=message.obj, payload=message_to_wire(reply), epoch=message.epoch
+        )
 
 
 class MultiObjectClient:
@@ -189,6 +289,15 @@ class MultiObjectClient:
         self._objects: dict[str, BftBcClient] = {}
         #: Counters for reply batches this client unpacks.
         self.batch_stats = BatchStats()
+        #: Epoch tag stamped on every outgoing envelope (``None`` = untagged).
+        self.epoch: Optional[int] = None
+        #: Callback ``(sender, reply) -> list[Send]`` invoked on an
+        #: :class:`EpochStaleReply`; the shard router uses it to kick off a
+        #: directory refresh.  Unset, stale replies are counted and dropped.
+        self.on_epoch_stale: Optional[
+            Callable[[str, EpochStaleReply], list[Send]]
+        ] = None
+        self.stale_epoch_replies = 0
         config.registry.register(node_id)
 
     def object_client(self, obj: str) -> BftBcClient:
@@ -212,6 +321,11 @@ class MultiObjectClient:
             for inner in expand_message(message, self.batch_stats):
                 sends.extend(self.deliver(sender, inner))
             return sends
+        if isinstance(message, EpochStaleReply):
+            self.stale_epoch_replies += 1
+            if self.on_epoch_stale is not None:
+                return self.on_epoch_stale(sender, message)
+            return []
         if not isinstance(message, ObjectMessage):
             return []
         client = self._objects.get(message.obj)
@@ -229,6 +343,22 @@ class MultiObjectClient:
             sends.extend(self._wrap(obj, client.retransmit()))
         return sends
 
+    def update_quorums(self, quorums: Any) -> None:
+        """Swap the quorum system governing every object's certificates.
+
+        The client-side half of epoch migration: in-flight operations keep
+        their protocol state (prepared timestamps stay prepared at the
+        continuing replicas — restarting them under a fresh client would
+        wedge against the replicas' one-prepared-write-per-client rule) and
+        simply resume against the new membership.  Per-object configs are
+        copies, so each one is rebound alongside the shared config.
+        """
+        self.config.quorums = quorums
+        self.config.verifier.rebind_quorums(quorums)
+        for state in self._objects.values():
+            state.config.quorums = quorums
+            state.config.verifier.rebind_quorums(quorums)
+
     def _wrap(self, obj: str, sends: list[Send]) -> list[Send]:
         """Wrap inner sends in :class:`ObjectMessage` envelopes.
 
@@ -242,9 +372,9 @@ class MultiObjectClient:
         wrapped: list[Send] = []
         for send in sends:
             envelope = send.message.__dict__.get("_cached_envelope")
-            if envelope is None or envelope.obj != obj:
+            if envelope is None or envelope.obj != obj or envelope.epoch != self.epoch:
                 envelope = ObjectMessage(
-                    obj=obj, payload=message_to_wire(send.message)
+                    obj=obj, payload=message_to_wire(send.message), epoch=self.epoch
                 )
                 object.__setattr__(send.message, "_cached_envelope", envelope)
             wrapped.append(Send(dest=send.dest, message=envelope))

@@ -12,7 +12,8 @@ provides the intersection arithmetic the correctness arguments rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import QuorumConfigError
 
@@ -37,13 +38,30 @@ class QuorumSystem:
         n: total number of replicas.
         f: maximum number of Byzantine replicas tolerated.
         quorum_size: number of replicas in every quorum.
+        members: explicit node ids of the replicas.  ``None`` (the default)
+            keeps the canonical ``replica:0 .. replica:n-1`` naming; sharded
+            deployments name each group's replicas explicitly.
+        extra_signers: node ids whose signatures still count towards quorum
+            certificates even though they are no longer (or not yet) active
+            members — used across reconfigurations so certificates formed
+            under an earlier epoch's membership keep validating.  These ids
+            never appear in ``replica_ids`` (no traffic is sent to them).
     """
 
     n: int
     f: int
     quorum_size: int
+    members: Optional[tuple[str, ...]] = None
+    extra_signers: frozenset[str] = field(default_factory=frozenset)
 
     def __post_init__(self) -> None:
+        if self.members is not None:
+            if len(self.members) != self.n:
+                raise QuorumConfigError(
+                    f"{len(self.members)} members listed for n={self.n}"
+                )
+            if len(set(self.members)) != self.n:
+                raise QuorumConfigError("duplicate member ids")
         if self.f < 0:
             raise QuorumConfigError(f"f must be non-negative, got {self.f}")
         if self.n < 1:
@@ -93,11 +111,23 @@ class QuorumSystem:
 
     @property
     def replica_ids(self) -> tuple[str, ...]:
-        """Canonical node ids of all replicas, numbered 0 .. n-1 (§3.2)."""
+        """Node ids of all active replicas.
+
+        The explicit ``members`` tuple when one was given, otherwise the
+        canonical numbering ``replica:0 .. replica:n-1`` (§3.2).
+        """
+        if self.members is not None:
+            return self.members
         return tuple(replica_id(i) for i in range(self.n))
 
     def is_replica(self, node_id: str) -> bool:
-        """True if ``node_id`` names one of this system's replicas."""
+        """True if ``node_id``'s signature counts towards this system's quorums.
+
+        With explicit ``members`` this is membership (plus the historical
+        ``extra_signers``); otherwise the canonical ``replica:<i>`` check.
+        """
+        if self.members is not None:
+            return node_id in self.members or node_id in self.extra_signers
         if not node_id.startswith("replica:"):
             return False
         try:

@@ -164,6 +164,14 @@ class BftBcReplica:
         """Digest of the durable state, for differential recovery tests."""
         return self._state.fingerprint(include_signing_logs=include_signing_logs)
 
+    def snapshot_wire(self) -> dict[str, Any]:
+        """The full durable state as one canonical wire value.
+
+        This is what a state-transfer frame ships to a bootstrapping peer
+        (``repro.shard``); the receiver revalidates it independently.
+        """
+        return self._state.snapshot_wire()
+
     # -- helpers ----------------------------------------------------------
 
     def _sign(self, statement: object) -> Signature:

@@ -202,6 +202,17 @@ class Verifier:
             return False
         return True
 
+    def rebind_quorums(self, quorums: Any) -> None:
+        """Point certificate validation at a new quorum system.
+
+        Called when a reconfiguration changes group membership.  Verdicts
+        memoized under the previous membership stay memoized: only positive
+        verdicts are ever cached, they were legitimately earned then, and a
+        reconfigured quorum system keeps prior members acceptable as
+        ``extra_signers`` precisely so those certificates remain valid.
+        """
+        self.quorums = quorums
+
     # -- internals ---------------------------------------------------------
 
     @staticmethod

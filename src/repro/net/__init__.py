@@ -5,6 +5,8 @@
   corruption), matching the §2 model.
 * :mod:`repro.net.asyncio_transport` — a real length-prefixed TCP transport
   so the same protocol state machines can run as asyncio services.
+* :mod:`repro.net.shard_transport` — the sharded roles (shard members,
+  routers, reconfigurators, bootstrap) over the same TCP framing.
 """
 
 from repro.net.simnet import LinkProfile, NetworkStats, SimNetwork

@@ -1,0 +1,291 @@
+"""Asyncio TCP transport for sharded deployments.
+
+The shard-layer roles are sans-I/O like the core protocol objects, so the
+real-network story is the same as :mod:`repro.net.asyncio_transport` with
+three additions:
+
+* :class:`ShardReplicaServer` hosts one :class:`~repro.shard.replica.ShardReplica`
+  — object traffic, directory fetches (``DIR-REQ``), endorsement signing,
+  epoch installs, and state-transfer serving all arrive as ordinary frames
+  on the same listener.
+* :class:`AsyncShardRouter` drives a :class:`~repro.shard.router.ShardRouter`
+  over sockets: ``await write(obj, v)`` / ``await read(obj)`` route through
+  the ring, and an ``EPOCH-STALE`` answer triggers the directory fetch and
+  in-place client migration transparently inside the operation loop.
+* :func:`bootstrap_over_tcp` and :class:`AsyncReconfigurator` run the two
+  operational flows — a joining replica's state transfer from 2f+1 old
+  members, and the sign/install epoch change — against live servers.
+
+Connection handling is inherited wholesale: frames to broken connections
+are dropped and retransmission recovers, per the §2 fair-loss model.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Optional
+
+from repro.core.messages import Message
+from repro.core.operations import Send
+from repro.encoding import FrameDecoder
+from repro.errors import EncodingError, NetworkError, OperationFailedError, ProtocolError
+from repro.net.asyncio_transport import (
+    ReplicaServer,
+    _decode_envelope,
+    _encode_envelope,
+)
+from repro.shard.reconfig import Reconfigurator
+from repro.shard.replica import ShardReplica
+from repro.shard.router import ShardRouter
+
+__all__ = [
+    "ShardReplicaServer",
+    "AsyncShardRouter",
+    "AsyncReconfigurator",
+    "bootstrap_over_tcp",
+]
+
+
+class ShardReplicaServer(ReplicaServer):
+    """Hosts one shard member behind a TCP listener.
+
+    The base server's frame loop already does the right thing — decode,
+    ``replica.handle``, write back the reply — because
+    :class:`~repro.shard.replica.ShardReplica` exposes the same
+    ``handle``/``node_id``/``instrumentation`` surface as a core replica.
+    The subclass exists to make the hosted type explicit and to surface
+    shard-specific introspection.
+    """
+
+    def __init__(
+        self, replica: ShardReplica, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        super().__init__(replica, host=host, port=port)  # type: ignore[arg-type]
+
+    @property
+    def shard(self) -> str:
+        return self.replica.shard  # type: ignore[attr-defined]
+
+    @property
+    def epoch(self) -> int:
+        return self.replica.epoch  # type: ignore[attr-defined]
+
+
+class _SocketPool:
+    """Dial-on-demand connections with a shared inbox, used by every
+    client-side shard role (router, reconfigurator, bootstrap driver)."""
+
+    def __init__(self, node_id: str, addrs: dict[str, tuple[str, int]]) -> None:
+        self.node_id = node_id
+        self.addrs = dict(addrs)
+        self._writers: dict[str, asyncio.StreamWriter] = {}
+        self._reader_tasks: list[asyncio.Task] = []
+        self.inbox: asyncio.Queue[tuple[str, Message]] = asyncio.Queue()
+
+    async def _try_connect(self, node_id: str) -> bool:
+        addr = self.addrs.get(node_id)
+        if addr is None:
+            return False
+        try:
+            reader, writer = await asyncio.open_connection(*addr)
+        except OSError:
+            return False
+        self._writers[node_id] = writer
+        task = asyncio.create_task(self._read_loop(node_id, reader, writer))
+        self._reader_tasks.append(task)
+        return True
+
+    async def _read_loop(
+        self,
+        node_id: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                for payload in decoder.feed(chunk):
+                    try:
+                        src, message = _decode_envelope(payload)
+                    except (EncodingError, ProtocolError):
+                        continue
+                    await self.inbox.put((src, message))
+        except (ConnectionError, EncodingError):
+            pass
+        finally:
+            if self._writers.get(node_id) is writer:
+                self._writers.pop(node_id, None)
+
+    async def send_all(self, sends: list[Send]) -> None:
+        for send in sends:
+            writer = self._writers.get(send.dest)
+            if writer is None or writer.is_closing():
+                if not await self._try_connect(send.dest):
+                    continue  # unreachable peer: message loss, not an error
+                writer = self._writers[send.dest]
+            try:
+                writer.write(_encode_envelope(self.node_id, send.message))
+                await writer.drain()
+            except (OSError, RuntimeError):
+                self._writers.pop(send.dest, None)
+
+    async def close(self) -> None:
+        for task in self._reader_tasks:
+            task.cancel()
+        for writer in list(self._writers.values()):
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+        self._writers.clear()
+        self._reader_tasks.clear()
+
+
+class AsyncShardRouter:
+    """Async facade over a :class:`~repro.shard.router.ShardRouter`.
+
+    ``addrs`` must cover every replica the router could contact — all
+    members of every shard, including ones that might appear through a
+    directory refresh (address discovery is out of scope here, as it is
+    for the single-group transport).
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        addrs: dict[str, tuple[str, int]],
+        *,
+        retransmit_interval: float = 0.2,
+        op_timeout: float = 30.0,
+    ) -> None:
+        self.router = router
+        self.retransmit_interval = retransmit_interval
+        self.op_timeout = op_timeout
+        self._pool = _SocketPool(router.node_id, addrs)
+
+    async def write(self, obj: str, value: Any) -> Any:
+        """Perform one write on ``obj``; returns the committed timestamp."""
+        return await self._run_op(obj, self.router.begin_write(obj, value))
+
+    async def read(self, obj: str) -> Any:
+        """Perform one read on ``obj``; returns the value."""
+        return await self._run_op(obj, self.router.begin_read(obj))
+
+    async def close(self) -> None:
+        await self._pool.close()
+
+    async def _run_op(self, obj: str, initial_sends: list[Send]) -> Any:
+        await self._pool.send_all(initial_sends)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.op_timeout
+        while self.router.busy(obj):
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise OperationFailedError(
+                    f"operation on {obj!r} timed out after {self.op_timeout}s"
+                )
+            timeout = min(self.retransmit_interval, remaining)
+            try:
+                src, message = await asyncio.wait_for(
+                    self._pool.inbox.get(), timeout=timeout
+                )
+            except asyncio.TimeoutError:
+                # Covers lost frames AND stalled refreshes: retransmit()
+                # re-issues both protocol phases and directory fetches.
+                await self._pool.send_all(self.router.retransmit())
+                continue
+            await self._pool.send_all(self.router.deliver(src, message))
+        return self.router.result(obj)
+
+
+class AsyncReconfigurator:
+    """Runs one epoch change against live TCP servers."""
+
+    def __init__(
+        self,
+        reconfigurator: Reconfigurator,
+        addrs: dict[str, tuple[str, int]],
+        *,
+        retransmit_interval: float = 0.2,
+    ) -> None:
+        self.reconfigurator = reconfigurator
+        self.retransmit_interval = retransmit_interval
+        self._pool = _SocketPool(reconfigurator.node_id, addrs)
+
+    async def replace(
+        self, remove: str, add: str, *, timeout: float = 30.0
+    ) -> None:
+        """Drive the sign + install phases to completion (or time out)."""
+        await self._pool.send_all(
+            self.reconfigurator.begin_replace(remove, add)
+        )
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        try:
+            while not self.reconfigurator.done:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    raise OperationFailedError(
+                        f"reconfiguration stuck in phase "
+                        f"{self.reconfigurator.phase!r} after {timeout}s"
+                    )
+                try:
+                    src, message = await asyncio.wait_for(
+                        self._pool.inbox.get(),
+                        timeout=min(self.retransmit_interval, remaining),
+                    )
+                except asyncio.TimeoutError:
+                    await self._pool.send_all(self.reconfigurator.retransmit())
+                    continue
+                await self._pool.send_all(
+                    self.reconfigurator.deliver(src, message)
+                )
+        finally:
+            await self._pool.close()
+
+
+async def bootstrap_over_tcp(
+    replica: ShardReplica,
+    addrs: dict[str, tuple[str, int]],
+    *,
+    retransmit_interval: float = 0.2,
+    timeout: float = 30.0,
+) -> None:
+    """Run a joining replica's state transfer against live servers.
+
+    Sends ``XFER-REQ`` to the previous members, feeds the validated
+    ``XFER-REPLY`` frames back into the replica, and returns once a quorum
+    of transfers made it :attr:`~repro.shard.replica.ShardReplica.ready`.
+    The replica can then be hosted by a :class:`ShardReplicaServer`.
+    """
+    if replica.ready:
+        return
+    pool = _SocketPool(replica.node_id, addrs)
+    try:
+        await pool.send_all(replica.begin_bootstrap())
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while not replica.ready:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise NetworkError(
+                    f"state transfer for {replica.node_id!r} incomplete "
+                    f"after {timeout}s"
+                )
+            try:
+                src, message = await asyncio.wait_for(
+                    pool.inbox.get(),
+                    timeout=min(retransmit_interval, remaining),
+                )
+            except asyncio.TimeoutError:
+                await pool.send_all(replica.bootstrap_retransmit())
+                continue
+            reply = replica.handle(src, message)
+            if reply is not None:
+                await pool.send_all([Send(dest=src, message=reply)])
+    finally:
+        await pool.close()

@@ -1,0 +1,234 @@
+"""Wire messages for directory maintenance and reconfiguration.
+
+Four conversations, all request/reply:
+
+* ``DIR-REQ``/``DIR-REPLY`` — a client (usually after an ``EPOCH-STALE``
+  rebuff) fetches a shard's full entry chain from a replica and installs
+  it through its verified :class:`~repro.shard.directory.ShardDirectory`.
+* ``CFG-SIGN-REQ``/``CFG-SIGN-REPLY`` — the reconfigurator asks current
+  members to endorse a successor configuration; each correct member signs
+  at most one successor per epoch.
+* ``EPOCH-INSTALL``/``EPOCH-ACK`` — the assembled quorum-signed entry is
+  pushed to old and new members.
+* ``XFER-REQ``/``XFER-REPLY`` — a bootstrapping replica pulls per-object
+  durable state (snapshot + fingerprint + epoch) from peers.
+
+None of these carry their own signatures beyond what the embedded
+directory entries and per-object prepare certificates already have: the
+authenticated artefacts are self-certifying, so transport-level origin is
+irrelevant to safety.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, ClassVar
+
+from repro.core.messages import Message, register_message
+from repro.errors import ProtocolError
+
+__all__ = [
+    "DirectoryRequest",
+    "DirectoryReply",
+    "ConfigSignRequest",
+    "ConfigSignReply",
+    "InstallEpochRequest",
+    "InstallEpochAck",
+    "StateTransferRequest",
+    "StateTransferReply",
+]
+
+
+def _require(condition: bool, wire: Any) -> None:
+    if not condition:
+        raise ProtocolError(f"malformed shard message: {wire!r}")
+
+
+@register_message
+@dataclass(frozen=True)
+class DirectoryRequest(Message):
+    """Fetch one shard's configuration chain."""
+
+    KIND: ClassVar[str] = "DIR-REQ"
+    shard: str
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"shard": self.shard}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "DirectoryRequest":
+        _require(isinstance(wire.get("shard"), str), wire)
+        return cls(shard=wire["shard"])
+
+
+@register_message
+@dataclass(frozen=True)
+class DirectoryReply(Message):
+    """The full entry chain (oldest first); genesis is implicit."""
+
+    KIND: ClassVar[str] = "DIR-REPLY"
+    shard: str
+    entries: tuple[dict[str, Any], ...]
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"shard": self.shard, "entries": self.entries}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "DirectoryReply":
+        entries = wire.get("entries")
+        _require(
+            isinstance(wire.get("shard"), str)
+            and isinstance(entries, (tuple, list))
+            and all(isinstance(e, dict) for e in entries),
+            wire,
+        )
+        return cls(shard=wire["shard"], entries=tuple(entries))
+
+
+@register_message
+@dataclass(frozen=True)
+class ConfigSignRequest(Message):
+    """Ask a current member to endorse a successor configuration."""
+
+    KIND: ClassVar[str] = "CFG-SIGN-REQ"
+    config: dict[str, Any]
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"config": self.config}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "ConfigSignRequest":
+        _require(isinstance(wire.get("config"), dict), wire)
+        return cls(config=wire["config"])
+
+
+@register_message
+@dataclass(frozen=True)
+class ConfigSignReply(Message):
+    """One member's signature over a successor config's statement."""
+
+    KIND: ClassVar[str] = "CFG-SIGN-REPLY"
+    shard: str
+    epoch: int
+    signature: Any
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "shard": self.shard,
+            "epoch": self.epoch,
+            "signature": self.signature,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "ConfigSignReply":
+        _require(
+            isinstance(wire.get("shard"), str)
+            and isinstance(wire.get("epoch"), int),
+            wire,
+        )
+        return cls(
+            shard=wire["shard"], epoch=wire["epoch"], signature=wire["signature"]
+        )
+
+
+@register_message
+@dataclass(frozen=True)
+class InstallEpochRequest(Message):
+    """Push a quorum-signed directory entry to a replica."""
+
+    KIND: ClassVar[str] = "EPOCH-INSTALL"
+    entry: dict[str, Any]
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"entry": self.entry}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "InstallEpochRequest":
+        _require(isinstance(wire.get("entry"), dict), wire)
+        return cls(entry=wire["entry"])
+
+
+@register_message
+@dataclass(frozen=True)
+class InstallEpochAck(Message):
+    """A replica's acknowledgement that it now serves ``epoch``."""
+
+    KIND: ClassVar[str] = "EPOCH-ACK"
+    shard: str
+    epoch: int
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"shard": self.shard, "epoch": self.epoch}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "InstallEpochAck":
+        _require(
+            isinstance(wire.get("shard"), str)
+            and isinstance(wire.get("epoch"), int),
+            wire,
+        )
+        return cls(shard=wire["shard"], epoch=wire["epoch"])
+
+
+@register_message
+@dataclass(frozen=True)
+class StateTransferRequest(Message):
+    """A bootstrapping replica's pull for per-object durable state."""
+
+    KIND: ClassVar[str] = "XFER-REQ"
+    shard: str
+    nonce: bytes
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"shard": self.shard, "nonce": self.nonce}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "StateTransferRequest":
+        _require(
+            isinstance(wire.get("shard"), str)
+            and isinstance(wire.get("nonce"), bytes),
+            wire,
+        )
+        return cls(shard=wire["shard"], nonce=wire["nonce"])
+
+
+@register_message
+@dataclass(frozen=True)
+class StateTransferReply(Message):
+    """One peer's per-object snapshots.
+
+    ``objects`` maps object id to ``{"snapshot": <snapshot_wire>,
+    "fingerprint": <bytes>}``.  The receiver trusts neither field: it
+    recomputes the fingerprint from the snapshot and validates the
+    embedded prepare certificate before adopting anything.
+    """
+
+    KIND: ClassVar[str] = "XFER-REPLY"
+    shard: str
+    nonce: bytes
+    epoch: int
+    objects: dict[str, Any]
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "shard": self.shard,
+            "nonce": self.nonce,
+            "epoch": self.epoch,
+            "objects": self.objects,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "StateTransferReply":
+        _require(
+            isinstance(wire.get("shard"), str)
+            and isinstance(wire.get("nonce"), bytes)
+            and isinstance(wire.get("epoch"), int)
+            and isinstance(wire.get("objects"), dict),
+            wire,
+        )
+        return cls(
+            shard=wire["shard"],
+            nonce=wire["nonce"],
+            epoch=wire["epoch"],
+            objects=wire["objects"],
+        )

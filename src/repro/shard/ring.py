@@ -1,0 +1,67 @@
+"""Consistent-hash ring: object ids -> shard ids.
+
+Classic fixed-point construction: every shard contributes ``vnodes``
+pseudo-random points on a 2^64 ring (SHA-256 of ``"shard-ring", shard,
+index``), and an object belongs to the shard owning the first point at or
+after the object's own hash.  Virtual nodes smooth the load split, and
+adding or removing one shard moves only the arcs adjacent to its points —
+the property that makes incremental scale-out cheap.
+
+The ring is deliberately independent of the directory: it answers *which
+shard* owns an object, while :class:`repro.shard.directory.ShardDirectory`
+answers *which replicas* currently form that shard.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from collections import Counter
+from typing import Iterable
+
+from repro.encoding import canonical_encode
+
+__all__ = ["HashRing"]
+
+
+def _point(label: tuple) -> int:
+    return int.from_bytes(
+        hashlib.sha256(canonical_encode(label)).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Immutable consistent-hash ring over a set of shard ids."""
+
+    def __init__(self, shard_ids: Iterable[str], *, vnodes: int = 64) -> None:
+        shards = tuple(shard_ids)
+        if not shards:
+            raise ValueError("a hash ring needs at least one shard")
+        if len(set(shards)) != len(shards):
+            raise ValueError("duplicate shard ids")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be positive, got {vnodes}")
+        self.shards = shards
+        self.vnodes = vnodes
+        points: list[tuple[int, str]] = []
+        for shard in shards:
+            for index in range(vnodes):
+                points.append((_point(("shard-ring", shard, index)), shard))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def shard_for(self, obj: str) -> str:
+        """The shard owning ``obj``."""
+        where = bisect.bisect_right(
+            self._points, _point(("shard-ring-key", obj))
+        )
+        if where == len(self._points):
+            where = 0  # wrap past the highest point
+        return self._owners[where]
+
+    def distribution(self, objs: Iterable[str]) -> Counter:
+        """How many of ``objs`` land on each shard (all shards listed)."""
+        counts: Counter = Counter({shard: 0 for shard in self.shards})
+        counts.update(self.shard_for(obj) for obj in objs)
+        return counts

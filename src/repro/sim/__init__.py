@@ -6,7 +6,7 @@ example, and benchmark.
 """
 
 from repro.sim.explorer import ExplorationResult, ScheduleExplorer
-from repro.sim.faults import FaultAction, FaultSchedule
+from repro.sim.faults import ClusterFaultAction, FaultAction, FaultSchedule
 from repro.sim.metrics import MetricsCollector, OperationSample, Summary
 from repro.sim.multi_node import (
     MultiObjectClientNode,
@@ -17,6 +17,12 @@ from repro.sim.nodes import ClientNode, ReplicaNode, ScriptStep
 from repro.sim.recorder import HistoryRecorder
 from repro.sim.runner import Cluster, ClusterOptions, VARIANTS, build_cluster
 from repro.sim.scheduler import EventHandle, Scheduler
+from repro.sim.shard_cluster import (
+    ShardCluster,
+    ShardClusterOptions,
+    ShardRouterNode,
+    build_shard_cluster,
+)
 from repro.sim.tracing import MessageTrace, TraceEvent
 from repro.sim.workload import (
     alternating_script,
@@ -43,6 +49,11 @@ __all__ = [
     "Summary",
     "FaultSchedule",
     "FaultAction",
+    "ClusterFaultAction",
+    "ShardCluster",
+    "ShardClusterOptions",
+    "ShardRouterNode",
+    "build_shard_cluster",
     "ScheduleExplorer",
     "ExplorationResult",
     "MessageTrace",

@@ -24,7 +24,7 @@ from repro.errors import SimulationError
 from repro.net.simnet import LinkProfile, SimNetwork
 from repro.sim.scheduler import Scheduler
 
-__all__ = ["FaultAction", "NodeFaultAction", "FaultSchedule"]
+__all__ = ["FaultAction", "NodeFaultAction", "ClusterFaultAction", "FaultSchedule"]
 
 
 @dataclass(frozen=True)
@@ -50,6 +50,20 @@ class NodeFaultAction:
     apply: Callable[[Any], None]
 
 
+@dataclass(frozen=True)
+class ClusterFaultAction:
+    """A timed step that acts on a whole cluster harness.
+
+    Reconfiguration is the motivating case: replacing a shard member needs
+    the cluster (to spawn the joining node and the reconfigurator), not any
+    single node or the bare network.
+    """
+
+    time: float
+    description: str
+    apply: Callable[[Any], None]
+
+
 @dataclass
 class FaultSchedule:
     """A composable schedule of fault actions.
@@ -66,6 +80,7 @@ class FaultSchedule:
 
     actions: list[FaultAction] = field(default_factory=list)
     node_actions: list[NodeFaultAction] = field(default_factory=list)
+    cluster_actions: list[ClusterFaultAction] = field(default_factory=list)
     #: Down-windows per node, ``node_id -> [(crash_time, restart_time)]``,
     #: maintained by :meth:`crash_restart` for overlap validation.
     _down_windows: dict[str, list[tuple[float, float]]] = field(
@@ -149,22 +164,54 @@ class FaultSchedule:
         )
         return self
 
+    def reconfigure(
+        self,
+        time: float,
+        shard: str,
+        *,
+        remove: str,
+        add: str,
+        crash_old: bool = False,
+    ) -> "FaultSchedule":
+        """Replace member ``remove`` of ``shard`` with a fresh node ``add``.
+
+        Fires ``cluster.start_reconfiguration(...)`` at ``time``: the
+        cluster harness spawns the joining replica (which bootstraps by
+        state transfer), runs a reconfigurator client against the old
+        membership, and installs the successor epoch under whatever traffic
+        is in flight.  With ``crash_old`` the removed member is crashed at
+        the same instant — the "replace a dead replica" scenario.
+        """
+        self.cluster_actions.append(
+            ClusterFaultAction(
+                time,
+                f"reconfigure {shard}: {remove} -> {add}"
+                + (" (crash old)" if crash_old else ""),
+                lambda cluster: cluster.start_reconfiguration(
+                    shard, remove=remove, add=add, crash_old=crash_old
+                ),
+            )
+        )
+        return self
+
     def install(
         self,
         scheduler: Scheduler,
         network: SimNetwork,
         nodes: Optional[Mapping[str, Any]] = None,
+        cluster: Optional[Any] = None,
     ) -> None:
         """Arm every action on the scheduler.
 
         ``nodes`` maps node id to :class:`~repro.sim.nodes.ReplicaNode` and
-        is required whenever the schedule contains node-level actions.
+        is required whenever the schedule contains node-level actions;
+        ``cluster`` is required for cluster-level actions (reconfiguration).
 
         Ordering is explicit: network actions are armed before node
-        actions, and within each list actions fire in time order with
-        same-time ties resolved by the order they were added to the
-        schedule.  A schedule installs exactly once; a second call raises
-        (it would arm — and fire — every action twice).
+        actions, then cluster actions, and within each list actions fire in
+        time order with same-time ties resolved by the order they were
+        added to the schedule.  A schedule installs exactly once; a second
+        call raises (it would arm — and fire — every action twice).
         """
         if self._installed:
             raise SimulationError(
@@ -176,6 +223,10 @@ class FaultSchedule:
         if self.node_actions and nodes is None:
             raise SimulationError(
                 "schedule has node-level actions but no nodes were supplied"
+            )
+        if self.cluster_actions and cluster is None:
+            raise SimulationError(
+                "schedule has cluster-level actions but no cluster was supplied"
             )
         for node_action in self.node_actions:
             if node_action.node_id not in (nodes or {}):
@@ -191,4 +242,9 @@ class FaultSchedule:
             scheduler.call_at(
                 node_action.time,
                 lambda a=node_action: a.apply(nodes[a.node_id]),  # type: ignore[index]
+            )
+        for cluster_action in sorted(self.cluster_actions, key=lambda a: a.time):
+            scheduler.call_at(
+                cluster_action.time,
+                lambda a=cluster_action: a.apply(cluster),
             )

@@ -121,6 +121,34 @@ class ReplicaStore(ABC):
     def close(self) -> None:  # pragma: no cover - trivial default
         """Release any backing resources (file handles)."""
 
+    # -- state transfer ----------------------------------------------------
+
+    def export_state(self) -> dict[str, Any]:
+        """A portable copy of everything :meth:`load` would return.
+
+        The payload is canonically encodable (snapshot and records already
+        are, per the store contract), so it can travel in a state-transfer
+        frame between replicas.
+        """
+        snapshot, records = self.load()
+        return {"snapshot": snapshot, "records": list(records)}
+
+    def import_state(self, payload: dict[str, Any]) -> None:
+        """Replace this store's contents with an exported payload.
+
+        Used when a replica bootstraps from peers: the snapshot is installed
+        first (which also truncates any pre-existing log), the records are
+        re-appended in order, and the result is forced to stable storage so
+        a crash immediately after bootstrap does not silently lose the
+        transferred state.
+        """
+        if not isinstance(payload, dict) or not {"snapshot", "records"} <= set(payload):
+            raise ValueError(f"malformed state-transfer payload: {payload!r}")
+        self.write_snapshot(payload["snapshot"])
+        for record in payload["records"]:
+            self.append(record)
+        self.sync()
+
     # -- compaction --------------------------------------------------------
 
     def _note_append(self) -> None:

@@ -6,6 +6,8 @@ import json
 import pathlib
 import sys
 
+import pytest
+
 TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
 sys.path.insert(0, str(TOOLS))
 
@@ -50,7 +52,27 @@ def test_file_is_valid_sorted_json(tmp_path):
     assert list(document) == sorted(document)
 
 
+def test_record_rejects_non_identifier_keys(tmp_path):
+    """Names and payload keys must be identifiers (dashboard field paths)."""
+    target = tmp_path / "BENCH.json"
+    with pytest.raises(ValueError, match="identifier"):
+        bench_record.record("wal only", {"x": 1}, path=target)
+    with pytest.raises(ValueError, match="wal\\+fsync"):
+        bench_record.record("e16", {"wal+fsync": 1}, path=target)
+    # A rejected record must not create or clobber the results file.
+    assert not target.exists()
+    # Nested dicts are payload values, not keys — they stay unrestricted.
+    bench_record.record("e16", {"wal_fsync": {"wall s": 1}}, path=target)
+    assert bench_record.load(target)["e16"]["wal_fsync"] == {"wall s": 1}
+
+
 def test_repo_results_file_exists_and_parses():
     """The committed BENCH_throughput.json must stay valid JSON."""
     document = bench_record.load()
     assert isinstance(document, dict)
+    # Every committed key already satisfies the identifier rule record()
+    # enforces, so historic entries stay addressable by dashboards.
+    for name, payload in document.items():
+        assert name.isidentifier(), name
+        for key in payload:
+            assert key.isidentifier(), (name, key)

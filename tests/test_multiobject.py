@@ -199,6 +199,60 @@ class TestCrossObjectReplayDefence:
         assert reply is None
         assert replica.object_state("b").data is None
 
+    @pytest.mark.parametrize("scheme", ["hmac", "rsa"])
+    def test_replay_rejected_under_both_backends(self, scheme):
+        """Regression: the object scope must bind under HMAC *and* RSA.
+
+        Both halves of a write are replayed from object ``a`` to object
+        ``b``: the prepare-request signature (client-signed) and the
+        prepare certificate (replica-signed).  Each must fail ``b``'s
+        scoped verification, whichever signature backend is active — a
+        backend that ignored the scope suffix would accept both.
+        """
+        config = make_system(f=1, scheme=scheme, seed=b"multi-replay")
+        scheduler, network, replicas = build(config)
+        client = MultiObjectClient("client:kv", config)
+        node = MultiObjectClientNode(client, network, scheduler)
+        node.run_script([("a", "write", ("client:kv", 1, "A-data"))])
+        scheduler.run(until=30, stop_when=lambda: node.done)
+        assert node.done
+
+        replica = replicas["replica:0"]
+        state_a = replica.object_state("a")
+        cert_a = state_a.pcert
+        assert not cert_a.is_genesis
+
+        # Replica-signed half: the certificate's signatures were produced
+        # under scope "a"; validating them under scope "b" must fail.
+        from repro.core.verification import Verifier
+
+        scoped_b = ScopedSignatureScheme(config.scheme, "b")
+        verifier_b = Verifier(scoped_b, config.quorums)
+        assert not verifier_b.certificate_valid(cert_a)
+        scoped_a = ScopedSignatureScheme(config.scheme, "a")
+        assert Verifier(scoped_a, config.quorums).certificate_valid(cert_a)
+
+        # Client-signed half: a WRITE carrying the stolen certificate and a
+        # scope-"a" request signature is silently discarded by object "b".
+        from repro.core.messages import WriteRequest
+        from repro.core.statements import write_request_statement
+        from repro.encoding import canonical_encode
+
+        value = ("client:kv", 1, "A-data")
+        statement = write_request_statement(value, cert_a.to_wire())
+        request = WriteRequest(
+            value=value,
+            prepare_cert=cert_a,
+            signature=scoped_a.sign("client:kv", canonical_encode(statement)),
+        )
+        replay = ObjectMessage(obj="b", payload=message_to_wire(request))
+        assert replica.handle("client:kv", replay) is None
+        assert replica.object_state("b").data is None
+        # And the same envelope is accepted back on its own object.
+        assert replica.handle(
+            "client:kv", ObjectMessage(obj="a", payload=message_to_wire(request))
+        ) is not None
+
 
 class TestPerObjectHistories:
     def test_each_object_history_linearizable(self, config):

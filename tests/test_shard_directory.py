@@ -1,0 +1,240 @@
+"""Unit tests for quorum-signed shard configurations and the directory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import make_system
+from repro.errors import ProtocolError
+from repro.shard import DirectoryEntry, ShardConfig, ShardDirectory
+
+MEMBERS = tuple(f"replica:g{i}" for i in range(4))
+SHARD = "shard:0"
+
+
+@pytest.fixture
+def template():
+    config = make_system(f=1, seed=b"shard-dir-test")
+    for node in MEMBERS + ("replica:gX", "replica:gY", "replica:gZ"):
+        config.registry.register(node)
+    return config
+
+
+@pytest.fixture
+def genesis():
+    return ShardConfig(shard=SHARD, epoch=0, members=MEMBERS, f=1)
+
+
+def successor(previous, *, replace=None, epoch=None, f=None):
+    """The next-epoch config, optionally swapping one member."""
+    members = previous.members
+    if replace is not None:
+        old, new = replace
+        members = tuple(new if m == old else m for m in members)
+    return ShardConfig(
+        shard=previous.shard,
+        epoch=previous.epoch + 1 if epoch is None else epoch,
+        members=members,
+        f=previous.f if f is None else f,
+    )
+
+
+def sign_entry(template, config, signers):
+    return DirectoryEntry(
+        config=config,
+        signatures=tuple(
+            template.scheme.sign(s, config.statement_bytes()) for s in signers
+        ),
+    )
+
+
+class TestShardConfig:
+    def test_membership_must_match_f(self):
+        with pytest.raises(ProtocolError):
+            ShardConfig(shard=SHARD, epoch=0, members=MEMBERS[:3], f=1)
+
+    def test_rejects_duplicate_members(self):
+        with pytest.raises(ProtocolError):
+            ShardConfig(
+                shard=SHARD, epoch=0, members=(MEMBERS[0],) * 4, f=1
+            )
+
+    def test_rejects_negative_epoch(self):
+        with pytest.raises(ProtocolError):
+            ShardConfig(shard=SHARD, epoch=-1, members=MEMBERS, f=1)
+
+    def test_wire_round_trip(self, genesis):
+        assert ShardConfig.from_wire(genesis.to_wire()) == genesis
+
+    def test_from_wire_rejects_garbage(self):
+        for wire in (None, 42, {}, {"shard": SHARD}, {"shard": 1, "epoch": 0,
+                     "members": MEMBERS, "f": 1}):
+            with pytest.raises(ProtocolError):
+                ShardConfig.from_wire(wire)
+
+    def test_quorums_carry_extra_signers(self, genesis):
+        quorums = genesis.quorums(extra_signers=["replica:old", MEMBERS[0]])
+        # Current members never count as "extra": no double-listing.
+        assert quorums.extra_signers == frozenset({"replica:old"})
+        assert quorums.members == MEMBERS
+
+
+class TestDirectoryEntry:
+    def test_valid_entry_accepted(self, template, genesis):
+        cfg = successor(genesis, replace=(MEMBERS[3], "replica:gX"))
+        entry = sign_entry(template, cfg, MEMBERS[:3])
+        entry.validate(template.scheme, genesis)  # does not raise
+        assert entry.is_valid(template.scheme, genesis)
+
+    def test_needs_quorum_of_previous_members(self, template, genesis):
+        cfg = successor(genesis, replace=(MEMBERS[3], "replica:gX"))
+        entry = sign_entry(template, cfg, MEMBERS[:2])  # 2 < 2f+1
+        assert not entry.is_valid(template.scheme, genesis)
+
+    def test_rejects_non_member_signers(self, template, genesis):
+        cfg = successor(genesis, replace=(MEMBERS[3], "replica:gX"))
+        entry = sign_entry(
+            template, cfg, (MEMBERS[0], MEMBERS[1], "replica:gY")
+        )
+        assert not entry.is_valid(template.scheme, genesis)
+
+    def test_rejects_duplicate_signers(self, template, genesis):
+        cfg = successor(genesis, replace=(MEMBERS[3], "replica:gX"))
+        entry = sign_entry(
+            template, cfg, (MEMBERS[0], MEMBERS[0], MEMBERS[1])
+        )
+        assert not entry.is_valid(template.scheme, genesis)
+
+    def test_rejects_bad_signature(self, template, genesis):
+        cfg = successor(genesis, replace=(MEMBERS[3], "replica:gX"))
+        other = successor(genesis)  # signatures over a different statement
+        entry = DirectoryEntry(
+            config=cfg,
+            signatures=tuple(
+                template.scheme.sign(s, other.statement_bytes())
+                for s in MEMBERS[:3]
+            ),
+        )
+        assert not entry.is_valid(template.scheme, genesis)
+
+    def test_rejects_epoch_gap(self, template, genesis):
+        cfg = successor(genesis, epoch=2)
+        entry = sign_entry(template, cfg, MEMBERS[:3])
+        assert not entry.is_valid(template.scheme, genesis)
+
+    def test_rejects_wrong_shard(self, template, genesis):
+        cfg = ShardConfig(shard="shard:9", epoch=1, members=MEMBERS, f=1)
+        entry = sign_entry(template, cfg, MEMBERS[:3])
+        assert not entry.is_valid(template.scheme, genesis)
+
+    def test_rejects_f_change(self, template, genesis):
+        cfg = ShardConfig(
+            shard=SHARD,
+            epoch=1,
+            members=MEMBERS + ("replica:gX", "replica:gY", "replica:gZ"),
+            f=2,
+        )
+        entry = sign_entry(template, cfg, MEMBERS[:3])
+        assert not entry.is_valid(template.scheme, genesis)
+
+    def test_rejects_excessive_churn(self, template, genesis):
+        """More than f members replaced at once would let old and new
+        quorums miss each other — the churn bound forbids it."""
+        cfg = ShardConfig(
+            shard=SHARD,
+            epoch=1,
+            members=(MEMBERS[0], MEMBERS[1], "replica:gX", "replica:gY"),
+            f=1,
+        )
+        entry = sign_entry(template, cfg, MEMBERS[:3])
+        assert not entry.is_valid(template.scheme, genesis)
+
+    def test_wire_round_trip(self, template, genesis):
+        cfg = successor(genesis, replace=(MEMBERS[3], "replica:gX"))
+        entry = sign_entry(template, cfg, MEMBERS[:3])
+        again = DirectoryEntry.from_wire(entry.to_wire())
+        assert again == entry
+        assert again.is_valid(template.scheme, genesis)
+
+    def test_from_wire_rejects_garbage_signatures(self, template, genesis):
+        """Regression: a malformed signature wire must surface as
+        ProtocolError (what directory-reply handlers catch), not leak the
+        crypto layer's own exception."""
+        cfg = successor(genesis, replace=(MEMBERS[3], "replica:gX"))
+        entry = sign_entry(template, cfg, MEMBERS[:3])
+        wire = entry.to_wire()
+        wire["signatures"] = ({"greetings": 1},)
+        with pytest.raises(ProtocolError):
+            DirectoryEntry.from_wire(wire)
+
+
+class TestShardDirectory:
+    def test_genesis_must_be_epoch_zero(self, template, genesis):
+        later = successor(genesis)
+        with pytest.raises(ProtocolError):
+            ShardDirectory({SHARD: later}, template.scheme)
+
+    def test_genesis_shard_key_must_match(self, template, genesis):
+        with pytest.raises(ProtocolError):
+            ShardDirectory({"shard:9": genesis}, template.scheme)
+
+    def test_install_advances_and_is_idempotent(self, template, genesis):
+        directory = ShardDirectory({SHARD: genesis}, template.scheme)
+        cfg = successor(genesis, replace=(MEMBERS[3], "replica:gX"))
+        entry = sign_entry(template, cfg, MEMBERS[:3])
+        assert directory.install(SHARD, entry) is True
+        assert directory.epoch(SHARD) == 1
+        assert directory.config(SHARD) == cfg
+        assert directory.install(SHARD, entry) is False  # already known
+
+    def test_install_rejects_invalid_link(self, template, genesis):
+        directory = ShardDirectory({SHARD: genesis}, template.scheme)
+        cfg = successor(genesis, replace=(MEMBERS[3], "replica:gX"))
+        entry = sign_entry(template, cfg, MEMBERS[:2])
+        with pytest.raises(ProtocolError):
+            directory.install(SHARD, entry)
+        assert directory.epoch(SHARD) == 0
+
+    def test_install_unknown_shard(self, template, genesis):
+        directory = ShardDirectory({SHARD: genesis}, template.scheme)
+        cfg = successor(genesis)
+        with pytest.raises(ProtocolError):
+            directory.install("shard:9", sign_entry(template, cfg, MEMBERS[:3]))
+
+    def test_chain_and_historical_signers(self, template, genesis):
+        directory = ShardDirectory({SHARD: genesis}, template.scheme)
+        cfg1 = successor(genesis, replace=(MEMBERS[3], "replica:gX"))
+        directory.install(SHARD, sign_entry(template, cfg1, MEMBERS[:3]))
+        cfg2 = successor(cfg1, replace=(MEMBERS[0], "replica:gY"))
+        directory.install(
+            SHARD,
+            sign_entry(
+                template, cfg2, (MEMBERS[0], MEMBERS[1], "replica:gX")
+            ),
+        )
+        assert [e.config.epoch for e in directory.chain(SHARD)] == [1, 2]
+        # Every past member stays a historical signer...
+        assert directory.historical_signers(SHARD) >= set(MEMBERS) | {
+            "replica:gX",
+            "replica:gY",
+        }
+        # ...and the active quorum system routes only to current members
+        # while still accepting the departed ones' old signatures.
+        quorums = directory.quorums(SHARD)
+        assert set(quorums.members) == set(cfg2.members)
+        assert quorums.extra_signers == {MEMBERS[0], MEMBERS[3]}
+
+    def test_install_chain_adopts_prefix(self, template, genesis):
+        source = ShardDirectory({SHARD: genesis}, template.scheme)
+        cfg1 = successor(genesis, replace=(MEMBERS[3], "replica:gX"))
+        source.install(SHARD, sign_entry(template, cfg1, MEMBERS[:3]))
+        cfg2 = successor(cfg1, replace=(MEMBERS[0], "replica:gY"))
+        source.install(
+            SHARD,
+            sign_entry(
+                template, cfg2, (MEMBERS[0], MEMBERS[1], "replica:gX")
+            ),
+        )
+        fresh = ShardDirectory({SHARD: genesis}, template.scheme)
+        assert fresh.install_chain(SHARD, source.chain(SHARD)) == 2
+        assert fresh.epoch(SHARD) == 2

@@ -1,0 +1,82 @@
+"""Unit tests for the consistent-hash ring (repro.shard.ring)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shard import HashRing
+
+
+OBJECTS = [f"obj-{i}" for i in range(400)]
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            HashRing(["shard:0", "shard:0"])
+
+    def test_rejects_nonpositive_vnodes(self):
+        with pytest.raises(ValueError):
+            HashRing(["shard:0"], vnodes=0)
+
+
+class TestPlacement:
+    def test_deterministic(self):
+        a = HashRing(["shard:0", "shard:1", "shard:2"])
+        b = HashRing(["shard:0", "shard:1", "shard:2"])
+        assert [a.shard_for(o) for o in OBJECTS] == [
+            b.shard_for(o) for o in OBJECTS
+        ]
+
+    def test_order_independent(self):
+        """Placement depends on the shard *set*, not the listing order."""
+        a = HashRing(["shard:0", "shard:1", "shard:2"])
+        b = HashRing(["shard:2", "shard:0", "shard:1"])
+        assert [a.shard_for(o) for o in OBJECTS] == [
+            b.shard_for(o) for o in OBJECTS
+        ]
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(["shard:0"])
+        assert all(ring.shard_for(o) == "shard:0" for o in OBJECTS)
+
+    def test_distribution_reasonably_even(self):
+        ring = HashRing([f"shard:{i}" for i in range(4)], vnodes=64)
+        counts = ring.distribution(OBJECTS)
+        assert set(counts) == set(ring.shards)
+        # Virtual nodes smooth the split: no shard starves or hogs.
+        assert min(counts.values()) >= len(OBJECTS) // 16
+        assert max(counts.values()) <= len(OBJECTS) // 2
+
+    def test_distribution_lists_empty_shards(self):
+        ring = HashRing(["shard:0", "shard:1"])
+        counts = ring.distribution([])
+        assert counts == {"shard:0": 0, "shard:1": 0}
+
+
+class TestIncrementalScaleOut:
+    def test_adding_a_shard_only_moves_keys_to_it(self):
+        """The consistent-hashing property: growing the ring never moves a
+        key between two *retained* shards, only onto the newcomer."""
+        before = HashRing([f"shard:{i}" for i in range(3)], vnodes=64)
+        after = HashRing([f"shard:{i}" for i in range(4)], vnodes=64)
+        moved = 0
+        for obj in OBJECTS:
+            old, new = before.shard_for(obj), after.shard_for(obj)
+            if old != new:
+                moved += 1
+                assert new == "shard:3", (obj, old, new)
+        # Roughly 1/4 of the keys should move — never none, never most.
+        assert 0 < moved < len(OBJECTS) // 2
+
+    def test_removing_a_shard_only_moves_its_keys(self):
+        before = HashRing([f"shard:{i}" for i in range(4)], vnodes=64)
+        after = HashRing([f"shard:{i}" for i in range(3)], vnodes=64)
+        for obj in OBJECTS:
+            old, new = before.shard_for(obj), after.shard_for(obj)
+            if old != "shard:3":
+                assert new == old, (obj, old, new)

@@ -42,6 +42,21 @@ def load(path: Optional[pathlib.Path] = None) -> dict[str, Any]:
     return loaded if isinstance(loaded, dict) else {}
 
 
+def _check_keys(name: str, payload: dict[str, Any]) -> None:
+    """Reject keys that are not valid Python identifiers.
+
+    Dashboard queries address results as ``doc[name][key]`` paths in tools
+    that treat keys as identifiers (jq field access, pandas attribute
+    lookup), so ``"wal only"`` or ``"wal+fsync"`` style keys break them.
+    """
+    bad = [key for key in [name, *payload] if not str(key).isidentifier()]
+    if bad:
+        raise ValueError(
+            "benchmark keys must be valid Python identifiers "
+            f"(use underscores, e.g. 'wal_fsync'): {bad!r}"
+        )
+
+
 def record(
     name: str,
     payload: dict[str, Any],
@@ -49,9 +64,12 @@ def record(
 ) -> dict[str, Any]:
     """Merge ``payload`` under ``name`` into the results file; return the doc.
 
-    The payload must be JSON-serialisable.  Existing entries for other
-    benchmarks are preserved; re-recording the same name overwrites it.
+    The payload must be JSON-serialisable, and ``name`` plus every top-level
+    payload key must be a valid Python identifier (enforced by
+    :func:`_check_keys`).  Existing entries for other benchmarks are
+    preserved; re-recording the same name overwrites it.
     """
+    _check_keys(name, payload)
     target = pathlib.Path(path) if path is not None else DEFAULT_PATH
     document = load(target)
     document[name] = {

@@ -1,18 +1,23 @@
 #!/usr/bin/env python3
 """Nightly chaos smoke campaign with a fixed seed.
 
-Runs a moderate simulated campaign plus the TCP proxy campaign, fails
-loudly on any oracle violation, and records the headline counters to
-``BENCH_throughput.json`` (via :mod:`tools.bench_record`) so the nightly
-dashboard can chart chaos coverage next to the throughput numbers.
+Runs a moderate simulated campaign, a sharded reconfiguration episode
+(replica replacement mid-rebalance under a lossy network, judged by the
+shard oracle battery including epoch agreement), plus the TCP proxy
+campaign; fails loudly on any oracle violation, and records the headline
+counters to ``BENCH_throughput.json`` (via :mod:`tools.bench_record`) so
+the nightly dashboard can chart chaos coverage next to the throughput
+numbers.
 
 The seed is fixed so a red nightly is immediately reproducible:
 
     python -m repro chaos run --seed 20060625 --episodes 60
+    python -m repro shard rebalance --seed 20060625
 
 Usage:
 
     python tools/chaos_ci.py [--seed N] [--episodes K] [--skip-tcp]
+                             [--skip-shard]
 """
 
 from __future__ import annotations
@@ -31,6 +36,36 @@ import bench_record  # noqa: E402
 DEFAULT_SEED = 20060625
 
 
+def _run_shard_smoke(seed: int):
+    """One sharded reconfiguration episode: crash-replace mid-traffic."""
+    from repro.chaos import ShardEpisodePlan, run_shard_episode
+
+    plan = ShardEpisodePlan(
+        seed=seed,
+        shards=2,
+        clients=2,
+        ops_per_client=40,
+        objects=8,
+        handoff=0.2,
+        profile={
+            "min_delay": 0.001,
+            "max_delay": 0.02,
+            "drop_rate": 0.03,
+            "reorder_rate": 0.05,
+        },
+        reconfigurations=[
+            {
+                "time": 0.1,
+                "shard": "shard:0",
+                "remove": "replica:s0n1",
+                "add": "replica:s0nX",
+                "crash_old": True,
+            }
+        ],
+    )
+    return run_shard_episode(plan)
+
+
 def main(argv: list[str] | None = None) -> int:
     from repro.analysis import format_campaign
     from repro.chaos import CampaignConfig, run_campaign
@@ -40,6 +75,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument("--episodes", type=int, default=60)
     parser.add_argument("--skip-tcp", action="store_true")
+    parser.add_argument("--skip-shard", action="store_true")
     args = parser.parse_args(argv)
 
     started = time.time()
@@ -49,6 +85,22 @@ def main(argv: list[str] | None = None) -> int:
     summary = campaign.summary()
     print(format_campaign(summary))
     sim_seconds = time.time() - started
+
+    shard_ok = None
+    shard_seconds = 0.0
+    if not args.skip_shard:
+        started = time.time()
+        shard_result = _run_shard_smoke(args.seed)
+        shard_ok = all(v.ok for v in shard_result.verdicts.values())
+        shard_seconds = time.time() - started
+        bad = [n for n, v in shard_result.verdicts.items() if not v.ok]
+        print()
+        print(
+            "shard rebalance smoke: "
+            + ("ok" if shard_ok else f"VIOLATIONS {bad}")
+            + f" ({shard_result.stats.get('ops')} ops, "
+            + f"{shard_result.stats.get('epoch_changes')} epoch changes)"
+        )
 
     tcp_summary = None
     if not args.skip_tcp:
@@ -72,13 +124,17 @@ def main(argv: list[str] | None = None) -> int:
             "messages_reordered": summary["totals"]["messages_reordered"],
             "replica_crashes": summary["totals"]["replica_crashes"],
             "sim_seconds": round(sim_seconds, 3),
+            "shard_ok": shard_ok,
+            "shard_seconds": round(shard_seconds, 3),
             "tcp_ok": None if tcp_summary is None else tcp_summary["ok"],
             "tcp_seconds": round(tcp_seconds, 3),
         },
     )
 
-    failed = summary["violations"] > 0 or (
-        tcp_summary is not None and not tcp_summary["ok"]
+    failed = (
+        summary["violations"] > 0
+        or shard_ok is False
+        or (tcp_summary is not None and not tcp_summary["ok"])
     )
     if failed:
         print("\nCHAOS SMOKE FAILED", file=sys.stderr)

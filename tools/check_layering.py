@@ -8,7 +8,7 @@ or below, never above):
     1  repro.crypto, repro.storage
     2  repro.core.verification
     3  repro.core (everything else in core)
-    4  repro.spec, repro.analysis
+    4  repro.spec, repro.analysis, repro.shard
     5  repro.baselines, repro.byzantine, repro.net, repro.sim, repro (root)
 
 The crucial edges this pins down: ``crypto`` never imports ``core``;
@@ -22,7 +22,10 @@ back every replica variant.  The wire fast path keeps the same shape:
 ``encoding.interning`` lives at layer 0 so ``crypto`` and ``core`` can share
 interned statement bytes, and ``core.batching`` is ordinary ``core`` (layer
 3) — it may use messages and encoding but never the transports that carry
-its envelopes.  Imports are discovered by parsing every
+its envelopes.  ``repro.shard`` (placement, directory, reconfiguration)
+composes ``core`` protocol machines but stays transport-agnostic: the
+simulator, asyncio transport, and chaos engine (layer 5) host shard roles,
+never the reverse.  Imports are discovered by parsing every
 source file under ``src/repro`` with :mod:`ast` — including imports inside
 ``TYPE_CHECKING`` blocks and function bodies, so lazy imports cannot hide a
 cycle-in-waiting.
@@ -52,6 +55,7 @@ LAYERS: dict[str, int] = {
     "repro.core": 3,
     "repro.spec": 4,
     "repro.analysis": 4,
+    "repro.shard": 4,
     "repro.baselines": 5,
     "repro.byzantine": 5,
     "repro.net": 5,
