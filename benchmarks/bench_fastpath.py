@@ -1,0 +1,171 @@
+"""E20 — signature-free fast path vs the signed protocols.
+
+One closed-loop write workload, four arms: the base and optimized signed
+protocols under the HMAC scheme, the optimized protocol under textbook RSA
+(where per-write signing cost is real CPU), and the fastpath variant, whose
+common-case writes carry commitments and MAC vectors instead of signatures.
+
+The accounting is exact, not sampled: the signed arms must perform the
+closed-form ``2 + 3n`` signature creations per write
+(:meth:`~repro.analysis.costs.CostModel.write_signature_ops`), the fast arm
+must perform **zero**, and the fast arm's MAC computations must match the
+``2n(n + 2)`` closed form.  The headline ratio the issue targets — at least
+a 5x reduction in per-write signature operations versus the signed
+optimized protocol — is therefore 14 -> 0 at f=1, asserted as equality, and
+the wall-clock comparison against the RSA arm shows what those signatures
+cost when the scheme is not simulated.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+from repro import LinkProfile, build_cluster
+from repro.analysis import CostModel, format_table
+from repro.sim import write_script
+
+from benchmarks.conftest import run_once
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "tools"))
+import bench_record  # noqa: E402
+
+OPS_EACH = 10
+CLIENTS = 4
+DELAY = 0.005
+
+
+def _arm(variant: str, scheme: str, seed: int = 2000) -> dict:
+    """Run the fixed workload once; return exact counters and timings."""
+    started = time.perf_counter()
+    cluster = build_cluster(
+        f=1,
+        variant=variant,
+        scheme=scheme,
+        seed=seed,
+        profile=LinkProfile(min_delay=DELAY, max_delay=DELAY),
+    )
+    scripts = {
+        f"w{i}": write_script(f"client:w{i}", OPS_EACH) for i in range(CLIENTS)
+    }
+    cluster.run_scripts(scripts, max_time=600)
+    elapsed = time.perf_counter() - started
+    writes = cluster.metrics.operations
+    vouch_signs = sum(
+        r.stats.vouch_signs for r in cluster.replicas.values()
+    )
+    return {
+        "variant": variant,
+        "scheme": scheme,
+        "writes": writes,
+        "signs": cluster.config.scheme.stats.signs,
+        "vouch_signs": vouch_signs,
+        "macs_computed": cluster.config.authenticator.macs_computed,
+        "macs_checked": cluster.config.authenticator.macs_checked,
+        "fast_path_rate": cluster.metrics.fast_path_rate(),
+        "fallback_rate": cluster.metrics.fallback_rate(),
+        "wall_seconds": elapsed,
+        "ops_per_wall_second": writes / elapsed,
+        "virtual_ops_per_second": writes / cluster.scheduler.now,
+        "model": CostModel(cluster.config.quorums),
+    }
+
+
+def test_e20_fastpath_signature_ops(benchmark):
+    """Exact per-write signature accounting, all four arms."""
+
+    def experiment():
+        arms = {
+            "base-hmac": _arm("base", "hmac"),
+            "optimized-hmac": _arm("optimized", "hmac"),
+            "optimized-rsa": _arm("optimized", "rsa"),
+            "fastpath-hmac": _arm("fastpath", "hmac"),
+        }
+        rows = []
+        for name, arm in arms.items():
+            rows.append(
+                [
+                    name,
+                    arm["writes"],
+                    arm["signs"],
+                    round(arm["signs"] / arm["writes"], 2),
+                    arm["macs_computed"],
+                    round(arm["wall_seconds"], 3),
+                    round(arm["virtual_ops_per_second"], 1),
+                ]
+            )
+        print()
+        print(
+            format_table(
+                [
+                    "arm",
+                    "writes",
+                    "signatures",
+                    "sigs/write",
+                    "MACs computed",
+                    "wall seconds",
+                    "writes/s (virtual)",
+                ],
+                rows,
+                title="E20: signature-free fast path vs signed protocols",
+            )
+        )
+        return arms
+
+    arms = run_once(benchmark, experiment)
+    fast = arms["fastpath-hmac"]
+    model = fast["model"]
+    writes = fast["writes"]
+
+    # The tentpole number: zero signatures on the fast path, exactly.
+    assert fast["signs"] == 0, fast
+    assert fast["vouch_signs"] == 0, fast  # write-only workload: no vouches
+    assert fast["fast_path_rate"] == 1.0 and fast["fallback_rate"] == 0.0, fast
+
+    # Signed arms match the closed form 2 + 3n per write exactly.
+    for name in ("base-hmac", "optimized-hmac", "optimized-rsa"):
+        arm = arms[name]
+        expected = arm["model"].write_signature_ops(arm["variant"])
+        assert arm["signs"] == expected * arm["writes"], (name, arm)
+        # >= 5x reduction required by the issue; 14 -> 0 is infinite, so
+        # assert the signed arm's count alone clears the 5x bar vs zero.
+        assert expected >= 5, (name, expected)
+
+    # Fast-arm MAC computations match the closed form 2n(n + 2) per write.
+    assert fast["macs_computed"] == model.fast_write_macs_computed() * writes, (
+        fast["macs_computed"],
+        model.fast_write_macs_computed(),
+        writes,
+    )
+
+    # Honesty check the issue asks to document rather than hide: the fast
+    # path computes MORE symmetric-crypto operations than the signed HMAC
+    # arm (whose "signatures" are just one HMAC each); the win is that MACs
+    # replace public-key signatures, shown by the RSA head-to-head.
+    hmac_ops = arms["optimized-hmac"]["signs"]
+    assert fast["macs_computed"] > hmac_ops, (fast["macs_computed"], hmac_ops)
+
+    # Phase structure: the fast path keeps the optimized variant's 2-phase
+    # virtual-time throughput advantage over 3-phase base.
+    assert (
+        fast["virtual_ops_per_second"]
+        > arms["base-hmac"]["virtual_ops_per_second"]
+    ), (fast, arms["base-hmac"])
+
+    # Under a real signature scheme the signature savings dominate: the
+    # fast arm completes the same workload in less wall time than the RSA
+    # signed arm by a wide margin.
+    assert fast["wall_seconds"] < arms["optimized-rsa"]["wall_seconds"], arms
+
+    recorded = {
+        name.replace("-", "_"): {k: v for k, v in arm.items() if k != "model"}
+        for name, arm in arms.items()
+    }
+    recorded["signature_ops_per_write_signed"] = model.write_signature_ops(
+        "optimized"
+    )
+    recorded["signature_ops_per_write_fast"] = model.write_signature_ops(
+        "fastpath"
+    )
+    bench_record.record("e20_fastpath", recorded)

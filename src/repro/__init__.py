@@ -55,6 +55,8 @@ from repro.chaos import (
 from repro.core import (
     BftBcClient,
     BftBcReplica,
+    FastBftBcClient,
+    FastBftBcReplica,
     MultiObjectClient,
     MultiObjectReplica,
     OptimizedBftBcClient,
@@ -69,6 +71,7 @@ from repro.core import (
     ZERO_TS,
     make_system,
 )
+from repro.crypto.commitments import ProofOfWriting
 from repro.net.asyncio_transport import AsyncClient, ReplicaServer
 from repro.net.shard_transport import AsyncShardRouter, ShardReplicaServer
 from repro.net.simnet import LinkProfile, SimNetwork
@@ -131,6 +134,9 @@ __all__ = [
     "StrongBftBcClient",
     "BftBcReplica",
     "OptimizedBftBcReplica",
+    "FastBftBcClient",
+    "FastBftBcReplica",
+    "ProofOfWriting",
     "MultiObjectClient",
     "MultiObjectReplica",
     # sharding and online reconfiguration

@@ -18,8 +18,17 @@ from repro.core.quorum import QuorumSystem
 
 __all__ = ["CostModel", "WRITE_PHASES", "READ_PHASES"]
 
-#: Phases per operation by variant (normal case / worst case).
-WRITE_PHASES = {"base": (3, 3), "optimized": (2, 3), "strong": (3, 5)}
+#: Phases per operation by variant (normal case / worst case).  The
+#: fastpath worst case is the verified fallback: two fast phases spent
+#: before demotion never count (the client abandons them), but the signed
+#: protocol it demotes to is a full 4-phase READ-TS / PREPARE / WRITE run
+#: preceded by the failed FAST-PREP round.
+WRITE_PHASES = {
+    "base": (3, 3),
+    "optimized": (2, 3),
+    "strong": (3, 5),
+    "fastpath": (2, 4),
+}
 READ_PHASES = (1, 2)
 
 
@@ -69,6 +78,21 @@ class CostModel:
         n = self.quorums.n
         cert = self.certificate_bytes
         hdr = self.header_bytes
+        if variant == "fastpath":
+            # The fast path trades signatures for MAC vectors: requests
+            # carry an n-entry MAC row, replies an ack row + envelope, and
+            # the FAST-WRITE ships the proof of writing — commitment,
+            # opening, and >= 2f+1 ack rows of n MACs each, O(|Q|^2) bytes
+            # (vs. the signed certificate's O(|Q|)).  Bigger frames, zero
+            # signatures: E20 measures the trade.
+            mac_row = n * 32
+            proof = 64 + n * mac_row
+            return (
+                n * (cert + mac_row + hdr)  # FAST-PREP: prev Wcert + MACs
+                + n * (mac_row + 32 + hdr)  # replies: ack row + envelope
+                + n * (proof + self.value_bytes + mac_row + hdr)  # FAST-WRITE
+                + n * (mac_row + 32 + hdr)  # write replies
+            )
         if variant == "optimized":
             # READ-TS-PREP req/replies (replies carry certificate), then
             # WRITE request with certificate + value, and small replies.
@@ -118,6 +142,45 @@ class CostModel:
     def write_signatures_client(self) -> int:
         """Client signatures per write: PREPARE and WRITE requests."""
         return 2
+
+    def write_signature_ops(self, variant: str = "base") -> int:
+        """Total public-key signature *creations* for one write, both sides,
+        steady state on a reliable network.
+
+        Base and optimized: the client signs its two mutating requests
+        (PREPARE + WRITE, or the merged READ-TS-PREP + WRITE) and every
+        replica signs three replies — the phase-1 envelope (base READ-TS
+        reply; optimized envelope + embedded prep signature count as two of
+        the three), the prepare acknowledgement, and the write
+        acknowledgement — ``2 + 3n`` in total.
+
+        Fastpath: the common case carries commitments and MAC vectors only;
+        *zero* signatures, which the E20 benchmark asserts exactly.  (Lazy
+        FAST-VOUCH signatures for certificate transfer are produced off the
+        write path and accounted separately in
+        :attr:`~repro.core.replica.ReplicaStats.vouch_signs`.)
+        """
+        if variant == "fastpath":
+            return 0
+        return 2 + 3 * self.quorums.n
+
+    def fast_write_macs_computed(self) -> int:
+        """MAC computations for one fastpath write, both sides.
+
+        The client MACs its two request fan-outs for every replica
+        (``2n``); each replica answers both rounds with an ``n``-entry
+        acknowledgement row plus one reply envelope (``n + 1`` each, and
+        every replica computes its full reply even when the client already
+        has its quorum): ``2n + 2n(n + 1) = 2n(n + 2)``.
+
+        MAC *checks* are not closed-form: stragglers whose replies arrive
+        after the client's quorum completes are never verified, so the
+        check count depends on delivery timing.  The computation count is
+        deterministic and is what the tests pin against
+        :attr:`~repro.crypto.authenticators.MacAuthenticator.macs_computed`.
+        """
+        n = self.quorums.n
+        return 2 * n * (n + 2)
 
     # -- verification counts ------------------------------------------------
 
@@ -199,9 +262,12 @@ class CostModel:
         the *next* write's certificate arrives — a ``write-ts`` advance and
         the ``plist-del`` GC of the entry the certificate subsumed.  The
         optimized fast path logs the same set (optlist instead of plist on
-        the contention-free path).
+        the contention-free path).  The fastpath variant adds the
+        ``fastc-set`` commitment record at FAST-PREP time and its
+        ``fastc-del`` GC: 8 records.
         """
-        del variant  # same steady-state count for all three variants
+        if variant == "fastpath":
+            return 8
         return 6
 
     def write_log_bytes(self, variant: str = "base") -> int:

@@ -24,6 +24,8 @@ from typing import Any, Callable, Optional
 from repro.core.certificates import PrepareCertificate, WriteCertificate
 from repro.core.config import SystemConfig
 from repro.core.messages import (
+    FastWriteReply,
+    FastWriteRequest,
     Message,
     PrepareReply,
     PrepareRequest,
@@ -34,6 +36,7 @@ from repro.core.messages import (
     WriteReply,
     WriteRequest,
 )
+from repro.core.fast_operations import FastWriteOperation
 from repro.core.operations import Operation, Send, WriteOperation
 from repro.core.optimized_operations import OptimizedWriteOperation
 from repro.core.statements import (
@@ -56,6 +59,8 @@ __all__ = [
     "PrepareOnlyWriteOperation",
     "LurkingWriteAttack",
     "OptimizedLurkingWriteAttack",
+    "CapturedFastWrite",
+    "FastLurkingWriteAttack",
     "EquivocationAttack",
     "PartialWriteAttack",
     "TimestampExhaustionAttack",
@@ -440,6 +445,144 @@ class OptimizedLurkingWriteAttack(ByzantineActor):
             self._finish()
 
 
+class CapturedFastWrite(CapturedWrite):
+    """A hoarded FAST-WRITE request.
+
+    Its MAC vector is keyed by the *embedded* client field, not the sender's
+    network identity, so a colluder can replay it verbatim after the
+    originator's key is revoked — the fast-path analogue of replaying a
+    hoarded signed WRITE.
+    """
+
+    @property
+    def ts(self) -> Timestamp:
+        assert isinstance(self.request, FastWriteRequest)
+        return self.request.ts
+
+
+class _PrepareOnlyFastWrite(FastWriteOperation):
+    """Fast write that stops once the FAST-PREP quorum agrees: the
+    FAST-WRITE request (carrying the proof of writing) is captured instead
+    of sent.  If the operation falls back to the signed protocol, the
+    prepare certificate is captured instead, as in the optimized attack."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.captured_request: Optional[FastWriteRequest] = None
+        self.captured_cert: Optional[PrepareCertificate] = None
+
+    def _begin_fast_write(self, ts: Timestamp) -> list[Send]:
+        sends = super()._begin_fast_write(ts)
+        if sends:
+            message = sends[0].message
+            assert isinstance(message, FastWriteRequest)
+            self.captured_request = message
+        return self._finish(None)
+
+    def _begin_write(self, prepare_cert: PrepareCertificate) -> list[Send]:
+        self.captured_cert = prepare_cert
+        return self._finish(None)
+
+
+class FastLurkingWriteAttack(OptimizedLurkingWriteAttack):
+    """Double-hoard against the fastpath variant.
+
+    Act one hoards a signature-free FAST-WRITE for value A (fast acks live
+    in the optlist).  Act two reads the replicas' prepared certificates via
+    READ-TS and issues an explicit signed PREPARE for value B at the *same*
+    timestamp, which lands in the still-empty normal prepare list.  The
+    fast path must not grant more than the optimized protocol's lurking
+    bound of two (Theorem 2 / ``MAX_B["fastpath"]``).
+    """
+
+    def __init__(self, cluster, name: str) -> None:
+        super().__init__(cluster, name)
+        self._pmax_nonce: Optional[bytes] = None
+        self._read_ts_request: Optional[ReadTsRequest] = None
+        self._read_ts_certs: dict[str, PrepareCertificate] = {}
+
+    def start(self) -> None:
+        op = _PrepareOnlyFastWrite(
+            self.node_id, self.config, self._value("A"), self.nonces.next(), None
+        )
+
+        def after(op_done: Operation) -> None:
+            assert isinstance(op_done, _PrepareOnlyFastWrite)
+            if op_done.captured_request is not None:
+                self.hoard.append(
+                    CapturedFastWrite(op_done.value, op_done.captured_request)
+                )
+                self._target_ts = op_done.captured_request.ts
+                self._read_ts_for_pmax()
+                return
+            if op_done.captured_cert is not None:
+                # Fell back to the signed path: hoard the one signed write.
+                self.hoard.append(
+                    CapturedWrite(
+                        op_done.value,
+                        self.make_write_request(
+                            op_done.value, op_done.captured_cert
+                        ),
+                    )
+                )
+            self._finish()
+
+        self._run_op(op, after)
+
+    def _read_ts_for_pmax(self) -> None:
+        # Fast prep replies carry no certificates, so learn Pmax the way
+        # the fallback does: a plain READ-TS round.
+        self._pmax_nonce = self.nonces.next()
+        self._read_ts_request = ReadTsRequest(
+            nonce=self._pmax_nonce, write_cert=None
+        )
+        self._broadcast(self._read_ts_request)
+        self._retransmit_handle = self.scheduler.call_later(
+            RETRANSMIT_INTERVAL, self._retransmit_read_ts
+        )
+        self._deadline_handle = self.scheduler.call_later(
+            ATTEMPT_TIMEOUT, self._finish
+        )
+
+    def _retransmit_read_ts(self) -> None:
+        if self.done or self._read_ts_request is None:
+            return
+        for dest in self.config.quorums.replica_ids:
+            if dest not in self._read_ts_certs:
+                self.network.send(self.node_id, dest, self._read_ts_request)
+        self._retransmit_handle = self.scheduler.call_later(
+            RETRANSMIT_INTERVAL, self._retransmit_read_ts
+        )
+
+    def handle_raw(self, src: str, message: Message) -> None:
+        if self.done:
+            return
+        if (
+            self._read_ts_request is not None
+            and isinstance(message, ReadTsReply)
+            and message.nonce == self._pmax_nonce
+        ):
+            if message.signature.signer != src:
+                return
+            statement = read_ts_reply_statement(
+                message.cert.to_wire(), message.nonce
+            )
+            if not self.config.scheme.verify_statement(
+                message.signature, statement
+            ):
+                return
+            self._read_ts_certs[src] = message.cert
+            if len(self._read_ts_certs) >= self.config.quorum_size:
+                self._read_ts_request = None
+                self._cancel_timers()
+                self._p_max = max(
+                    self._read_ts_certs.values(), key=lambda c: c.ts
+                )
+                self._second_prepare()
+            return
+        super().handle_raw(src, message)
+
+
 class EquivocationAttack(ByzantineActor):
     """Issue-1 attack: try to get prepare certificates for two different
     values under the same timestamp by splitting the replica group.
@@ -668,6 +811,9 @@ class Colluder(ByzantineActor):
 
     def handle_raw(self, src: str, message: Message) -> None:
         if isinstance(message, WriteReply):
+            self.acks[message.ts.to_wire()] += 1
+        elif isinstance(message, FastWriteReply):
+            # Replayed FAST-WRITE hoards are acked with MAC'd fast replies.
             self.acks[message.ts.to_wire()] += 1
 
 

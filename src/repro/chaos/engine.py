@@ -69,6 +69,9 @@ class EpisodeResult:
     messages_reordered: int = 0
     dropped_by_reason: dict[str, int] = field(default_factory=dict)
     replica_crashes: int = 0
+    #: Writes that abandoned the fast path for the signed protocol
+    #: (always 0 outside the ``fastpath`` variant).
+    fallbacks: int = 0
     error: str = ""
 
     @property
@@ -106,6 +109,7 @@ class EpisodeResult:
             "messages_reordered": self.messages_reordered,
             "dropped_by_reason": dict(sorted(self.dropped_by_reason.items())),
             "replica_crashes": self.replica_crashes,
+            "fallbacks": self.fallbacks,
         }
 
 
@@ -159,6 +163,7 @@ def _start_attack(cluster: Cluster, plan: EpisodePlan) -> _AttackContext:
         Colluder,
         CollusionChainAttack,
         EquivocationAttack,
+        FastLurkingWriteAttack,
         LurkingWriteAttack,
         OptimizedLurkingWriteAttack,
         PartialWriteAttack,
@@ -199,6 +204,11 @@ def _start_attack(cluster: Cluster, plan: EpisodePlan) -> _AttackContext:
         return _AttackContext(bad, hoard_epilogue(attack, attack.stop, bad))
     if name == "lurking-optimized":
         attack = OptimizedLurkingWriteAttack(cluster, "evil")
+        attack.start()
+        bad = frozenset({"client:evil"})
+        return _AttackContext(bad, hoard_epilogue(attack, attack.stop, bad))
+    if name == "lurking-fast":
+        attack = FastLurkingWriteAttack(cluster, "evil")
         attack.start()
         bad = frozenset({"client:evil"})
         return _AttackContext(bad, hoard_epilogue(attack, attack.stop, bad))
@@ -343,6 +353,11 @@ def run_episode(
             dropped_by_reason=dict(stats.dropped_by_reason),
             replica_crashes=sum(
                 node.crashes for node in cluster.replica_nodes.values()
+            ),
+            fallbacks=sum(
+                1
+                for s in cluster.metrics.by_kind("write")
+                if getattr(s, "fell_back", False)
             ),
             error=error,
         )

@@ -128,7 +128,9 @@ def run_oracle_battery(
         cluster.replicas.values(),
         f=plan.f,
         byzantine_replicas=byzantine,
-        max_prepared_per_client=2 if str(plan.variant) == "optimized" else 1,
+        max_prepared_per_client=(
+            2 if str(plan.variant) in ("optimized", "fastpath") else 1
+        ),
     )
     verdicts["lemma1"] = OracleVerdict(
         "lemma1", report.ok, "; ".join(report.violations)

@@ -62,12 +62,14 @@ REPLICA_BEHAVIOURS = (
 CLIENT_ATTACKS: dict[str, tuple[str, ...]] = {
     "base": ("equivocation", "ts-exhaustion", "partial-write", "lurking", "chain"),
     "optimized": ("lurking-optimized",),
+    "fastpath": ("lurking-fast",),
     "strong": ("chain",),
 }
 
 #: Bound that Definition 1 imposes on one bad client's lurking writes,
-#: per variant (Theorem 1 / Theorem 2).
-MAX_B = {"base": 1, "optimized": 2, "strong": 1}
+#: per variant (Theorem 1 / Theorem 2).  Fast acks share the optlist, so
+#: the fastpath variant inherits the optimized protocol's bound of 2.
+MAX_B = {"base": 1, "optimized": 2, "strong": 1, "fastpath": 2}
 
 
 @dataclass
@@ -142,7 +144,7 @@ class CampaignConfig:
     seed: int = 0
     episodes: int = 25
     f: int = 1
-    variants: tuple[str, ...] = ("base", "optimized", "strong")
+    variants: tuple[str, ...] = ("base", "optimized", "strong", "fastpath")
     ops_per_client: int = 4
     max_clients: int = 3
     #: Store kinds the generator may draw ("memory", "filelog").
@@ -179,7 +181,9 @@ def generate_plan(config: CampaignConfig, episode: int) -> EpisodePlan:
     byzantine_replicas: dict[str, str] = {}
     if config.byzantine and rng.random() < 0.4:
         behaviours = REPLICA_BEHAVIOURS + (
-            ("silent-optimized",) if variant == "optimized" else ()
+            ("silent-optimized",)
+            if variant in ("optimized", "fastpath")
+            else ()
         )
         for index in sorted(rng.sample(range(n), rng.randint(1, f))):
             byzantine_replicas[str(index)] = rng.choice(behaviours)
@@ -260,6 +264,32 @@ def generate_plan(config: CampaignConfig, episode: int) -> EpisodePlan:
             }
         )
 
+    # Fallback-forcing fault (fastpath only): filter the fast-path message
+    # kinds inbound at f+1 replicas for a window, so the fast quorum of
+    # 2f+1 is unreachable and clients must demote to the signed protocol;
+    # the heal lets later operations take the fast path again.  Blocks only
+    # FAST-* kinds, so the signed fallback always makes progress.
+    if variant == "fastpath" and rng.random() < 0.6:
+        victims = rng.sample(range(n), f + 1)
+        start = rng.uniform(0.0, 0.5)
+        heal_at = start + rng.uniform(0.5, 1.5)
+        for victim in victims:
+            faults.append(
+                {
+                    "op": "block_kinds",
+                    "time": round(start, 3),
+                    "node": _node(victim),
+                    "kinds": ["FAST-PREP", "FAST-WRITE"],
+                }
+            )
+            faults.append(
+                {
+                    "op": "unblock_kinds",
+                    "time": round(heal_at, 3),
+                    "node": _node(victim),
+                }
+            )
+
     attack = None
     if config.attacks and rng.random() < 0.3:
         attack = rng.choice(CLIENT_ATTACKS[str(variant)])
@@ -295,6 +325,8 @@ def build_schedule(faults: list[dict[str, Any]]) -> FaultSchedule:
         {"op": "heal",          "time": t, "a": id, "b": id}
         {"op": "degrade",       "time": t, "src": id, "dst": id,
          "profile": {LinkProfile kwargs}}
+        {"op": "block_kinds",   "time": t, "node": id, "kinds": [KIND, ...]}
+        {"op": "unblock_kinds", "time": t, "node": id[, "kinds": [...]]}
     """
     schedule = FaultSchedule()
     for spec in faults:
@@ -317,6 +349,13 @@ def build_schedule(faults: list[dict[str, Any]]) -> FaultSchedule:
                 spec["src"],
                 spec["dst"],
                 LinkProfile(**spec["profile"]),
+            )
+        elif op == "block_kinds":
+            schedule.block_kinds(spec["time"], spec["node"], tuple(spec["kinds"]))
+        elif op == "unblock_kinds":
+            kinds = spec.get("kinds")
+            schedule.unblock_kinds(
+                spec["time"], spec["node"], tuple(kinds) if kinds else None
             )
         else:
             raise SimulationError(f"unknown fault op {op!r}")

@@ -32,10 +32,12 @@ from repro.chaos.oracles import OracleVerdict, run_oracle_battery
 from repro.chaos.plan import EpisodePlan
 from repro.core.client import (
     BftBcClient,
+    FastBftBcClient,
     OptimizedBftBcClient,
     StrongBftBcClient,
 )
 from repro.core.config import SystemConfig, make_system
+from repro.core.fast_replica import FastBftBcReplica
 from repro.core.replica import BftBcReplica, OptimizedBftBcReplica
 from repro.errors import OperationFailedError
 from repro.net.asyncio_transport import AsyncClient, ReplicaServer
@@ -53,11 +55,13 @@ _REPLICA_CLS = {
     "base": BftBcReplica,
     "optimized": OptimizedBftBcReplica,
     "strong": BftBcReplica,
+    "fastpath": FastBftBcReplica,
 }
 _CLIENT_CLS = {
     "base": BftBcClient,
     "optimized": OptimizedBftBcClient,
     "strong": StrongBftBcClient,
+    "fastpath": FastBftBcClient,
 }
 
 
@@ -67,7 +71,7 @@ class TcpChaosConfig:
 
     seed: int = 0
     f: int = 1
-    variants: tuple[str, ...] = ("base", "optimized", "strong")
+    variants: tuple[str, ...] = ("base", "optimized", "strong", "fastpath")
     clients: int = 2
     ops_per_client: int = 3
     write_fraction: float = 0.6

@@ -24,9 +24,20 @@ from repro.core.certificates import (
     WriteCertificate,
     genesis_prepare_certificate,
 )
-from repro.core.client import BftBcClient, OptimizedBftBcClient, StrongBftBcClient
+from repro.core.client import (
+    BftBcClient,
+    FastBftBcClient,
+    OptimizedBftBcClient,
+    StrongBftBcClient,
+)
 from repro.core.config import SystemConfig, Variant, make_system
+from repro.core.fast_operations import FastReadOperation, FastWriteOperation
+from repro.core.fast_replica import FastBftBcReplica
 from repro.core.messages import (
+    FastPrepReply,
+    FastPrepRequest,
+    FastWriteReply,
+    FastWriteRequest,
     Message,
     PrepareReply,
     PrepareRequest,
@@ -75,8 +86,10 @@ __all__ = [
     "BftBcClient",
     "OptimizedBftBcClient",
     "StrongBftBcClient",
+    "FastBftBcClient",
     "BftBcReplica",
     "OptimizedBftBcReplica",
+    "FastBftBcReplica",
     "PlistEntry",
     "MultiObjectClient",
     "MultiObjectReplica",
@@ -87,6 +100,8 @@ __all__ = [
     "ReadOperation",
     "OptimizedWriteOperation",
     "StrongWriteOperation",
+    "FastWriteOperation",
+    "FastReadOperation",
     "QuorumRound",
     "ReplyCollector",
     "Verifier",
@@ -111,4 +126,8 @@ __all__ = [
     "ReadReply",
     "ReadTsPrepRequest",
     "ReadTsPrepReply",
+    "FastPrepRequest",
+    "FastPrepReply",
+    "FastWriteRequest",
+    "FastWriteReply",
 ]

@@ -16,16 +16,36 @@ to hear it from a quorum directly.
 The genesis prepare certificate bootstraps the system: every replica starts
 with ``data = None`` at the zero timestamp, and validators accept the (empty)
 genesis certificate for exactly that state and no other.
+
+The fast path (``repro.core.fast_replica``) extends both certificate kinds
+with alternative **evidence**:
+
+* ``evidence="proof"`` — the signature-free form: a
+  :class:`~repro.crypto.commitments.ProofOfWriting` (commit/reveal plus a
+  quorum of MAC rows).  MAC rows are only checkable by the replicas they
+  address, so :meth:`PrepareCertificate.validate` *refuses* proof evidence;
+  replicas validate their own column through a dedicated hook instead, and
+  proof certificates never convince third parties directly.
+* ``evidence="vouch"`` — the transferable upgrade: ``f+1`` replica
+  signatures over ``<FAST-VOUCH, ts, h>``, each vouching that the signer
+  installed that fast write after checking its own proof column.  At least
+  one signer is correct, so a vouch certificate is as convincing as a
+  quorum one — and it *is* third-party verifiable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any
+from dataclasses import dataclass, field
+from typing import Any, Optional
 
 from repro.core.quorum import QuorumSystem
-from repro.core.statements import prepare_reply_statement, write_reply_statement
+from repro.core.statements import (
+    fast_vouch_statement,
+    prepare_reply_statement,
+    write_reply_statement,
+)
 from repro.core.timestamp import ZERO_TS, Timestamp
+from repro.crypto.commitments import ProofOfWriting
 from repro.crypto.hashing import hash_value
 from repro.crypto.signatures import Signature, SignatureScheme
 from repro.errors import CertificateError
@@ -49,11 +69,20 @@ def _signatures_from_wire(wire: Any) -> tuple[Signature, ...]:
 
 @dataclass(frozen=True)
 class PrepareCertificate:
-    """A quorum of ``PREPARE-REPLY`` statements for one ``(ts, h)`` pair."""
+    """Evidence that the write of ``(ts, h)`` was approved.
+
+    ``evidence`` selects the form: ``"quorum"`` (a quorum of signed
+    ``PREPARE-REPLY`` statements — the paper's certificate), ``"vouch"``
+    (``f+1`` signed fast vouches), or ``"proof"`` (a signature-free
+    :class:`~repro.crypto.commitments.ProofOfWriting`, checkable only by
+    the replicas its MAC rows address).
+    """
 
     ts: Timestamp
     value_hash: bytes
     signatures: tuple[Signature, ...]
+    evidence: str = "quorum"
+    proof: Optional[ProofOfWriting] = field(default=None)
 
     @property
     def h(self) -> bytes:
@@ -62,23 +91,61 @@ class PrepareCertificate:
 
     @property
     def is_genesis(self) -> bool:
-        return self.ts == ZERO_TS and not self.signatures
+        return (
+            self.ts == ZERO_TS
+            and not self.signatures
+            and self.evidence == "quorum"
+        )
 
     def signers(self) -> frozenset[str]:
         """The distinct replica identities that signed this certificate."""
         return frozenset(sig.signer for sig in self.signatures)
 
     def to_wire(self) -> tuple[Any, ...]:
-        """Canonical wire representation (nested in messages)."""
-        return (
-            self.ts.to_wire(),
-            self.value_hash,
-            tuple(sig.to_wire() for sig in self.signatures),
-        )
+        """Canonical wire representation (nested in messages).
+
+        Quorum evidence keeps the original 3-tuple so pre-fast-path wire
+        artifacts still parse; the other forms are tagged 4-tuples.
+        """
+        if self.evidence == "quorum":
+            return (
+                self.ts.to_wire(),
+                self.value_hash,
+                tuple(sig.to_wire() for sig in self.signatures),
+            )
+        if self.evidence == "vouch":
+            return (
+                "vouch",
+                self.ts.to_wire(),
+                self.value_hash,
+                tuple(sig.to_wire() for sig in self.signatures),
+            )
+        assert self.proof is not None
+        return ("proof", self.ts.to_wire(), self.value_hash, self.proof.to_wire())
 
     @classmethod
     def from_wire(cls, wire: Any) -> "PrepareCertificate":
         """Parse the wire form; raises CertificateError when malformed."""
+        if isinstance(wire, tuple) and len(wire) == 4:
+            tag, ts_wire, value_hash, payload = wire
+            if not isinstance(value_hash, bytes):
+                raise CertificateError("prepare certificate hash is not bytes")
+            if tag == "vouch":
+                return cls(
+                    ts=Timestamp.from_wire(ts_wire),
+                    value_hash=value_hash,
+                    signatures=_signatures_from_wire(payload),
+                    evidence="vouch",
+                )
+            if tag == "proof":
+                return cls(
+                    ts=Timestamp.from_wire(ts_wire),
+                    value_hash=value_hash,
+                    signatures=(),
+                    evidence="proof",
+                    proof=ProofOfWriting.from_wire(payload),
+                )
+            raise CertificateError(f"unknown certificate evidence tag {tag!r}")
         if not isinstance(wire, tuple) or len(wire) != 3:
             raise CertificateError(f"malformed prepare certificate: {wire!r}")
         ts_wire, value_hash, sigs_wire = wire
@@ -100,8 +167,17 @@ class PrepareCertificate:
         Raises:
             CertificateError: if the certificate does not contain a quorum of
                 valid, distinct replica signatures over the same statement
-                (or is a non-genuine genesis certificate).
+                (or is a non-genuine genesis certificate).  Proof evidence
+                always raises here — it is never third-party verifiable;
+                only the fast replica's own-column hook can accept it.
         """
+        if self.evidence == "proof":
+            raise CertificateError(
+                "proof-evidence certificate is not third-party verifiable"
+            )
+        if self.evidence == "vouch":
+            self._validate_vouch(scheme, quorums)
+            return
         if self.is_genesis:
             if self.value_hash != hash_value(GENESIS_VALUE):
                 raise CertificateError("genesis certificate with wrong value hash")
@@ -122,6 +198,34 @@ class PrepareCertificate:
                     f"invalid prepare-certificate signature from {sig.signer}"
                 )
 
+    def _validate_vouch(
+        self, scheme: SignatureScheme, quorums: QuorumSystem
+    ) -> None:
+        """``f+1`` distinct replica signatures over ``<FAST-VOUCH, ts, h>``.
+
+        One of any ``f+1`` replicas is correct, and a correct replica only
+        vouches for fast writes it fully validated and installed — so the
+        threshold is ``f+1``, not a quorum.
+        """
+        if self.ts == ZERO_TS:
+            raise CertificateError("vouch certificate with zero timestamp")
+        signers = self.signers()
+        if len(signers) != len(self.signatures):
+            raise CertificateError("duplicate signer in vouch certificate")
+        replicas = set(quorums.replica_ids)
+        if not signers <= replicas:
+            raise CertificateError("vouch certificate signer is not a replica")
+        if len(signers) < quorums.f + 1:
+            raise CertificateError(
+                f"vouch certificate has {len(signers)} signers; needs f+1"
+            )
+        statement = fast_vouch_statement(self.ts.to_wire(), self.value_hash)
+        for sig in self.signatures:
+            if not scheme.verify_statement(sig, statement):
+                raise CertificateError(
+                    f"invalid vouch signature from {sig.signer}"
+                )
+
     def is_valid(self, scheme: SignatureScheme, quorums: QuorumSystem) -> bool:
         """Boolean form of :meth:`validate`."""
         try:
@@ -133,22 +237,48 @@ class PrepareCertificate:
 
 @dataclass(frozen=True)
 class WriteCertificate:
-    """A quorum of ``WRITE-REPLY`` statements for one timestamp."""
+    """A quorum of ``WRITE-REPLY`` statements for one timestamp.
+
+    With ``evidence="proof"`` the certificate instead carries the fast
+    write's MAC rows (one per acking replica, over
+    ``<FAST-WRITE-ACK, ts>``).  Like proof prepare certificates these are
+    only checkable by the replicas the rows address; clients keep them for
+    their own bookkeeping and piggyback them so fast replicas can prune
+    prepare state, but :meth:`validate` refuses them.
+    """
 
     ts: Timestamp
     signatures: tuple[Signature, ...]
+    evidence: str = "quorum"
+    rows: tuple[tuple[str, tuple[tuple[str, bytes], ...]], ...] = ()
 
     def signers(self) -> frozenset[str]:
         """The distinct replica identities that signed this certificate."""
         return frozenset(sig.signer for sig in self.signatures)
 
+    def ackers(self) -> frozenset[str]:
+        """Distinct replicas contributing MAC rows (proof evidence)."""
+        return frozenset(acker for acker, _row in self.rows)
+
     def to_wire(self) -> tuple[Any, ...]:
         """Canonical wire representation (nested in messages)."""
+        if self.evidence == "proof":
+            return ("proof", self.ts.to_wire(), self.rows)
         return (self.ts.to_wire(), tuple(sig.to_wire() for sig in self.signatures))
 
     @classmethod
     def from_wire(cls, wire: Any) -> "WriteCertificate":
         """Parse the wire form; raises CertificateError when malformed."""
+        if isinstance(wire, tuple) and len(wire) == 3 and wire[0] == "proof":
+            _tag, ts_wire, rows = wire
+            if not isinstance(rows, tuple):
+                raise CertificateError("proof write certificate rows not a tuple")
+            return cls(
+                ts=Timestamp.from_wire(ts_wire),
+                signatures=(),
+                evidence="proof",
+                rows=rows,
+            )
         if not isinstance(wire, tuple) or len(wire) != 2:
             raise CertificateError(f"malformed write certificate: {wire!r}")
         ts_wire, sigs_wire = wire
@@ -160,8 +290,13 @@ class WriteCertificate:
     def validate(self, scheme: SignatureScheme, quorums: QuorumSystem) -> None:
         """Check well-formedness and all signatures (see PrepareCertificate).
 
-        As there, ``scheme`` may be the memoizing verifier.
+        As there, ``scheme`` may be the memoizing verifier; proof evidence
+        always raises (own-column checks live in the fast replica).
         """
+        if self.evidence == "proof":
+            raise CertificateError(
+                "proof-evidence certificate is not third-party verifiable"
+            )
         signers = self.signers()
         if len(signers) != len(self.signatures):
             raise CertificateError("duplicate signer in write certificate")

@@ -13,6 +13,8 @@ Variants:
   tie-breaking reads).
 * :class:`StrongBftBcClient` — §7 (justify certificates; requires a
   configuration with ``strong=True``).
+* :class:`FastBftBcClient` — signature-free proofs of writing with a
+  verified fallback to the signed protocol.
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from repro.core.config import SystemConfig
+from repro.core.fast_operations import FastReadOperation, FastWriteOperation
 from repro.core.operations import Operation, ReadOperation, Send, WriteOperation
 from repro.core.optimized_operations import OptimizedWriteOperation
 from repro.core.strong_operations import StrongWriteOperation
@@ -29,13 +32,19 @@ from repro.crypto.nonces import NonceSource
 from repro.errors import ProtocolError
 from repro.obs.instrumentation import Instrumentation
 
-__all__ = ["BftBcClient", "OptimizedBftBcClient", "StrongBftBcClient"]
+__all__ = [
+    "BftBcClient",
+    "OptimizedBftBcClient",
+    "StrongBftBcClient",
+    "FastBftBcClient",
+]
 
 
 class BftBcClient:
     """Base-protocol client: sequential writes and reads on one object."""
 
     write_op_cls: type[WriteOperation] = WriteOperation
+    read_op_cls: type[ReadOperation] = ReadOperation
     hash_tie_break = False
 
     def __init__(
@@ -72,7 +81,7 @@ class BftBcClient:
     def begin_read(self) -> list[Send]:
         """Start a read; returns the first batch of requests to send."""
         self._check_idle()
-        self.op = ReadOperation(
+        self.op = self.read_op_cls(
             self.node_id,
             self.config,
             self._nonces.next(),
@@ -141,6 +150,27 @@ class OptimizedBftBcClient(BftBcClient):
     def last_write_fast_path(self) -> bool:
         """True if the most recent write skipped the explicit phase 2."""
         return isinstance(self.op, OptimizedWriteOperation) and self.op.fast_path
+
+
+class FastBftBcClient(OptimizedBftBcClient):
+    """Fast-path client: MAC-only writes, proof-aware reads.
+
+    Inherits the §6 read tie-break; ``last_write_fell_back`` reports whether
+    the most recent write abandoned the fast rounds for the signed protocol.
+    """
+
+    write_op_cls = FastWriteOperation
+    read_op_cls = FastReadOperation
+
+    @property
+    def last_write_fast_path(self) -> bool:
+        """True if the most recent write completed signature-free."""
+        return isinstance(self.op, FastWriteOperation) and self.op.fast_path
+
+    @property
+    def last_write_fell_back(self) -> bool:
+        """True if the most recent write fell back to the signed path."""
+        return isinstance(self.op, FastWriteOperation) and self.op.fell_back
 
 
 class StrongBftBcClient(BftBcClient):

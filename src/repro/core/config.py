@@ -14,6 +14,7 @@ from typing import Optional, Union
 
 from repro.core.quorum import QuorumSystem
 from repro.core.verification import Verifier
+from repro.crypto.authenticators import MacAuthenticator
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.signatures import (
     HmacSignatureScheme,
@@ -26,7 +27,7 @@ __all__ = ["Variant", "SystemConfig", "make_system"]
 
 
 class Variant(str, enum.Enum):
-    """The three protocol variants, shared by the cluster, benchmarks, CLI.
+    """The four protocol variants, shared by the cluster, benchmarks, CLI.
 
     A ``str`` subclass, so existing comparisons against the literal strings
     (``options.variant == "strong"``) keep working, and :meth:`coerce`
@@ -36,6 +37,7 @@ class Variant(str, enum.Enum):
     BASE = "base"
     OPTIMIZED = "optimized"
     STRONG = "strong"
+    FASTPATH = "fastpath"
 
     def __str__(self) -> str:
         return self.value
@@ -104,12 +106,19 @@ class SystemConfig:
     authorized_writers: Optional[set[str]] = field(default=None)
     verification_cache: bool = True
     verifier: Optional[Verifier] = None
+    #: Pairwise MAC authenticator for the fast path's signature-free
+    #: messages.  Built automatically from the registry; shared by every
+    #: node of the deployment (and preserved by ``dataclasses.replace``)
+    #: so session keys are derived once.
+    authenticator: Optional[MacAuthenticator] = None
 
     def __post_init__(self) -> None:
         if self.verifier is None or self.verifier.scheme is not self.scheme:
             self.verifier = Verifier(
                 self.scheme, self.quorums, enabled=self.verification_cache
             )
+        if self.authenticator is None:
+            self.authenticator = MacAuthenticator(self.registry)
 
     @property
     def f(self) -> int:

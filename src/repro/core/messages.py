@@ -20,6 +20,7 @@ from typing import Any, Callable, ClassVar, Optional, TypeVar
 
 from repro.core.certificates import PrepareCertificate, WriteCertificate
 from repro.core.timestamp import Timestamp
+from repro.crypto.commitments import ProofOfWriting
 from repro.crypto.signatures import Signature
 from repro.encoding import canonical_encode
 from repro.errors import ProtocolError
@@ -44,6 +45,10 @@ __all__ = [
     "ReadReply",
     "ReadTsPrepRequest",
     "ReadTsPrepReply",
+    "FastPrepRequest",
+    "FastPrepReply",
+    "FastWriteRequest",
+    "FastWriteReply",
 ]
 
 
@@ -182,6 +187,21 @@ def _sig(wire_value: Any) -> Signature:
     return Signature.from_wire(wire_value)
 
 
+def _macvec(wire_value: Any) -> tuple[tuple[str, bytes], ...]:
+    """Parse a ``((receiver, mac), ...)`` MAC vector, validating shape."""
+    if not isinstance(wire_value, tuple):
+        raise ProtocolError(f"malformed MAC vector: {wire_value!r}")
+    for entry in wire_value:
+        if (
+            not isinstance(entry, tuple)
+            or len(entry) != 2
+            or not isinstance(entry[0], str)
+            or not isinstance(entry[1], bytes)
+        ):
+            raise ProtocolError(f"malformed MAC vector entry: {entry!r}")
+    return wire_value
+
+
 # ---------------------------------------------------------------------------
 # Base protocol (Figures 1 and 2)
 # ---------------------------------------------------------------------------
@@ -224,6 +244,11 @@ class ReadTsReply(Message):
     ``ts_vouch`` is only present in the §7 strong variant: a signature over
     ``<WRITE-REPLY, cert.ts>`` vouching that this replica has stored a write
     with that timestamp, from which clients assemble the justify certificate.
+
+    ``pvouch`` is only present in the fast-path variant when the replica's
+    stored certificate carries proof evidence: a signature over
+    ``<FAST-VOUCH, cert.ts, cert.h>``; ``f+1`` of them let a client upgrade
+    the non-transferable proof certificate to a transferable vouch one.
     """
 
     KIND: ClassVar[str] = "READ-TS-REPLY"
@@ -231,6 +256,7 @@ class ReadTsReply(Message):
     nonce: bytes
     signature: Signature
     ts_vouch: Optional[Signature] = None
+    pvouch: Optional[Signature] = None
 
     def to_wire(self) -> dict[str, Any]:
         return {
@@ -238,6 +264,7 @@ class ReadTsReply(Message):
             "nonce": self.nonce,
             "sig": self.signature.to_wire(),
             "vouch": None if self.ts_vouch is None else self.ts_vouch.to_wire(),
+            "pvouch": None if self.pvouch is None else self.pvouch.to_wire(),
         }
 
     @classmethod
@@ -247,6 +274,7 @@ class ReadTsReply(Message):
             nonce=wire["nonce"],
             signature=_sig(wire["sig"]),
             ts_vouch=_opt(wire["vouch"], _sig),
+            pvouch=_opt(wire.get("pvouch"), _sig),
         )
 
 
@@ -395,6 +423,7 @@ class ReadReply(Message):
     nonce: bytes
     signature: Signature
     ts_vouch: Optional[Signature] = None
+    pvouch: Optional[Signature] = None
 
     def to_wire(self) -> dict[str, Any]:
         return {
@@ -403,6 +432,7 @@ class ReadReply(Message):
             "nonce": self.nonce,
             "sig": self.signature.to_wire(),
             "vouch": None if self.ts_vouch is None else self.ts_vouch.to_wire(),
+            "pvouch": None if self.pvouch is None else self.pvouch.to_wire(),
         }
 
     @classmethod
@@ -413,6 +443,7 @@ class ReadReply(Message):
             nonce=wire["nonce"],
             signature=_sig(wire["sig"]),
             ts_vouch=_opt(wire["vouch"], _sig),
+            pvouch=_opt(wire.get("pvouch"), _sig),
         )
 
 
@@ -486,4 +517,158 @@ class ReadTsPrepReply(Message):
             prep_sig=_opt(wire["psig"], _sig),
             nonce=wire["nonce"],
             signature=_sig(wire["sig"]),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Fast path (signature-free proofs of writing)
+# ---------------------------------------------------------------------------
+
+
+@register_message
+@dataclass(frozen=True)
+class FastPrepRequest(Message):
+    """Fast phase-1 request: value hash plus a fresh commitment, MAC'd.
+
+    No signature anywhere: ``macs`` is the client's MAC vector (one entry per
+    replica) over :func:`~repro.core.statements.fast_prep_request_statement`.
+    The sender identity is the explicit ``client`` field — MAC keys are
+    looked up by it, so a colluder replaying a hoarded request authenticates
+    as the original client, exactly like a replayed signed request.
+    """
+
+    KIND: ClassVar[str] = "FAST-PREP"
+    client: str
+    value_hash: bytes
+    commitment: bytes
+    nonce: bytes
+    write_cert: Optional[WriteCertificate]
+    macs: tuple[tuple[str, bytes], ...]
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "client": self.client,
+            "hash": self.value_hash,
+            "commit": self.commitment,
+            "nonce": self.nonce,
+            "wcert": None if self.write_cert is None else self.write_cert.to_wire(),
+            "macs": self.macs,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "FastPrepRequest":
+        return cls(
+            client=wire["client"],
+            value_hash=wire["hash"],
+            commitment=wire["commit"],
+            nonce=wire["nonce"],
+            write_cert=_opt(wire["wcert"], WriteCertificate.from_wire),
+            macs=_macvec(wire["macs"]),
+        )
+
+
+@register_message
+@dataclass(frozen=True)
+class FastPrepReply(Message):
+    """Fast phase-1 reply: the predicted timestamp plus this replica's ack row.
+
+    ``row`` carries one MAC per *receiver replica* over
+    :func:`~repro.core.statements.fast_prep_ack_statement` — the material
+    the client later assembles into a proof of writing.  ``prepared_ts`` is
+    ``None`` when the replica refuses to fast-prepare (prepare-list
+    conflict); the refusal is still MAC-authenticated (``mac`` covers the
+    reply envelope) so it counts as a vote toward fallback.
+    """
+
+    KIND: ClassVar[str] = "FAST-PREP-REPLY"
+    replica: str
+    prepared_ts: Optional[Timestamp]
+    row: tuple[tuple[str, bytes], ...]
+    nonce: bytes
+    mac: bytes
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "replica": self.replica,
+            "pts": None if self.prepared_ts is None else self.prepared_ts.to_wire(),
+            "row": self.row,
+            "nonce": self.nonce,
+            "mac": self.mac,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "FastPrepReply":
+        return cls(
+            replica=wire["replica"],
+            prepared_ts=_opt(wire["pts"], Timestamp.from_wire),
+            row=_macvec(wire["row"]),
+            nonce=wire["nonce"],
+            mac=wire["mac"],
+        )
+
+
+@register_message
+@dataclass(frozen=True)
+class FastWriteRequest(Message):
+    """Fast phase-2 request: the value plus the revealed proof of writing."""
+
+    KIND: ClassVar[str] = "FAST-WRITE"
+    client: str
+    ts: Timestamp
+    value: Any
+    proof: ProofOfWriting
+    nonce: bytes
+    macs: tuple[tuple[str, bytes], ...]
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "client": self.client,
+            "ts": self.ts.to_wire(),
+            "value": self.value,
+            "proof": self.proof.to_wire(),
+            "nonce": self.nonce,
+            "macs": self.macs,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "FastWriteRequest":
+        return cls(
+            client=wire["client"],
+            ts=Timestamp.from_wire(wire["ts"]),
+            value=wire["value"],
+            proof=ProofOfWriting.from_wire(wire["proof"]),
+            nonce=wire["nonce"],
+            macs=_macvec(wire["macs"]),
+        )
+
+
+@register_message
+@dataclass(frozen=True)
+class FastWriteReply(Message):
+    """Fast phase-2 reply: the install ack row (the fast WRITE-REPLY)."""
+
+    KIND: ClassVar[str] = "FAST-WRITE-REPLY"
+    replica: str
+    ts: Timestamp
+    row: tuple[tuple[str, bytes], ...]
+    nonce: bytes
+    mac: bytes
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "replica": self.replica,
+            "ts": self.ts.to_wire(),
+            "row": self.row,
+            "nonce": self.nonce,
+            "mac": self.mac,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "FastWriteReply":
+        return cls(
+            replica=wire["replica"],
+            ts=Timestamp.from_wire(wire["ts"]),
+            row=_macvec(wire["row"]),
+            nonce=wire["nonce"],
+            mac=wire["mac"],
         )

@@ -19,6 +19,8 @@ record tag      payload                                meaning
 ``plist-del``   ``(client,)``                          plist entry GC'd
 ``optlist-set`` ``(client, ts_wire, value_hash)``      §6 optlist entry
 ``optlist-del`` ``(client,)``                          §6 optlist GC
+``fastc-set``   ``(client, ts_wire, h, commitment)``   fast-path commitment
+``fastc-del``   ``(client,)``                          fast commitment GC
 ``install``     ``(value, pcert_wire)``                phase-3 install
 ``write-ts``    ``(ts_wire,)``                         write_ts advanced
 ``swr``         ``(ts_wire,)``                         WRITE-REPLY signed
@@ -47,7 +49,7 @@ from repro.crypto.hashing import hash_value
 from repro.errors import StorageError
 from repro.storage import MemoryStore, ReplicaStore
 
-__all__ = ["PlistEntry", "DurableReplicaState"]
+__all__ = ["PlistEntry", "FastCommitment", "DurableReplicaState"]
 
 
 @dataclass(frozen=True)
@@ -56,6 +58,20 @@ class PlistEntry:
 
     ts: Timestamp
     value_hash: bytes
+
+
+@dataclass(frozen=True)
+class FastCommitment:
+    """One fast-path prepare: the ``(t, h, C)`` a replica MAC-acked.
+
+    Recorded durably so a recovered replica still refuses to ack the same
+    predicted timestamp for a *different* ``(h, C)`` — the fast-path
+    analogue of the prepare-list conflict check.
+    """
+
+    ts: Timestamp
+    value_hash: bytes
+    commitment: bytes
 
 
 class LoggedMap:
@@ -119,6 +135,68 @@ class LoggedMap:
     def to_wire(self) -> dict[str, Any]:
         return {
             client: (entry.ts.to_wire(), entry.value_hash)
+            for client, entry in self._entries.items()
+        }
+
+
+class LoggedFastMap:
+    """A ``client -> FastCommitment`` mapping whose mutations hit the WAL.
+
+    The fast-path twin of :class:`LoggedMap`; entries additionally carry the
+    hash commitment so the conflict check survives crashes.
+    """
+
+    __slots__ = ("_store", "_entries")
+
+    def __init__(self, store: ReplicaStore) -> None:
+        self._store = store
+        self._entries: dict[str, FastCommitment] = {}
+
+    def get(self, client: str) -> Optional[FastCommitment]:
+        return self._entries.get(client)
+
+    def __setitem__(self, client: str, entry: FastCommitment) -> None:
+        self._store.append(
+            (
+                "fastc-set",
+                client,
+                entry.ts.to_wire(),
+                entry.value_hash,
+                entry.commitment,
+            )
+        )
+        self._entries[client] = entry
+        self._store.maybe_compact()
+
+    def __delitem__(self, client: str) -> None:
+        del self._entries[client]  # KeyError before logging a bogus delete
+        self._store.append(("fastc-del", client))
+        self._store.maybe_compact()
+
+    def __contains__(self, client: str) -> bool:
+        return client in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def items(self):
+        return self._entries.items()
+
+    def _set_silent(self, client: str, entry: FastCommitment) -> None:
+        self._entries[client] = entry
+
+    def _del_silent(self, client: str) -> None:
+        self._entries.pop(client, None)
+
+    def _clear_silent(self) -> None:
+        self._entries.clear()
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            client: (entry.ts.to_wire(), entry.value_hash, entry.commitment)
             for client, entry in self._entries.items()
         }
 
@@ -189,6 +267,7 @@ class DurableReplicaState:
         self._write_ts: Timestamp = ZERO_TS
         self.plist = LoggedMap(self.store, "plist")
         self.optlist = LoggedMap(self.store, "optlist") if optimized else None
+        self.fastc: Optional[LoggedFastMap] = None
         self.signed_write_replies = LoggedSet(self.store, "swr")
         self.signed_prepare_replies = LoggedSet(self.store, "spr")
         self.store.snapshot_source = self.snapshot_wire
@@ -229,6 +308,12 @@ class DurableReplicaState:
             self.optlist = LoggedMap(self.store, "optlist")
         return self.optlist
 
+    def ensure_fastc(self) -> LoggedFastMap:
+        """The fast-path commitment map, created on first use."""
+        if self.fastc is None:
+            self.fastc = LoggedFastMap(self.store)
+        return self.fastc
+
     # -- snapshots and fingerprints ---------------------------------------
 
     def snapshot_wire(self) -> dict[str, Any]:
@@ -239,6 +324,7 @@ class DurableReplicaState:
             "write_ts": self._write_ts.to_wire(),
             "plist": self.plist.to_wire(),
             "optlist": None if self.optlist is None else self.optlist.to_wire(),
+            "fastc": None if self.fastc is None else self.fastc.to_wire(),
             "swr": self.signed_write_replies.to_wire(),
             "spr": self.signed_prepare_replies.to_wire(),
         }
@@ -259,7 +345,10 @@ class DurableReplicaState:
         wire = self.snapshot_wire()
         wire["pcert"] = (self._pcert.ts.to_wire(), self._pcert.h)
         if not include_signing_logs:
-            del wire["swr"], wire["spr"]
+            # fastc is fast-path bookkeeping with no analogue in the signed
+            # variants, so it sits with the signing logs: excluded from the
+            # cross-variant fingerprint, restored for self-recovery checks.
+            del wire["swr"], wire["spr"], wire["fastc"]
         return hash_value(wire)
 
     # -- recovery ----------------------------------------------------------
@@ -273,6 +362,8 @@ class DurableReplicaState:
         self.plist._clear_silent()
         if self.optlist is not None:
             self.optlist._clear_silent()
+        if self.fastc is not None:
+            self.fastc._clear_silent()
         self.signed_write_replies._clear_silent()
         self.signed_prepare_replies._clear_silent()
         if snapshot is not None:
@@ -295,6 +386,16 @@ class DurableReplicaState:
             for client, (ts_wire, value_hash) in snapshot["optlist"].items():
                 optlist._set_silent(
                     client, PlistEntry(Timestamp.from_wire(ts_wire), value_hash)
+                )
+        # Pre-fast-path snapshots have no "fastc" key.
+        if snapshot.get("fastc") is not None:
+            fastc = self.ensure_fastc()
+            for client, (ts_wire, value_hash, commit) in snapshot["fastc"].items():
+                fastc._set_silent(
+                    client,
+                    FastCommitment(
+                        Timestamp.from_wire(ts_wire), value_hash, commit
+                    ),
                 )
         for (ts_wire,) in snapshot["swr"]:
             self.signed_write_replies._add_silent(Timestamp.from_wire(ts_wire))
@@ -321,6 +422,14 @@ class DurableReplicaState:
             )
         elif tag == "optlist-del":
             self.ensure_optlist()._del_silent(record[1])
+        elif tag == "fastc-set":
+            _, client, ts_wire, value_hash, commit = record
+            self.ensure_fastc()._set_silent(
+                client,
+                FastCommitment(Timestamp.from_wire(ts_wire), value_hash, commit),
+            )
+        elif tag == "fastc-del":
+            self.ensure_fastc()._del_silent(record[1])
         elif tag == "install":
             _, value, cert_wire = record
             cert = PrepareCertificate.from_wire(cert_wire)

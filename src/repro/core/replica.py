@@ -79,6 +79,7 @@ class ReplicaStats:
     replies: int = 0
     foreground_signs: int = 0
     background_signs: int = 0
+    vouch_signs: int = 0
     writes_installed: int = 0
 
     def discard(self, reason: str) -> None:
@@ -216,6 +217,24 @@ class BftBcReplica:
         self.signed_write_replies.add(self.pcert.ts)
         return self._sign(write_reply_statement(self.pcert.ts))
 
+    def _pvouch(self) -> Optional[Signature]:
+        """Fast-path hook: vouch for a proof-evidence ``pcert`` (base: none)."""
+        return None
+
+    def _certificate_valid(self, cert: PrepareCertificate) -> bool:
+        """Prepare-certificate acceptance hook.
+
+        The base replica accepts exactly what any third party would
+        (:meth:`~repro.core.verification.Verifier.certificate_valid`); the
+        fast replica overrides this to additionally accept proof evidence by
+        checking its own MAC column.
+        """
+        return self.verifier.certificate_valid(cert)
+
+    def _write_certificate_valid(self, wcert: WriteCertificate) -> bool:
+        """Write-certificate acceptance hook (see :meth:`_certificate_valid`)."""
+        return self.verifier.certificate_valid(wcert)
+
     def _apply_write_certificate(self, wcert: Optional[WriteCertificate]) -> bool:
         """Figure 2 phase-2 step 2: advance write_ts and prune prepare lists.
 
@@ -223,7 +242,7 @@ class BftBcReplica:
         """
         if wcert is None:
             return True
-        if not self.verifier.certificate_valid(wcert):
+        if not self._write_certificate_valid(wcert):
             self.stats.discard("bad-write-cert")
             return False
         self._state.advance_write_ts(wcert.ts)
@@ -288,6 +307,7 @@ class BftBcReplica:
             nonce=message.nonce,
             signature=signature,
             ts_vouch=self._ts_vouch(),
+            pvouch=self._pvouch(),
         )
 
     # -- phase 2: PREPARE ----------------------------------------------------
@@ -306,7 +326,7 @@ class BftBcReplica:
         if not self.verifier.verify_statement(message.signature, statement):
             self.stats.discard("bad-signature")
             return None
-        if not self.verifier.certificate_valid(message.prev_cert):
+        if not self._certificate_valid(message.prev_cert):
             self.stats.discard("bad-prepare-cert")
             return None
         # Timestamp succession: t = succ(prepC.ts, c).  This is what stops a
@@ -357,7 +377,7 @@ class BftBcReplica:
             self.stats.discard("bad-signature")
             return None
         cert = message.prepare_cert
-        if not self.verifier.certificate_valid(cert):
+        if not self._certificate_valid(cert):
             self.stats.discard("bad-prepare-cert")
             return None
         if cert.h != hash_value(message.value):
@@ -388,6 +408,7 @@ class BftBcReplica:
             nonce=message.nonce,
             signature=signature,
             ts_vouch=self._ts_vouch(),
+            pvouch=self._pvouch(),
         )
 
 

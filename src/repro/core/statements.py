@@ -33,6 +33,13 @@ __all__ = [
     "write_request_statement",
     "read_ts_prep_request_statement",
     "read_ts_prep_reply_statement",
+    "fast_prep_request_statement",
+    "fast_prep_ack_statement",
+    "fast_prep_reply_statement",
+    "fast_write_request_statement",
+    "fast_write_ack_statement",
+    "fast_write_reply_statement",
+    "fast_vouch_statement",
 ]
 
 
@@ -108,3 +115,78 @@ def read_ts_prep_reply_statement(
     """Envelope of the merged phase-1/2 reply (the transferable part is the
     inner ``PREPARE-REPLY`` signature; this binds the rest to the nonce)."""
     return ("READ-TS-PREP-REPLY", cert_wire, prepared_ts_wire, nonce)
+
+
+# -- fast path (signature-free proofs of writing) ---------------------------
+#
+# Fast-path statements are authenticated with pairwise MACs, never digital
+# signatures; the builders exist so every role MACs exactly the same bytes.
+
+
+def fast_prep_request_statement(
+    client: str,
+    value_hash: bytes,
+    commitment: bytes,
+    write_cert_wire: Any,
+    nonce: bytes,
+) -> tuple[Any, ...]:
+    """Body of the MAC-authenticated FAST-PREP request."""
+    return ("FAST-PREP", client, value_hash, commitment, write_cert_wire, nonce)
+
+
+def fast_prep_ack_statement(
+    prepared_ts_wire: Any, value_hash: bytes, commitment: bytes
+) -> tuple[Any, ...]:
+    """The acknowledgement each fast-prep MAC row covers (the transferable
+    part of the fast prepare, analogous to ``PREPARE-REPLY``)."""
+    return ("FAST-PREP-ACK", prepared_ts_wire, value_hash, commitment)
+
+
+def fast_prep_reply_statement(
+    replica: str,
+    client: str,
+    prepared_ts_wire: Any,
+    value_hash: bytes,
+    commitment: bytes,
+    nonce: bytes,
+) -> tuple[Any, ...]:
+    """Envelope of the fast-prep reply, MAC'd replica -> client."""
+    return (
+        "FAST-PREP-REPLY",
+        replica,
+        client,
+        prepared_ts_wire,
+        value_hash,
+        commitment,
+        nonce,
+    )
+
+
+def fast_write_request_statement(
+    client: str, ts_wire: Any, value_hash: bytes, commitment: bytes, nonce: bytes
+) -> tuple[Any, ...]:
+    """Body of the MAC-authenticated FAST-WRITE request (the value travels
+    outside the statement; its hash binds it)."""
+    return ("FAST-WRITE", client, ts_wire, value_hash, commitment, nonce)
+
+
+def fast_write_ack_statement(ts_wire: Any) -> tuple[Any, ...]:
+    """The acknowledgement each fast-write MAC row covers (the fast analogue
+    of ``WRITE-REPLY``)."""
+    return ("FAST-WRITE-ACK", ts_wire)
+
+
+def fast_write_reply_statement(
+    replica: str, client: str, ts_wire: Any, nonce: bytes
+) -> tuple[Any, ...]:
+    """Envelope of the fast-write reply, MAC'd replica -> client."""
+    return ("FAST-WRITE-REPLY", replica, client, ts_wire, nonce)
+
+
+def fast_vouch_statement(ts_wire: Any, value_hash: bytes) -> tuple[Any, ...]:
+    """A replica's *signed* vouch that it installed ``(ts, h)`` via the fast
+    path.  MAC rows are not transferable, so every point where fast-path
+    evidence must convince a third party (read-ts replies, fallback reads)
+    carries ``f+1`` of these instead; signing is lazy and off the write path.
+    """
+    return ("FAST-VOUCH", ts_wire, value_hash)

@@ -7,6 +7,14 @@ self-contained textbook RSA-FDH) behind one interface.
 """
 
 from repro.crypto.authenticators import MacAuthenticator
+from repro.crypto.commitments import (
+    ProofOfWriting,
+    make_commitment,
+    make_mac_row,
+    make_opening,
+    row_mac_for,
+    verify_opening,
+)
 from repro.crypto.hashing import DIGEST_SIZE, digest, digest_bytes, hash_value
 from repro.crypto.keys import KeyRegistry, PrivateCredential
 from repro.crypto.nonces import NonceSource, NonceTracker
@@ -33,4 +41,10 @@ __all__ = [
     "HmacSignatureScheme",
     "RsaSignatureScheme",
     "MacAuthenticator",
+    "ProofOfWriting",
+    "make_opening",
+    "make_commitment",
+    "verify_opening",
+    "make_mac_row",
+    "row_mac_for",
 ]

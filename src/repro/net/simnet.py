@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.core.messages import Message, message_from_wire, message_wire_bytes
 from repro.encoding import canonical_decode
@@ -158,6 +158,7 @@ class SimNetwork:
         self._link_overrides: dict[tuple[str, str], LinkProfile] = {}
         self._partitioned: set[tuple[str, str]] = set()
         self._crashed: set[str] = set()
+        self._blocked_kinds: dict[str, set[str]] = {}
         self.stats = NetworkStats()
         #: Optional observer called as ``tap(event, src, dst, message_kind)``
         #: with event in {"sent", "dropped", "corrupted", "delivered"}.
@@ -184,6 +185,26 @@ class SimNetwork:
     def heal(self, a: str, b: str) -> None:
         self._partitioned.discard((a, b))
         self._partitioned.discard((b, a))
+
+    def block_kinds(self, dst: str, kinds: "Iterable[str]") -> None:
+        """Drop inbound messages of the given KINDs at ``dst`` until
+        unblocked.  Models a selective outage (e.g. a middlebox filtering
+        the fast-path traffic) that forces clients onto the signed
+        fallback without touching other message types."""
+        self._blocked_kinds.setdefault(dst, set()).update(kinds)
+
+    def unblock_kinds(self, dst: str, kinds: "Iterable[str] | None" = None) -> None:
+        """Heal a selective block; ``kinds=None`` clears every block at
+        ``dst``."""
+        if kinds is None:
+            self._blocked_kinds.pop(dst, None)
+            return
+        blocked = self._blocked_kinds.get(dst)
+        if blocked is None:
+            return
+        blocked.difference_update(kinds)
+        if not blocked:
+            del self._blocked_kinds[dst]
 
     def crash(self, node_id: str) -> None:
         """Stop delivering anything to/from ``node_id`` (benign crash)."""
@@ -213,6 +234,9 @@ class SimNetwork:
             return
         if (src, dst) in self._partitioned:
             self._drop(src, dst, message.KIND, "partitioned")
+            return
+        if message.KIND in self._blocked_kinds.get(dst, ()):
+            self._drop(src, dst, message.KIND, "blocked-kind")
             return
         profile = self._link_overrides.get((src, dst), self.profile)
         if self._rng.random() < profile.drop_rate:

@@ -112,6 +112,34 @@ class FaultSchedule:
         )
         return self
 
+    def block_kinds(
+        self, time: float, dst: str, kinds: tuple[str, ...]
+    ) -> "FaultSchedule":
+        """Drop inbound messages of the given KINDs at ``dst`` from ``time``
+        on.  The fastpath chaos scenarios use this to filter FAST-PREP /
+        FAST-WRITE traffic and force clients onto the signed fallback."""
+        self.actions.append(
+            FaultAction(
+                time,
+                f"block {','.join(kinds)} -> {dst}",
+                lambda net: net.block_kinds(dst, kinds),
+            )
+        )
+        return self
+
+    def unblock_kinds(
+        self, time: float, dst: str, kinds: Optional[tuple[str, ...]] = None
+    ) -> "FaultSchedule":
+        """Heal a selective kind-block at ``dst`` (all kinds when None)."""
+        self.actions.append(
+            FaultAction(
+                time,
+                f"unblock {','.join(kinds) if kinds else '*'} -> {dst}",
+                lambda net: net.unblock_kinds(dst, kinds),
+            )
+        )
+        return self
+
     def degrade_link(
         self, time: float, src: str, dst: str, profile: LinkProfile
     ) -> "FaultSchedule":

@@ -33,6 +33,7 @@ class OperationSample:
     phases: int
     latency: float
     fast_path: bool = False
+    fell_back: bool = False
 
 
 @dataclass(frozen=True)
@@ -219,6 +220,14 @@ class MetricsCollector:
         if not writes:
             return 0.0
         return sum(1 for s in writes if s.fast_path) / len(writes)
+
+    def fallback_rate(self) -> float:
+        """Fraction of writes that abandoned the fast path for the signed
+        protocol (the fastpath variant's E20 counterpart to E10)."""
+        writes = self.by_kind("write")
+        if not writes:
+            return 0.0
+        return sum(1 for s in writes if s.fell_back) / len(writes)
 
     def per_client_counts(self) -> dict[str, int]:
         counts: dict[str, int] = defaultdict(int)

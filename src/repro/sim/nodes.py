@@ -253,6 +253,7 @@ class ClientNode:
                     phases=op.phases,
                     latency=latency,
                     fast_path=fast,
+                    fell_back=getattr(op, "fell_back", False),
                 )
             )
         if self._next_step >= len(self._script):

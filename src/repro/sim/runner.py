@@ -13,9 +13,15 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.core.batching import BatchCoalescer, BatchStats
-from repro.core.client import BftBcClient, OptimizedBftBcClient, StrongBftBcClient
+from repro.core.client import (
+    BftBcClient,
+    FastBftBcClient,
+    OptimizedBftBcClient,
+    StrongBftBcClient,
+)
 from repro.core.config import SystemConfig, Variant, make_system
 from repro.core.messages import wire_cache_stats
+from repro.core.fast_replica import FastBftBcReplica
 from repro.core.replica import BftBcReplica, OptimizedBftBcReplica
 from repro.net.simnet import LinkProfile, SimNetwork
 from repro.obs.instrumentation import Instrumentation
@@ -146,11 +152,15 @@ class Cluster:
     def _replica_class(self) -> type[BftBcReplica]:
         if self.options.variant == "optimized":
             return OptimizedBftBcReplica
+        if self.options.variant == "fastpath":
+            return FastBftBcReplica
         return BftBcReplica
 
     def _client_class(self) -> type[BftBcClient]:
         if self.options.variant == "optimized":
             return OptimizedBftBcClient
+        if self.options.variant == "fastpath":
+            return FastBftBcClient
         if self.options.variant == "strong":
             return StrongBftBcClient
         return BftBcClient

@@ -64,7 +64,7 @@ def _fingerprint(cluster) -> dict:
     }
 
 
-@pytest.mark.parametrize("variant", ["base", "optimized", "strong"])
+@pytest.mark.parametrize("variant", ["base", "optimized", "strong", "fastpath"])
 def test_single_object_variants_byte_identical(variant):
     def run(batching: bool) -> dict:
         cluster = build_cluster(

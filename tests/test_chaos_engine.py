@@ -68,6 +68,31 @@ class TestCampaignDeterminism:
         assert a.to_summary() == b.to_summary()
 
 
+class TestFastPathEpisodes:
+    def test_fastpath_campaign_survives_and_exercises_fallback(self):
+        """A fastpath-only campaign passes the full oracle battery, and the
+        planner's FAST-message blackouts actually force fallbacks in at
+        least one episode — the fallback path is chaos-tested, not idle."""
+        campaign = run_campaign(
+            CampaignConfig(seed=7, episodes=12, variants=("fastpath",))
+        )
+        assert not campaign.violations
+        assert any(r.plan.attack == "lurking-fast" for r in campaign.results)
+        blackouts = [
+            r
+            for r in campaign.results
+            if any(f["op"] == "block_kinds" for f in r.plan.faults)
+        ]
+        assert blackouts, "the planner must schedule FAST-message blackouts"
+        assert any(r.fallbacks > 0 for r in campaign.results)
+
+    def test_fallback_counter_is_zero_for_signed_variants(self):
+        plan = generate_plan(
+            CampaignConfig(seed=5, variants=("optimized",)), 0
+        )
+        assert run_episode(plan).fallbacks == 0
+
+
 class TestBugCatchAcceptance:
     def test_injected_bug_caught_and_minimized(self, tmp_path):
         """The ISSUE's acceptance bar: a ≤50-episode campaign catches the

@@ -1,0 +1,203 @@
+"""Property tests for the proof-of-writing commitment primitive.
+
+The fast path's safety rests on three properties of the commit/reveal
+scheme: the commitment binds (no second opening, even when a client reuses
+a nonce), verification rejects every mutated payload (no false accepts),
+and the wire form round-trips canonically.  Hypothesis drives all three.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import KeyRegistry, MacAuthenticator
+from repro.crypto.commitments import (
+    ProofOfWriting,
+    make_commitment,
+    make_mac_row,
+    make_opening,
+    row_mac_for,
+    verify_opening,
+)
+from repro.crypto.hashing import DIGEST_SIZE, hash_value
+from repro.errors import CertificateError
+
+clients = st.text(min_size=1, max_size=24)
+hashes = st.binary(min_size=DIGEST_SIZE, max_size=DIGEST_SIZE)
+nonces = st.binary(min_size=1, max_size=32)
+
+
+class TestOpeningBinding:
+    @given(client=clients, value_hash=hashes, nonce=nonces)
+    def test_opening_opens_its_commitment(self, client, value_hash, nonce):
+        opening = make_opening(client, value_hash, nonce)
+        assert verify_opening(make_commitment(opening), opening)
+
+    @given(
+        client=clients,
+        value_hash=hashes,
+        other_hash=hashes,
+        nonce=nonces,
+    )
+    def test_binding_under_nonce_reuse(
+        self, client, value_hash, other_hash, nonce
+    ):
+        """Reusing a nonce for a different value yields a different opening
+        and a different commitment — a Byzantine client cannot prepare one
+        commitment and later open it as two values."""
+        if value_hash == other_hash:
+            return
+        a = make_opening(client, value_hash, nonce)
+        b = make_opening(client, other_hash, nonce)
+        assert a != b
+        assert make_commitment(a) != make_commitment(b)
+        assert not verify_opening(make_commitment(a), b)
+        assert not verify_opening(make_commitment(b), a)
+
+    @given(
+        client=clients,
+        other_client=clients,
+        value_hash=hashes,
+        nonce=nonces,
+    )
+    def test_opening_bound_to_client(
+        self, client, other_client, value_hash, nonce
+    ):
+        """One client's revealed opening never opens another client's
+        commitment for the same value and nonce."""
+        if client == other_client:
+            return
+        mine = make_opening(client, value_hash, nonce)
+        theirs = make_opening(other_client, value_hash, nonce)
+        assert not verify_opening(make_commitment(mine), theirs)
+
+    @given(
+        client=clients,
+        value_hash=hashes,
+        nonce=nonces,
+        flip_index=st.integers(min_value=0, max_value=DIGEST_SIZE - 1),
+        flip_bit=st.integers(min_value=0, max_value=7),
+    )
+    def test_no_false_accept_on_mutated_opening(
+        self, client, value_hash, nonce, flip_index, flip_bit
+    ):
+        """Any single-bit mutation of the opening is rejected."""
+        opening = make_opening(client, value_hash, nonce)
+        commitment = make_commitment(opening)
+        mutated = bytearray(opening)
+        mutated[flip_index] ^= 1 << flip_bit
+        assert not verify_opening(commitment, bytes(mutated))
+
+    @given(opening=st.binary(max_size=64))
+    def test_wrong_length_openings_rejected(self, opening):
+        commitment = make_commitment(
+            make_opening("c", b"\0" * DIGEST_SIZE, b"n")
+        )
+        if len(opening) != DIGEST_SIZE:
+            assert not verify_opening(commitment, opening)
+
+    def test_non_bytes_rejected(self):
+        opening = make_opening("c", b"\0" * DIGEST_SIZE, b"n")
+        commitment = make_commitment(opening)
+        assert not verify_opening("nope", opening)
+        assert not verify_opening(commitment, None)
+
+
+def _auth() -> MacAuthenticator:
+    registry = KeyRegistry(master_seed=b"commitment-tests")
+    for node in ("replica:0", "replica:1", "replica:2", "client:c"):
+        registry.register(node)
+    return MacAuthenticator(registry)
+
+
+class TestMacRows:
+    def test_row_is_sorted_and_per_receiver(self):
+        auth = _auth()
+        row = make_mac_row(
+            auth, "client:c", ["replica:1", "replica:0"], b"stmt"
+        )
+        assert [r for r, _ in row] == ["replica:0", "replica:1"]
+        for receiver, mac in row:
+            assert auth.check("client:c", receiver, b"stmt", mac)
+
+    def test_row_mac_for_missing_receiver(self):
+        auth = _auth()
+        row = make_mac_row(auth, "client:c", ["replica:0"], b"stmt")
+        assert row_mac_for(row, "replica:2") is None
+
+    def test_count_valid_dedups_ackers(self):
+        auth = _auth()
+        message = b"acked-statement"
+        row = make_mac_row(auth, "replica:0", ["replica:1"], message)
+        proof = ProofOfWriting(
+            commitment=b"\0" * DIGEST_SIZE,
+            opening=b"\0" * DIGEST_SIZE,
+            rows=(("replica:0", row), ("replica:0", row)),
+        )
+        assert proof.count_valid_for(auth, "replica:1", message) == 1
+
+    def test_rows_are_receiver_specific(self):
+        """The documented non-transferability: a MAC addressed to replica 1
+        proves nothing to replica 2."""
+        auth = _auth()
+        message = b"acked-statement"
+        row = make_mac_row(auth, "replica:0", ["replica:1"], message)
+        proof = ProofOfWriting(
+            commitment=b"\0" * DIGEST_SIZE,
+            opening=b"\0" * DIGEST_SIZE,
+            rows=(("replica:0", row),),
+        )
+        assert proof.count_valid_for(auth, "replica:1", message) == 1
+        assert proof.count_valid_for(auth, "replica:2", message) == 0
+
+
+class TestProofWire:
+    @given(
+        client=clients,
+        value_hash=hashes,
+        nonce=nonces,
+        ackers=st.lists(
+            st.sampled_from(["replica:0", "replica:1", "replica:2"]),
+            unique=True,
+            min_size=0,
+            max_size=3,
+        ),
+    )
+    @settings(max_examples=50)
+    def test_wire_round_trip(self, client, value_hash, nonce, ackers):
+        auth = _auth()
+        opening = make_opening(client, value_hash, nonce)
+        statement = hash_value(("stmt", value_hash))
+        proof = ProofOfWriting(
+            commitment=make_commitment(opening),
+            opening=opening,
+            rows=tuple(
+                sorted(
+                    (acker, make_mac_row(auth, acker, ["replica:0"], statement))
+                    for acker in ackers
+                )
+            ),
+        )
+        restored = ProofOfWriting.from_wire(proof.to_wire())
+        assert restored == proof
+        assert restored.opens()
+        assert restored.ackers() == frozenset(ackers)
+
+    @pytest.mark.parametrize(
+        "wire",
+        [
+            None,
+            (),
+            (b"c", b"o"),
+            (b"c", b"o", b"rows"),
+            ("c", b"o", ()),
+            (b"c", b"o", ((b"not-str", ()),)),
+            (b"c", b"o", (("acker", b"not-tuple"),)),
+            (b"c", b"o", (("acker", ((b"r", b"m"),)),)),
+            (b"c", b"o", (("acker", (("r", "not-bytes"),)),)),
+        ],
+    )
+    def test_malformed_wire_raises(self, wire):
+        with pytest.raises(CertificateError):
+            ProofOfWriting.from_wire(wire)

@@ -22,7 +22,7 @@ from repro.spec import check_bft_linearizable
 from repro.storage import FileLogStore
 from repro.errors import SimulationError
 
-MAX_B = {"base": 1, "optimized": 2, "strong": 1}
+MAX_B = {"base": 1, "optimized": 2, "strong": 1, "fastpath": 2}
 
 #: Enough writes that several complete before the crash, some run during the
 #: outage, and at least one full write lands after the restart.
@@ -49,7 +49,7 @@ def fingerprints(cluster):
     }
 
 
-@pytest.mark.parametrize("variant", ["base", "optimized", "strong"])
+@pytest.mark.parametrize("variant", ["base", "optimized", "strong", "fastpath"])
 def test_crash_recovery_matches_fault_free_run(variant, tmp_path):
     baseline = run_workload(ClusterOptions(variant=variant, seed=7))
 

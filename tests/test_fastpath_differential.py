@@ -1,0 +1,200 @@
+"""Differential safety: the fast path must be observably equivalent to the
+signed optimized protocol it replaces.
+
+Two comparison regimes:
+
+* **Single-writer workloads** are timing-insensitive — every read returns
+  the writer's own latest value regardless of message schedules — so a
+  ``fastpath`` run and an ``optimized`` run of the same seeded script must
+  return *identical* per-operation results and converge every replica to
+  the same Figure-2 durable state (signing logs excluded: the two variants
+  legitimately sign different things).  We demand this under a clean
+  network and under a lossy/duplicating/reordering one, and under both the
+  HMAC and RSA signature schemes — the fast path's claim is a *cost*
+  claim, never a behavioural one.
+
+* **Concurrent workloads** diverge in interleaving (message timing differs
+  between the variants), so there we demand the invariants that survive
+  reordering: both runs linearize, both complete the same operations, and
+  each run's replicas converge to one common state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import CostModel
+from repro.net.simnet import LinkProfile
+from repro.sim import build_cluster
+from repro.sim.faults import FaultSchedule
+from repro.sim.runner import ClusterOptions
+from repro.spec import check_register_linearizable
+
+SOLO_SCRIPT = {
+    "alice": [
+        ("write", ("a", 0)),
+        ("read", None),
+        ("write", ("a", 1)),
+        ("write", ("a", 2)),
+        ("read", None),
+        ("write", ("a", 3)),
+        ("read", None),
+    ]
+}
+
+CONCURRENT_SCRIPTS = {
+    "alice": [("write", ("a", i)) for i in range(4)] + [("read", None)],
+    "bob": [("write", ("b", i)) for i in range(3)]
+    + [("read", None), ("write", ("b", 99))],
+}
+
+PROFILES = {
+    "reliable": LinkProfile(),
+    "faulty": LinkProfile(
+        min_delay=0.001,
+        max_delay=0.01,
+        drop_rate=0.1,
+        duplicate_rate=0.05,
+        reorder_rate=0.1,
+    ),
+}
+
+
+def run_variant(variant, profile, scheme="hmac", scripts=SOLO_SCRIPT, seed=90):
+    cluster = build_cluster(
+        ClusterOptions(
+            variant=variant,
+            seed=seed,
+            scheme=scheme,
+            profile=PROFILES[profile],
+        )
+    )
+    cluster.run_scripts(scripts, max_time=300)
+    cluster.settle(2.0)
+    return cluster
+
+
+def per_client_results(cluster) -> dict:
+    results: dict = {}
+    for op in cluster.history.operations():
+        results.setdefault(op.client, []).append((op.op, op.arg, op.result))
+    return results
+
+
+def fingerprints(cluster) -> dict:
+    return {
+        rid: replica.state_fingerprint(include_signing_logs=False)
+        for rid, replica in cluster.replicas.items()
+    }
+
+
+@pytest.mark.parametrize("profile", ["reliable", "faulty"])
+@pytest.mark.parametrize("scheme", ["hmac", "rsa"])
+def test_fastpath_equivalent_to_optimized(profile, scheme):
+    fast = run_variant("fastpath", profile, scheme)
+    signed = run_variant("optimized", profile, scheme)
+
+    # Same per-operation outcomes, op for op.
+    assert per_client_results(fast) == per_client_results(signed)
+
+    # Same converged durable state on every replica.
+    assert fingerprints(fast) == fingerprints(signed)
+
+    # Both runs linearize.
+    for cluster in (fast, signed):
+        report = check_register_linearizable(cluster.history)
+        assert report.ok, report.violation
+
+    # The equivalence is behavioural, not cost-wise: the fast run signs
+    # only for reads (reply signatures + lazy vouches), never for writes.
+    writes = sum(1 for k, _ in SOLO_SCRIPT["alice"] if k == "write")
+    model = CostModel(fast.config.quorums)
+    if profile == "reliable":
+        assert (
+            signed.config.scheme.stats.signs
+            >= writes * model.write_signature_ops("optimized")
+        )
+        # Whatever the fast run signed, it was for reads (reply signatures
+        # and lazy vouches) — never the per-write closed form.
+        assert (
+            fast.config.scheme.stats.signs
+            < writes * model.write_signature_ops("optimized")
+        )
+    assert fast.config.scheme.stats.signs < signed.config.scheme.stats.signs
+
+
+@pytest.mark.parametrize("profile", ["reliable", "faulty"])
+def test_concurrent_runs_share_invariants(profile):
+    fast = run_variant(
+        "fastpath", profile, scripts=CONCURRENT_SCRIPTS, seed=91
+    )
+    signed = run_variant(
+        "optimized", profile, scripts=CONCURRENT_SCRIPTS, seed=91
+    )
+    for cluster in (fast, signed):
+        report = check_register_linearizable(cluster.history)
+        assert report.ok, report.violation
+        # Every scripted operation completed.
+        ops = cluster.history.operations()
+        assert len(ops) == sum(len(s) for s in CONCURRENT_SCRIPTS.values())
+        assert all(op.complete for op in ops)
+        # A quorum of replicas agree on the installed value (prepare-list
+        # residue may legitimately differ replica to replica, and a
+        # minority replica may miss the final broadcast).
+        from collections import Counter
+
+        states = Counter(
+            (replica.write_ts, repr(replica.data))
+            for replica in cluster.replicas.values()
+        )
+        assert states.most_common(1)[0][1] >= cluster.config.quorum_size
+    # The same writes were issued in both runs (reads may interleave
+    # differently; writes are fixed by the scripts).
+    def writes_of(cluster):
+        return {
+            (op.client, op.arg)
+            for op in cluster.history.operations()
+            if op.op == "write"
+        }
+
+    assert writes_of(fast) == writes_of(signed)
+
+
+def test_fallback_still_equivalent():
+    """Even a run forced entirely onto the fallback path (fast messages
+    blocked at f+1 replicas) produces the optimized run's outcomes."""
+
+    def run(variant: str):
+        cluster = build_cluster(
+            ClusterOptions(variant=variant, seed=92, profile=PROFILES["faulty"])
+        )
+        if variant == "fastpath":
+            schedule = FaultSchedule()
+            for rid in cluster.config.quorums.replica_ids[:2]:
+                schedule.block_kinds(0.0, rid, ("FAST-PREP", "FAST-WRITE"))
+            cluster.install_faults(schedule)
+        cluster.run_scripts(SOLO_SCRIPT, max_time=300)
+        cluster.settle(2.0)
+        return cluster
+
+    fast, signed = run("fastpath"), run("optimized")
+    assert fast.metrics.fallback_rate() == 1.0
+    assert per_client_results(fast) == per_client_results(signed)
+    # Fast preps that were abandoned mid-operation leave prepare-list
+    # residue at the unblocked replicas, so full fingerprints legitimately
+    # differ here; the *installed* state must still match exactly.
+    def installed(cluster):
+        return {
+            rid: (
+                replica.write_ts,
+                repr(replica.data),
+                replica.pcert.ts,
+                replica.pcert.value_hash,
+            )
+            for rid, replica in cluster.replicas.items()
+        }
+
+    assert installed(fast) == installed(signed)
+    for cluster in (fast, signed):
+        report = check_register_linearizable(cluster.history)
+        assert report.ok, report.violation

@@ -9,7 +9,7 @@ from repro import LinkProfile, build_cluster
 from repro.sim import FaultSchedule, make_scripts, read_script, write_script
 from repro.spec import check_register_linearizable
 
-VARIANTS = ["base", "optimized", "strong"]
+VARIANTS = ["base", "optimized", "strong", "fastpath"]
 
 
 @pytest.mark.parametrize("variant", VARIANTS)
