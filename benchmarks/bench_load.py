@@ -1,0 +1,150 @@
+"""E21 — Open-loop production load at a million-client identity scale.
+
+Drives the :mod:`repro.load` harness through a throughput-vs-latency curve:
+four offered-load points around the analytical single-server capacity
+(:meth:`~repro.analysis.costs.CostModel.open_loop_capacity`), each point an
+independent open-loop run over a 10^5-identity universe walked sequentially
+so every point touches >= 10^5 *distinct* client identities.  The final
+point offers more than capacity, so the measured saturation throughput can
+be cross-checked against the closed form — the acceptance gate is agreement
+within 25%.
+
+Replicas are single-server queues (``service_delay`` per inbound frame);
+the optimized two-phase variant at a 50/50 read/write mix serves
+1.5 request frames per operation per replica, so with a 1 ms service time
+the predicted capacity is ~667 ops/s.  The network is reliable and the
+retransmission timer is parked far beyond the run, so queueing delay — not
+retry traffic — is what the latency percentiles measure.
+
+Results land in ``BENCH_throughput.json`` under ``e21_open_loop_curve``.
+
+Marked ``slow``: ~half a million simulated operations, tens of minutes of
+wall clock.  Excluded from tier-1 runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+import pytest
+
+from repro.analysis import format_table
+from repro.load import LoadProfile, SimLoadOptions, SimLoadHarness
+
+from benchmarks.conftest import run_once
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "tools"))
+import bench_record  # noqa: E402
+
+pytestmark = pytest.mark.slow
+
+IDENTITIES = 100_000
+ARRIVAL_TARGET = 105_000  # >= IDENTITIES so every point covers the universe
+SERVICE_DELAY = 0.001
+WRITE_FRACTION = 0.5
+VARIANT = "optimized"
+LOAD_POINTS = (0.3, 0.6, 0.9, 1.05)
+
+
+def _run_point(fraction: float, seed: int) -> dict:
+    """One open-loop run at ``fraction`` of the predicted capacity."""
+    # Capacity for optimized at a 50/50 mix: 1 / (1.5 * service_delay).
+    capacity = 1.0 / (
+        (WRITE_FRACTION * 2 + (1 - WRITE_FRACTION) * 1) * SERVICE_DELAY
+    )
+    rate = fraction * capacity
+    profile = LoadProfile(
+        rate=rate,
+        duration=ARRIVAL_TARGET / rate,
+        identities=IDENTITIES,
+        objects=64,
+        write_fraction=WRITE_FRACTION,
+        zipf_skew=1.1,
+        seed=seed,
+        identity_policy="sequential",
+    )
+    options = SimLoadOptions(
+        variant=VARIANT,
+        service_delay=SERVICE_DELAY,
+        # Reliable network: retransmissions would only distort the queueing
+        # measurement, so the timer is parked beyond any real latency.
+        retransmit_interval=30.0,
+        drain=60.0,
+    )
+    started = time.perf_counter()
+    report = SimLoadHarness(profile, options).run()
+    wall = time.perf_counter() - started
+    return {
+        "offered_fraction": fraction,
+        "offered_rate": round(report.offered_rate, 1),
+        "arrivals": report.arrivals,
+        "completed": report.completed,
+        "failed": report.failed,
+        "distinct_identities": report.distinct_identities,
+        "achieved_throughput": round(report.achieved_throughput, 1),
+        "utilization": round(report.utilization, 3),
+        "write_p50_ms": round(report.write_p50 * 1000, 2),
+        "write_p95_ms": round(report.write_p95 * 1000, 2),
+        "write_p99_ms": round(report.write_p99 * 1000, 2),
+        "read_p95_ms": round(report.read_p95 * 1000, 2),
+        "completion": round(report.completion_fraction, 4),
+        "predicted_capacity": round(report.predicted_capacity, 1),
+        "tracked_entries": report.identity["tracked_entries"],
+        "registry_evictions": report.identity["registry_evictions"],
+        "client_state_spills": report.identity["client_state_spills"],
+        "wall_seconds": round(wall, 1),
+    }
+
+
+def test_e21_open_loop_curve(benchmark):
+    def experiment() -> dict:
+        points = [
+            _run_point(fraction, seed=1600 + index)
+            for index, fraction in enumerate(LOAD_POINTS)
+        ]
+        predicted = points[0]["predicted_capacity"]
+        saturated = points[-1]
+        measured = saturated["achieved_throughput"]
+        error = abs(measured - predicted) / predicted
+        return {
+            "variant": VARIANT,
+            "write_fraction": WRITE_FRACTION,
+            "service_delay": SERVICE_DELAY,
+            "identities": IDENTITIES,
+            "points": points,
+            "predicted_capacity": predicted,
+            "measured_capacity": measured,
+            "capacity_error": round(error, 4),
+        }
+
+    result = run_once(benchmark, experiment)
+    bench_record.record("e21_open_loop_curve", result)
+
+    print(
+        format_table(
+            ["offered/cap", "offered/s", "achieved/s", "write p95 ms",
+             "write p99 ms", "completion", "distinct ids"],
+            [
+                [p["offered_fraction"], p["offered_rate"],
+                 p["achieved_throughput"], p["write_p95_ms"],
+                 p["write_p99_ms"], p["completion"],
+                 p["distinct_identities"]]
+                for p in result["points"]
+            ],
+            title=(
+                f"E21 open-loop curve ({VARIANT}, predicted capacity "
+                f"{result['predicted_capacity']}/s, measured "
+                f"{result['measured_capacity']}/s)"
+            ),
+        )
+    )
+
+    for point in result["points"]:
+        assert point["distinct_identities"] >= 100_000
+    # Underloaded points keep up with the offered rate and finish everything.
+    for point in result["points"][:-1]:
+        assert point["completion"] == 1.0
+    # The saturated point pins the closed form within the acceptance band.
+    assert result["capacity_error"] <= 0.25

@@ -6,10 +6,12 @@ two-phase optimized protocol (§6), the strong BFT-linearizable+ variant
 (§7), the BQS and Phalanx baselines it compares against, the §4 correctness
 conditions as executable checkers, a deterministic simulation harness, an
 asyncio TCP deployment, a seed-deterministic chaos campaign engine with
-invariant oracles and auto-minimized repro artifacts, and a sharding layer
+invariant oracles and auto-minimized repro artifacts, a sharding layer
 (consistent-hash placement over many replica groups with online Byzantine
 reconfiguration — epoch changes installed by quorum-signed directory
-entries, never consensus).
+entries, never consensus), and an open-loop production load harness
+(Poisson arrivals and zipfian popularity over 10^5–10^6 lazily-keyed client
+identities, judged against SLO targets and the analytical capacity model).
 
 This module is the supported public API: everything an example, benchmark,
 or downstream user needs is importable from ``repro`` directly.  Deeper
@@ -71,7 +73,25 @@ from repro.core import (
     ZERO_TS,
     make_system,
 )
+from repro.core.config import (
+    AccessPolicy,
+    ExplicitWriters,
+    NamespaceWriters,
+    PredicateWriters,
+)
+from repro.core.persistence import ClientStateBudget, ClientStateTable
 from repro.crypto.commitments import ProofOfWriting
+from repro.load import (
+    BurstPhase,
+    DEFAULT_SLOS,
+    LoadProfile,
+    LoadReport,
+    OpenLoopGenerator,
+    SimLoadOptions,
+    SloTarget,
+    run_open_loop,
+    run_tcp_load,
+)
 from repro.net.asyncio_transport import AsyncClient, ReplicaServer
 from repro.net.shard_transport import AsyncShardRouter, ShardReplicaServer
 from repro.net.simnet import LinkProfile, SimNetwork
@@ -139,6 +159,23 @@ __all__ = [
     "ProofOfWriting",
     "MultiObjectClient",
     "MultiObjectReplica",
+    # identity-layer scale: access policies and per-client state budgets
+    "AccessPolicy",
+    "ExplicitWriters",
+    "NamespaceWriters",
+    "PredicateWriters",
+    "ClientStateBudget",
+    "ClientStateTable",
+    # open-loop production load harness (E21)
+    "LoadProfile",
+    "BurstPhase",
+    "LoadReport",
+    "SloTarget",
+    "DEFAULT_SLOS",
+    "OpenLoopGenerator",
+    "SimLoadOptions",
+    "run_open_loop",
+    "run_tcp_load",
     # sharding and online reconfiguration
     "HashRing",
     "ShardConfig",

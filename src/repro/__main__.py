@@ -16,6 +16,9 @@ Commands:
   a replayable artifact), ``chaos replay`` re-executes an artifact, and
   ``chaos tcp`` runs the byte-mangling proxy campaign against the real
   transport.
+* ``load``      — open-loop production load (Poisson arrivals, zipfian
+  popularity, huge cold identity universe) judged against SLO targets, on
+  the virtual-time simulator or over real TCP (``--tcp``).
 """
 
 from __future__ import annotations
@@ -423,6 +426,72 @@ def cmd_shard(args: argparse.Namespace) -> int:
     return 0 if outcome.matches else 1
 
 
+def cmd_load(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.persistence import ClientStateBudget
+    from repro.load import LoadProfile, run_open_loop, run_tcp_load
+
+    profile_kwargs = dict(
+        identities=args.identities,
+        objects=args.objects,
+        write_fraction=args.write_fraction,
+        zipf_skew=args.zipf_skew,
+        seed=args.seed,
+        identity_policy=args.identity_policy,
+    )
+    if args.burst > 1.0:
+        profile = LoadProfile.bursty(
+            args.rate, args.duration,
+            burst_multiplier=args.burst, **profile_kwargs,
+        )
+    else:
+        profile = LoadProfile.sustained(
+            args.rate, args.duration, **profile_kwargs
+        )
+    budget = (
+        ClientStateBudget(hot_entries=args.budget) if args.budget else None
+    )
+    if args.tcp:
+        report = run_tcp_load(
+            profile, f=args.f, variant=args.variant, budget=budget
+        )
+    else:
+        report = run_open_loop(
+            profile,
+            f=args.f,
+            variant=args.variant,
+            service_delay=args.service_delay,
+            budget=budget,
+            secret_cache=args.secret_cache,
+        )
+    if args.json:
+        print(json.dumps(report.to_wire(), indent=2, sort_keys=True))
+        return 0 if report.slo_ok else 1
+    mode = "tcp (wall clock)" if args.tcp else "sim (virtual time)"
+    print(f"open-loop load on {mode}: variant={args.variant}, f={args.f}")
+    print(f"  arrivals {report.arrivals} (offered {report.offered_rate:.0f}/s), "
+          f"completed {report.completed}, failed {report.failed}")
+    print(f"  distinct identities {report.distinct_identities} "
+          f"of a {profile.identities}-identity universe")
+    if report.predicted_capacity != float("inf"):
+        print(f"  predicted capacity {report.predicted_capacity:.0f}/s "
+              f"(utilization {report.utilization:.0%})")
+    print(f"  write p50/p95/p99: {report.write_p50 * 1000:.1f} / "
+          f"{report.write_p95 * 1000:.1f} / {report.write_p99 * 1000:.1f} ms")
+    print(f"  read  p50/p95/p99: {report.read_p50 * 1000:.1f} / "
+          f"{report.read_p95 * 1000:.1f} / {report.read_p99 * 1000:.1f} ms")
+    for key, value in sorted(report.identity.items()):
+        print(f"  identity.{key}: {value}")
+    for verdict in report.slos:
+        mark = "ok" if verdict.ok else "VIOLATED"
+        bound = ">=" if verdict.metric == "completion" else "<="
+        print(f"  slo {verdict.metric} {bound} {verdict.limit}: "
+              f"observed {verdict.observed:.4f} [{mark}]")
+    print("SLOs met" if report.slo_ok else "SLOs VIOLATED")
+    return 0 if report.slo_ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -538,6 +607,34 @@ def main(argv: list[str] | None = None) -> int:
     shard_replay.add_argument("artifact", help="path to a shard artifact JSON")
     shard_replay.add_argument("--json", action="store_true")
 
+    load = sub.add_parser(
+        "load", help="open-loop production load judged against SLOs"
+    )
+    load.add_argument("--rate", type=float, default=400.0,
+                      help="base arrival rate, operations per second")
+    load.add_argument("--duration", type=float, default=5.0,
+                      help="arrival window, seconds")
+    load.add_argument("--identities", type=int, default=10_000,
+                      help="size of the client identity universe")
+    load.add_argument("--objects", type=int, default=32)
+    load.add_argument("--write-fraction", type=float, default=0.5)
+    load.add_argument("--zipf-skew", type=float, default=1.1)
+    load.add_argument("--identity-policy",
+                      choices=("sequential", "uniform"), default="sequential")
+    load.add_argument("--burst", type=float, default=1.0,
+                      help="burst rate multiplier (>1 adds a centred spike)")
+    load.add_argument("--variant", choices=VARIANT_CHOICES, default="optimized")
+    load.add_argument("--service-delay", type=float, default=0.0005,
+                      help="per-frame replica service time (sim only)")
+    load.add_argument("--budget", type=int, default=0,
+                      help="per-map hot-entry budget for client state "
+                           "(0 = unbounded)")
+    load.add_argument("--secret-cache", type=int, default=None,
+                      help="registry derived-secret LRU capacity (sim only)")
+    load.add_argument("--tcp", action="store_true",
+                      help="run over real loopback TCP instead of the simulator")
+    load.add_argument("--json", action="store_true")
+
     args = parser.parse_args(argv)
     handlers = {
         "demo": cmd_demo,
@@ -549,6 +646,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": cmd_serve,
         "chaos": cmd_chaos,
         "shard": cmd_shard,
+        "load": cmd_load,
     }
     return handlers[args.command](args)
 

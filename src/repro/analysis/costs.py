@@ -410,3 +410,63 @@ class CostModel:
         return self.workload_frames_unbatched(objects) / self.workload_frames_batched(
             objects, in_flight
         )
+
+    # -- open-loop capacity (E21) ------------------------------------------
+
+    def request_frames_per_replica(
+        self, variant: str = "base", *, write_fraction: float = 1.0
+    ) -> float:
+        """Request frames each replica serves per operation, normal case.
+
+        Every phase of an operation is one client request fan-out, and each
+        replica processes exactly one inbound frame per phase (replies are
+        sends, not served work).  A write costs the variant's normal-case
+        phase count; a read costs its single phase-1 request.
+        """
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError(f"write_fraction {write_fraction} out of range")
+        write_frames = WRITE_PHASES[variant][0]
+        read_frames = READ_PHASES[0]
+        return write_fraction * write_frames + (1.0 - write_fraction) * read_frames
+
+    def open_loop_capacity(
+        self,
+        service_delay: float,
+        variant: str = "base",
+        *,
+        write_fraction: float = 1.0,
+    ) -> float:
+        """Saturation throughput (ops/s) of an open-loop arrival stream.
+
+        Each replica is a single-server queue spending ``service_delay``
+        per inbound request frame, and every replica sees every frame (the
+        client broadcasts each phase), so the group saturates together at
+
+            capacity = 1 / (frames_per_op_per_replica × service_delay).
+
+        Offered load above this diverges (queues grow without bound — the
+        open-loop meltdown the E21 curve shows); below it, throughput
+        tracks the offered rate.
+        """
+        if service_delay <= 0:
+            return float("inf")
+        frames = self.request_frames_per_replica(
+            variant, write_fraction=write_fraction
+        )
+        return 1.0 / (frames * service_delay)
+
+    def open_loop_utilization(
+        self,
+        offered_rate: float,
+        service_delay: float,
+        variant: str = "base",
+        *,
+        write_fraction: float = 1.0,
+    ) -> float:
+        """Replica utilisation ρ at the offered rate (ρ ≥ 1 ⇒ unstable)."""
+        capacity = self.open_loop_capacity(
+            service_delay, variant, write_fraction=write_fraction
+        )
+        if capacity == float("inf"):
+            return 0.0
+        return offered_rate / capacity

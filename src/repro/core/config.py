@@ -9,9 +9,11 @@ strict-stop access control, §7 strong mode).
 from __future__ import annotations
 
 import enum
+from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Callable, Iterable, Optional, Union
 
+from repro.core.persistence import ClientStateBudget
 from repro.core.quorum import QuorumSystem
 from repro.core.verification import Verifier
 from repro.crypto.authenticators import MacAuthenticator
@@ -23,7 +25,127 @@ from repro.crypto.signatures import (
 )
 from repro.errors import QuorumConfigError
 
-__all__ = ["Variant", "SystemConfig", "make_system"]
+__all__ = [
+    "Variant",
+    "AccessPolicy",
+    "ExplicitWriters",
+    "NamespaceWriters",
+    "PredicateWriters",
+    "SystemConfig",
+    "make_system",
+]
+
+
+class AccessPolicy(ABC):
+    """Pluggable write-authorisation rule behind ``authorized_writers``.
+
+    The paper's ACL (§4.1.1) is a set of principals, but a million-writer
+    deployment cannot materialise a million-entry set.  A policy answers
+    membership queries instead: :class:`ExplicitWriters` is the classic set,
+    :class:`NamespaceWriters` admits whole id prefixes in O(1) memory, and
+    :class:`PredicateWriters` wraps an arbitrary callable.  All three keep
+    *denials* exact — like key revocation, retraction is rare and must never
+    be evicted or approximated.
+    """
+
+    @abstractmethod
+    def allows(self, client: str) -> bool:
+        """Whether ``client`` may write."""
+
+    @abstractmethod
+    def authorize(self, client: str) -> None:
+        """Grant ``client`` write access (idempotent)."""
+
+    @abstractmethod
+    def retract(self, client: str) -> None:
+        """Withdraw ``client``'s write access (idempotent)."""
+
+
+class ExplicitWriters(AccessPolicy, set):
+    """The classic explicit ACL: a real ``set`` of authorised ids.
+
+    Subclasses ``set`` so existing code (and tests) that compare
+    ``config.authorized_writers == {"client:a"}`` or mutate it with
+    ``add``/``discard`` keep working unchanged.
+    """
+
+    def allows(self, client: str) -> bool:
+        return client in self
+
+    def authorize(self, client: str) -> None:
+        self.add(client)
+
+    def retract(self, client: str) -> None:
+        self.discard(client)
+
+
+class NamespaceWriters(AccessPolicy):
+    """Authorise every id starting with one of the given prefixes.
+
+    Resident memory is O(prefixes + exceptions), not O(writers): a load
+    harness admitting ``load:w000000`` … ``load:w999999`` holds one prefix.
+    Explicit grants outside the namespaces land in ``extra``; retractions
+    land in the exact ``denied`` set, which always wins.
+    """
+
+    def __init__(
+        self,
+        prefixes: Union[str, Iterable[str]],
+        *,
+        extra: Iterable[str] = (),
+        denied: Iterable[str] = (),
+    ) -> None:
+        if isinstance(prefixes, str):
+            prefixes = (prefixes,)
+        self.prefixes: tuple[str, ...] = tuple(prefixes)
+        self.extra: set[str] = set(extra)
+        self.denied: set[str] = set(denied)
+
+    def allows(self, client: str) -> bool:
+        if client in self.denied:
+            return False
+        if client in self.extra:
+            return True
+        return bool(self.prefixes) and client.startswith(self.prefixes)
+
+    def authorize(self, client: str) -> None:
+        self.denied.discard(client)
+        if not (self.prefixes and client.startswith(self.prefixes)):
+            self.extra.add(client)
+
+    def retract(self, client: str) -> None:
+        self.extra.discard(client)
+        self.denied.add(client)
+
+    def __repr__(self) -> str:
+        return (
+            f"NamespaceWriters(prefixes={self.prefixes!r}, "
+            f"extra={len(self.extra)}, denied={len(self.denied)})"
+        )
+
+
+class PredicateWriters(AccessPolicy):
+    """Authorise by arbitrary predicate, with exact grant/denial overrides."""
+
+    def __init__(self, predicate: Callable[[str], bool]) -> None:
+        self.predicate = predicate
+        self.extra: set[str] = set()
+        self.denied: set[str] = set()
+
+    def allows(self, client: str) -> bool:
+        if client in self.denied:
+            return False
+        if client in self.extra:
+            return True
+        return bool(self.predicate(client))
+
+    def authorize(self, client: str) -> None:
+        self.denied.discard(client)
+        self.extra.add(client)
+
+    def retract(self, client: str) -> None:
+        self.extra.discard(client)
+        self.denied.add(client)
 
 
 class Variant(str, enum.Enum):
@@ -83,8 +205,15 @@ class SystemConfig:
             O(|Q|) message count assumes ("three RPCs to a quorum of
             replicas"); off by default because broadcasting to all 3f+1 is
             more robust to slow replicas.
-        authorized_writers: the access-control list.  ``None`` authorises
-            every registered client.
+        authorized_writers: the write-authorisation rule.  ``None``
+            authorises every registered client.  Accepts a plain ``set`` /
+            ``frozenset`` (the classic ACL), an :class:`AccessPolicy`
+            (explicit, namespace, or predicate), or a bare callable
+            ``client_id -> bool``.
+        client_state_budget: optional per-replica budget for per-client
+            protocol state (``plist``/``optlist``/``fastc``); inactive
+            clients spill to the WAL-backed store and rehydrate on demand.
+            ``None`` keeps every entry resident (the classic behaviour).
         verification_cache: enable the memoizing verification pipeline
             (:mod:`repro.core.verification`); disable for the uncached
             ablation arm of experiment E4d.
@@ -103,7 +232,10 @@ class SystemConfig:
     strict_stop: bool = False
     piggyback_write_certs: bool = False
     prefer_quorum: bool = False
-    authorized_writers: Optional[set[str]] = field(default=None)
+    authorized_writers: Optional[
+        Union[AccessPolicy, set[str], frozenset[str], Callable[[str], bool]]
+    ] = field(default=None)
+    client_state_budget: Optional[ClientStateBudget] = None
     verification_cache: bool = True
     verifier: Optional[Verifier] = None
     #: Pairwise MAC authenticator for the fast path's signature-free
@@ -133,23 +265,47 @@ class SystemConfig:
         return self.quorums.quorum_size
 
     def is_authorized_writer(self, client: str) -> bool:
-        """ACL check used by replicas on signed client requests."""
+        """Authorisation check used by replicas on signed client requests.
+
+        Every request path — base client, replica, fast path, shard router —
+        funnels through here, so swapping the policy object changes the rule
+        everywhere at once.
+        """
         if not self.registry.is_registered(client):
             return False
-        if self.authorized_writers is None:
+        policy = self.authorized_writers
+        if policy is None:
             return True
-        return client in self.authorized_writers
+        if isinstance(policy, AccessPolicy):
+            return policy.allows(client)
+        if isinstance(policy, (set, frozenset)):
+            return client in policy
+        if callable(policy):
+            return bool(policy(client))
+        return client in policy
 
     def authorize_writer(self, client: str) -> None:
         if self.authorized_writers is None:
-            self.authorized_writers = set()
-        self.authorized_writers.add(client)
+            self.authorized_writers = ExplicitWriters()
+        policy = self.authorized_writers
+        if isinstance(policy, AccessPolicy):
+            policy.authorize(client)
+        elif isinstance(policy, set):
+            policy.add(client)
+        else:
+            raise QuorumConfigError(
+                "cannot grant into a read-only writer policy "
+                f"({type(policy).__name__}); use an AccessPolicy"
+            )
 
     def revoke_writer(self, client: str) -> None:
-        """Administrative stop: revoke the key and drop ACL membership."""
+        """Administrative stop: revoke the key and retract write access."""
         self.registry.revoke(client)
-        if self.authorized_writers is not None:
-            self.authorized_writers.discard(client)
+        policy = self.authorized_writers
+        if isinstance(policy, AccessPolicy):
+            policy.retract(client)
+        elif isinstance(policy, set):
+            policy.discard(client)
 
 
 def make_system(
@@ -165,6 +321,11 @@ def make_system(
     piggyback_write_certs: bool = False,
     prefer_quorum: bool = False,
     verification_cache: bool = True,
+    authorized_writers: Optional[
+        Union[AccessPolicy, set[str], frozenset[str], Callable[[str], bool]]
+    ] = None,
+    client_state_budget: Optional[ClientStateBudget] = None,
+    secret_cache: Optional[int] = None,
 ) -> SystemConfig:
     """Build a ready-to-use configuration with registered replica keys.
 
@@ -174,13 +335,20 @@ def make_system(
             RSA-FDH with public-key verification).
         seed: master seed for deterministic key derivation.
         quorums: override the quorum system (e.g. for Phalanx baselines).
+        secret_cache: capacity of the registry's derived-secret LRU;
+            ``None`` keeps the :class:`~repro.crypto.keys.KeyRegistry`
+            default.  The load experiments size this per arm (tiny for the
+            budgeted run, effectively unbounded for the baseline).
 
     Returns:
         A :class:`SystemConfig` with all replica keys already registered;
         clients register via ``config.registry.register(client_id)``.
     """
     quorum_system = quorums if quorums is not None else QuorumSystem.bft_bc(f)
-    registry = KeyRegistry(master_seed=seed)
+    if secret_cache is None:
+        registry = KeyRegistry(master_seed=seed)
+    else:
+        registry = KeyRegistry(master_seed=seed, secret_cache=secret_cache)
     if scheme == "hmac":
         signature_scheme: SignatureScheme = HmacSignatureScheme(registry)
     elif scheme == "rsa":
@@ -200,4 +368,6 @@ def make_system(
         piggyback_write_certs=piggyback_write_certs,
         prefer_quorum=prefer_quorum,
         verification_cache=verification_cache,
+        authorized_writers=authorized_writers,
+        client_state_budget=client_state_budget,
     )

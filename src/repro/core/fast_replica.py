@@ -396,6 +396,4 @@ class FastBftBcReplica(OptimizedBftBcReplica):
 
     def _gc_prepare_lists(self) -> None:
         super()._gc_prepare_lists()
-        stale = [c for c, e in self.fastc.items() if e.ts <= self.write_ts]
-        for c in stale:
-            del self.fastc[c]
+        self.fastc.gc_stale(self.write_ts)

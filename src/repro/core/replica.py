@@ -111,7 +111,11 @@ class BftBcReplica:
         self.verifier = self.instrumentation.wrap_verifier(config.verifier)
         #: All Figure-2 state, write-ahead logged through the store
         #: (wrapped for ``store.*`` sub-timings when instrumented).
-        self._state = DurableReplicaState(self.instrumentation.wrap_store(store))
+        self._state = DurableReplicaState(
+            self.instrumentation.wrap_store(store),
+            budget=config.client_state_budget,
+            gc_stale=config.gc_plist,
+        )
         self.stats = ReplicaStats()
         # §3.3.2: WRITE-REPLY signatures pre-computed at prepare time.
         # Volatile by design — a recovered replica simply re-signs.
@@ -140,6 +144,11 @@ class BftBcReplica:
     def plist(self):
         """At most one proposed write ``(t, h)`` per client (logged map)."""
         return self._state.plist
+
+    @property
+    def client_state(self):
+        """The per-client maps and their budget accounting (E21)."""
+        return self._state.client_state
 
     @property
     def signed_write_replies(self):
@@ -251,9 +260,9 @@ class BftBcReplica:
         return True
 
     def _gc_prepare_lists(self) -> None:
-        stale = [c for c, e in self.plist.items() if e.ts <= self.write_ts]
-        for c in stale:
-            del self.plist[c]
+        # Scans only hot entries; spilled ones are collected lazily against
+        # the same (monotone) cutoff — see repro.core.persistence.
+        self.plist.gc_stale(self.write_ts)
 
     # -- dispatch ----------------------------------------------------------
 
@@ -442,9 +451,7 @@ class OptimizedBftBcReplica(BftBcReplica):
 
     def _gc_prepare_lists(self) -> None:
         super()._gc_prepare_lists()
-        stale = [c for c, e in self.optlist.items() if e.ts <= self.write_ts]
-        for c in stale:
-            del self.optlist[c]
+        self.optlist.gc_stale(self.write_ts)
 
     def _handle_read_ts_prep(
         self, message: ReadTsPrepRequest

@@ -66,6 +66,11 @@ class VerificationStats:
         backend_verifies: calls that reached the wrapped scheme's ``verify``.
         certificate_checks: certificate validations requested.
         certificate_hits: certificate validations answered from the memo.
+        signature_evictions: signature-memo entries dropped by the global
+            LRU capacity.
+        signer_evictions: signature-memo entries dropped because one signer
+            exceeded its per-identity budget (E21 memory accounting).
+        certificate_evictions: certificate-memo entries dropped by capacity.
     """
 
     signature_checks: int = 0
@@ -73,6 +78,9 @@ class VerificationStats:
     backend_verifies: int = 0
     certificate_checks: int = 0
     certificate_hits: int = 0
+    signature_evictions: int = 0
+    signer_evictions: int = 0
+    certificate_evictions: int = 0
 
     @property
     def signature_hit_rate(self) -> float:
@@ -95,6 +103,9 @@ class VerificationStats:
         self.backend_verifies = 0
         self.certificate_checks = 0
         self.certificate_hits = 0
+        self.signature_evictions = 0
+        self.signer_evictions = 0
+        self.certificate_evictions = 0
 
 
 class Verifier:
@@ -112,6 +123,10 @@ class Verifier:
         quorums: quorum system certificates are validated against.
         max_signatures: signature-memo capacity (LRU eviction beyond it).
         max_certificates: certificate-memo capacity.
+        max_signatures_per_signer: per-identity budget within the signature
+            memo; one chatty (or Byzantine) client cannot monopolise the
+            memo by churning distinct statements.  ``None`` disables the
+            per-signer budget, leaving only the global capacity.
         enabled: when False, every check passes straight through to the
             backend (the ablation arm of experiment E4d).
     """
@@ -123,6 +138,7 @@ class Verifier:
         *,
         max_signatures: int = 8192,
         max_certificates: int = 2048,
+        max_signatures_per_signer: "int | None" = 512,
         enabled: bool = True,
     ) -> None:
         self.scheme = scheme
@@ -131,10 +147,15 @@ class Verifier:
         self.stats = VerificationStats()
         self._max_signatures = max_signatures
         self._max_certificates = max_certificates
+        self._max_per_signer = max_signatures_per_signer
         self._signature_memo: OrderedDict[tuple[bytes, str, bytes], bool] = (
             OrderedDict()
         )
         self._certificate_memo: OrderedDict[bytes, bool] = OrderedDict()
+        # Per-signer index into the signature memo: signer -> its memo keys
+        # in insertion order.  Lets the per-identity budget evict that
+        # signer's oldest entry in O(1) instead of scanning the whole memo.
+        self._by_signer: dict[str, "OrderedDict[tuple[bytes, str, bytes], None]"] = {}
 
     # -- signature layer ---------------------------------------------------
 
@@ -165,7 +186,7 @@ class Verifier:
         # registering the signer later would flip False to the real answer,
         # so never memoize it.
         if self.scheme.registry.is_registered(signature.signer):
-            self._remember(self._signature_memo, key, verdict, self._max_signatures)
+            self._remember_signature(key, verdict)
         return verdict
 
     # -- certificate layer -------------------------------------------------
@@ -192,7 +213,11 @@ class Verifier:
         # Only positive verdicts are cached: an invalid certificate can
         # become valid once its signers register, and revalidating garbage
         # is cheap because its signature checks still hit the memo.
-        self._remember(self._certificate_memo, key, True, self._max_certificates)
+        self._certificate_memo[key] = True
+        self._certificate_memo.move_to_end(key)
+        while len(self._certificate_memo) > self._max_certificates:
+            self._certificate_memo.popitem(last=False)
+            self.stats.certificate_evictions += 1
 
     def certificate_valid(self, cert: _Certificate) -> bool:
         """Boolean form of :meth:`validate_certificate`."""
@@ -215,16 +240,37 @@ class Verifier:
 
     # -- internals ---------------------------------------------------------
 
-    @staticmethod
-    def _remember(
-        memo: "OrderedDict[Any, bool]", key: Any, verdict: bool, capacity: int
+    def _remember_signature(
+        self, key: tuple[bytes, str, bytes], verdict: bool
     ) -> None:
+        memo = self._signature_memo
         memo[key] = verdict
         memo.move_to_end(key)
-        while len(memo) > capacity:
-            memo.popitem(last=False)
+        signer = key[1]
+        per_signer = self._by_signer.setdefault(signer, OrderedDict())
+        per_signer[key] = None
+        per_signer.move_to_end(key)
+        if self._max_per_signer is not None:
+            while len(per_signer) > self._max_per_signer:
+                old_key, _ = per_signer.popitem(last=False)
+                memo.pop(old_key, None)
+                self.stats.signer_evictions += 1
+        while len(memo) > self._max_signatures:
+            old_key, _ = memo.popitem(last=False)
+            self.stats.signature_evictions += 1
+            index = self._by_signer.get(old_key[1])
+            if index is not None:
+                index.pop(old_key, None)
+                if not index:
+                    del self._by_signer[old_key[1]]
+
+    @property
+    def resident_signature_entries(self) -> int:
+        """How many signature verdicts are currently memoized."""
+        return len(self._signature_memo)
 
     def clear(self) -> None:
         """Drop both memos (counters are kept; use ``stats.reset()`` too)."""
         self._signature_memo.clear()
         self._certificate_memo.clear()
+        self._by_signer.clear()

@@ -20,10 +20,11 @@ benchmarks can report authentication costs per protocol operation, matching
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from dataclasses import dataclass, field
 import hmac
 import hashlib
-from typing import Any
+from typing import Any, Optional
 
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.rsa import (
@@ -161,12 +162,26 @@ class HmacSignatureScheme(SignatureScheme):
 
 
 class RsaSignatureScheme(SignatureScheme):
-    """Textbook RSA-FDH signatures; verification is public-key only."""
+    """Textbook RSA-FDH signatures; verification is public-key only.
 
-    def __init__(self, registry: KeyRegistry, bits: int = 512) -> None:
+    Keypairs are derived deterministically from the registry secret, so the
+    per-node cache is a bounded LRU: an evicted keypair regenerates to the
+    identical key material on next use (eviction is invisible except in
+    time), keeping resident key state O(active signers).
+    """
+
+    def __init__(
+        self,
+        registry: KeyRegistry,
+        bits: int = 512,
+        *,
+        max_cached_keys: Optional[int] = 1024,
+    ) -> None:
         super().__init__(registry)
         self._bits = bits
-        self._private: dict[str, RsaPrivateKey] = {}
+        self._private: "OrderedDict[str, RsaPrivateKey]" = OrderedDict()
+        self._max_cached_keys = max_cached_keys
+        self.keypair_evictions = 0
 
     def _keypair(self, node_id: str) -> RsaPrivateKey:
         key = self._private.get(node_id)
@@ -174,6 +189,12 @@ class RsaSignatureScheme(SignatureScheme):
             seed = self.registry.secret_for(node_id)
             key = generate_rsa_keypair(seed, bits=self._bits)
             self._private[node_id] = key
+            if self._max_cached_keys is not None:
+                while len(self._private) > self._max_cached_keys:
+                    self._private.popitem(last=False)
+                    self.keypair_evictions += 1
+        else:
+            self._private.move_to_end(node_id)
         return key
 
     def _sign(self, node_id: str, message: bytes) -> bytes:

@@ -1,0 +1,43 @@
+"""Open-loop production load harness (layer 5, experiment E21).
+
+Declares production-shaped workloads (:mod:`repro.load.profile`), generates
+deterministic Poisson/zipf arrival schedules (:mod:`repro.load.generator`),
+and drives them against a replica group either in virtual time on the
+simulator (:mod:`repro.load.harness`) or over real asyncio TCP
+(:mod:`repro.load.tcp`), judging the outcome against SLO targets and the
+:mod:`repro.analysis.costs` capacity closed forms.
+"""
+
+from repro.load.generator import Arrival, OpenLoopGenerator, zipf_weights
+from repro.load.harness import (
+    SimLoadHarness,
+    SimLoadOptions,
+    judge_slos,
+    run_open_loop,
+)
+from repro.load.profile import (
+    DEFAULT_SLOS,
+    BurstPhase,
+    LoadProfile,
+    LoadReport,
+    SloTarget,
+    SloVerdict,
+)
+from repro.load.tcp import run_tcp_load
+
+__all__ = [
+    "Arrival",
+    "OpenLoopGenerator",
+    "zipf_weights",
+    "SimLoadHarness",
+    "SimLoadOptions",
+    "judge_slos",
+    "run_open_loop",
+    "BurstPhase",
+    "LoadProfile",
+    "LoadReport",
+    "SloTarget",
+    "SloVerdict",
+    "DEFAULT_SLOS",
+    "run_tcp_load",
+]

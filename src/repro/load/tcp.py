@@ -1,0 +1,185 @@
+"""Open-loop load over real asyncio TCP (wall clock).
+
+The deterministic simulator answers the capacity and differential questions;
+this module answers "does the same open-loop schedule survive contact with a
+real event loop, real sockets, and wall-clock time".  It hosts one 3f+1
+group of :class:`~repro.net.asyncio_transport.ReplicaServer` listeners and
+fires the profile's arrival schedule at it, one transient
+:class:`~repro.net.asyncio_transport.AsyncClient` per operation.
+
+Open-loop discipline is kept: the dispatcher sleeps until each scheduled
+arrival and spawns the operation *without awaiting it*.  A semaphore bounds
+concurrent sockets (the OS fd budget, not the workload, demands it) and the
+wait for a slot counts toward measured latency, exactly like client-side
+queueing in the sim harness.
+
+The TCP transport hosts a single object per listener, so ``arrival.obj`` is
+ignored here — every operation targets the one shared register.  Identity
+scale still applies: each arrival uses its own client identity, admitted
+wholesale through the registry namespace.  Use modest identity counts
+(10³–10⁴); the 10⁵–10⁶ regimes belong to the virtual-time harness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from typing import Optional
+
+from repro.core.config import NamespaceWriters, SystemConfig, make_system
+from repro.core.persistence import ClientStateBudget
+from repro.load.generator import Arrival, OpenLoopGenerator
+from repro.load.profile import DEFAULT_SLOS, LoadProfile, LoadReport, SloTarget
+from repro.load.harness import _client_class, _replica_class, judge_slos
+from repro.net.asyncio_transport import AsyncClient, ReplicaServer
+from repro.obs.histograms import LatencyHistogram
+from repro.core.config import Variant
+
+__all__ = ["run_tcp_load"]
+
+
+async def _run_tcp_load(
+    profile: LoadProfile,
+    *,
+    f: int,
+    variant: Variant,
+    scheme: str,
+    budget: Optional[ClientStateBudget],
+    slos: tuple[SloTarget, ...],
+    max_concurrency: int,
+    op_timeout: float,
+) -> LoadReport:
+    config: SystemConfig = make_system(
+        f,
+        scheme=scheme,
+        seed=b"load-seed-%d" % profile.seed,
+        strong=(variant == "strong"),
+        client_state_budget=budget,
+        authorized_writers=NamespaceWriters(profile.namespace),
+    )
+    config.registry.open_namespace(profile.namespace)
+    replica_cls = _replica_class(variant)
+    client_cls = _client_class(variant)
+    servers = [
+        ReplicaServer(replica_cls(node_id, config))
+        for node_id in config.quorums.replica_ids
+    ]
+    addrs = {
+        server.replica.node_id: await server.start() for server in servers
+    }
+
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    semaphore = asyncio.Semaphore(max_concurrency)
+    write_hist = LatencyHistogram()
+    read_hist = LatencyHistogram()
+    digest = hashlib.sha256()
+    seen = bytearray((profile.identities + 7) // 8)
+    counters = {"arrivals": 0, "completed": 0, "failed": 0}
+
+    async def run_op(arrival: Arrival) -> None:
+        scheduled = started + arrival.at
+        async with semaphore:
+            endpoint = AsyncClient(
+                client_cls(arrival.client, config),
+                addrs,
+                op_timeout=op_timeout,
+            )
+            try:
+                await endpoint.connect()
+                if arrival.kind == "write":
+                    result = await endpoint.write(f"v{arrival.index}")
+                else:
+                    result = await endpoint.read()
+            except Exception:
+                counters["failed"] += 1
+                return
+            finally:
+                await endpoint.close()
+        latency = loop.time() - scheduled
+        (write_hist if arrival.kind == "write" else read_hist).record(latency)
+        counters["completed"] += 1
+        digest.update(
+            f"{arrival.index}|{arrival.client}|{arrival.kind}|"
+            f"{result!r}\n".encode()
+        )
+
+    tasks: list[asyncio.Task] = []
+    for arrival in OpenLoopGenerator(profile).arrivals():
+        delay = started + arrival.at - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        counters["arrivals"] += 1
+        slot = int(arrival.client[len(profile.namespace):])
+        seen[slot >> 3] |= 1 << (slot & 7)
+        tasks.append(asyncio.create_task(run_op(arrival)))
+    if tasks:
+        await asyncio.gather(*tasks, return_exceptions=True)
+    for server in servers:
+        await server.stop()
+
+    elapsed = loop.time() - started
+    arrivals = counters["arrivals"]
+    completed = counters["completed"]
+    completion = completed / arrivals if arrivals else 1.0
+    verdicts = judge_slos(
+        slos,
+        write_hist=write_hist,
+        read_hist=read_hist,
+        completion_fraction=completion,
+    )
+
+    def q(hist: LatencyHistogram, quantile: float) -> float:
+        return hist.quantile(quantile) if hist.count else 0.0
+
+    return LoadReport(
+        offered_rate=arrivals / profile.duration if profile.duration else 0.0,
+        duration=profile.duration,
+        arrivals=arrivals,
+        completed=completed,
+        failed=arrivals - completed,
+        distinct_identities=bin(int.from_bytes(bytes(seen), "big")).count("1"),
+        elapsed=elapsed,
+        achieved_throughput=completed / elapsed if elapsed > 0 else 0.0,
+        write_p50=q(write_hist, 0.50),
+        write_p95=q(write_hist, 0.95),
+        write_p99=q(write_hist, 0.99),
+        read_p50=q(read_hist, 0.50),
+        read_p95=q(read_hist, 0.95),
+        read_p99=q(read_hist, 0.99),
+        ops_digest=digest.hexdigest(),
+        predicted_capacity=float("inf"),
+        utilization=0.0,
+        identity={
+            "registry_resident": config.registry.resident_secrets,
+            "registry_derivations": config.registry.stats.derivations,
+            "registry_evictions": config.registry.stats.evictions,
+        },
+        slos=verdicts,
+    )
+
+
+def run_tcp_load(
+    profile: LoadProfile,
+    *,
+    f: int = 1,
+    variant: "Variant | str" = Variant.BASE,
+    scheme: str = "hmac",
+    budget: Optional[ClientStateBudget] = None,
+    slos: tuple[SloTarget, ...] = DEFAULT_SLOS,
+    max_concurrency: int = 64,
+    op_timeout: float = 10.0,
+) -> LoadReport:
+    """Run one open-loop profile over loopback TCP and return the report."""
+    return asyncio.run(
+        _run_tcp_load(
+            profile,
+            f=f,
+            variant=Variant.coerce(variant),
+            scheme=scheme,
+            budget=budget,
+            slos=slos,
+            max_concurrency=max_concurrency,
+            op_timeout=op_timeout,
+        )
+    )

@@ -173,6 +173,16 @@ class SimNetwork:
             raise NetworkError(f"node {node_id!r} already registered")
         self._handlers[node_id] = handler
 
+    def unregister(self, node_id: str) -> None:
+        """Detach a node; in-flight messages to it drop as ``unregistered``.
+
+        Lets transient endpoints (the open-loop load harness parks finished
+        client identities) come and go without the handler table growing
+        with every identity ever seen.  Unknown ids are a no-op.
+        """
+        self._handlers.pop(node_id, None)
+        self._crashed.discard(node_id)
+
     def set_link_profile(self, src: str, dst: str, profile: LinkProfile) -> None:
         """Override the stochastic profile of one directed link."""
         self._link_overrides[(src, dst)] = profile

@@ -249,6 +249,24 @@ class Instrumentation:
                 )
             storage[node_id] = stats
 
+    def attach_keys(self, stats: Any) -> None:
+        """Expose the key registry's lazy-derivation cache counters (E21)."""
+        self.attach("keys", stats)
+
+    def attach_sessions(self, stats: Any) -> None:
+        """Expose the MAC authenticator's session-key cache counters (E21)."""
+        self.attach("sessions", stats)
+
+    def attach_client_state(self, stats_by_replica: dict[str, Any]) -> None:
+        """Expose per-replica client-state spill/rehydrate counters (E21)."""
+        table = self.sources.setdefault("client_state", {})
+        for node_id, stats in stats_by_replica.items():
+            if node_id in table:
+                raise ObservabilityError(
+                    f"client-state stats for {node_id!r} are already attached"
+                )
+            table[node_id] = stats
+
 
 class _TimedVerifier:
     """Duck-typed verifier proxy timing each check into histograms.

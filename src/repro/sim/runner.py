@@ -20,6 +20,7 @@ from repro.core.client import (
     StrongBftBcClient,
 )
 from repro.core.config import SystemConfig, Variant, make_system
+from repro.core.persistence import ClientStateBudget
 from repro.core.messages import wire_cache_stats
 from repro.core.fast_replica import FastBftBcReplica
 from repro.core.replica import BftBcReplica, OptimizedBftBcReplica
@@ -59,6 +60,11 @@ class ClusterOptions:
     #: Enable the memoizing verification pipeline (set False for the
     #: uncached ablation arm of experiment E4d).
     verification_cache: bool = True
+    #: Optional per-replica cap on resident per-client protocol state
+    #: (plist/optlist/fastc); entries beyond it spill to the WAL-backed
+    #: store and rehydrate on demand.  ``None`` keeps the classic
+    #: all-resident behaviour.
+    client_state_budget: Optional[ClientStateBudget] = None
     #: Coalesce same-destination sends into batch envelopes.  Single-object
     #: clients never share a destination within a round, so for this runner
     #: the layer is a provable pass-through (the differential tests pin the
@@ -113,6 +119,7 @@ class Cluster:
             piggyback_write_certs=options.piggyback_write_certs,
             prefer_quorum=options.prefer_quorum,
             verification_cache=options.verification_cache,
+            client_state_budget=options.client_state_budget,
         )
         self.scheduler = Scheduler()
         self.network = SimNetwork(
@@ -127,6 +134,9 @@ class Cluster:
         assert self.config.verifier is not None
         self.instrumentation.attach_verification(self.config.verifier.stats)
         self.instrumentation.attach_wire_cache(wire_cache_stats())
+        self.instrumentation.attach_keys(self.config.registry.stats)
+        if self.config.authenticator is not None:
+            self.instrumentation.attach_sessions(self.config.authenticator.stats)
         #: One coalescing-stats block shared by every client of the cluster.
         self.batch_stats: Optional[BatchStats] = (
             BatchStats() if options.batching else None
@@ -168,6 +178,7 @@ class Cluster:
     def _build_replicas(self) -> None:
         replica_cls = self._replica_class()
         storage_stats = {}
+        client_state_stats = {}
         for index, node_id in enumerate(self.config.quorums.replica_ids):
             factory = self.options.replica_overrides.get(index)
             if factory is not None:
@@ -185,6 +196,9 @@ class Cluster:
                     node_id, self.config, instrumentation=self.instrumentation
                 )
             storage_stats[node_id] = replica.store.stats
+            client_state = getattr(replica, "client_state", None)
+            if client_state is not None:
+                client_state_stats[node_id] = client_state.stats
             self.replica_nodes[node_id] = ReplicaNode(
                 replica,
                 self.network,
@@ -192,6 +206,8 @@ class Cluster:
                 sign_delay=self.options.sign_delay,
             )
         self.instrumentation.attach_storage(storage_stats)
+        if client_state_stats:
+            self.instrumentation.attach_client_state(client_state_stats)
 
     def add_client(self, name: str) -> ClientNode:
         """Create a correct client of the cluster's variant."""

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro import build_cluster
+from repro import (
+    ExplicitWriters,
+    NamespaceWriters,
+    PredicateWriters,
+    build_cluster,
+)
 from repro.core import make_system
 from repro.errors import KeyRevokedError
 from repro.sim import read_script
@@ -96,3 +101,72 @@ class TestStopNotions:
         good.run_script([("write", ("client:good", 1, None)), ("read", None)])
         cluster.run(max_time=60)
         assert good.client.last_result == ("client:good", 1, None)
+
+
+class TestAccessPolicies:
+    """The pluggable AccessPolicy rules behind ``authorized_writers``."""
+
+    def test_explicit_writers_is_a_set(self):
+        policy = ExplicitWriters({"client:a"})
+        assert policy == {"client:a"}  # set-equality compatibility
+        policy.authorize("client:b")
+        assert policy.allows("client:b")
+        policy.retract("client:b")
+        assert not policy.allows("client:b")
+        assert policy == {"client:a"}
+
+    def test_namespace_admits_prefix_in_constant_memory(self):
+        policy = NamespaceWriters("load:")
+        for i in (0, 1, 999_999):
+            assert policy.allows(f"load:{i}")
+        assert not policy.allows("client:alice")
+        # No per-member state materialised for the million admitted ids.
+        assert not policy.extra and not policy.denied
+
+    def test_namespace_extra_and_denied(self):
+        policy = NamespaceWriters(
+            ("load:", "svc:"), extra=("client:admin",), denied=("load:13",)
+        )
+        assert policy.allows("svc:payments")
+        assert policy.allows("client:admin")
+        assert not policy.allows("load:13")  # exact denial wins the prefix
+        policy.authorize("load:13")  # re-grant clears the denial
+        assert policy.allows("load:13")
+        assert "load:13" not in policy.extra  # prefix covers it again
+        policy.retract("client:admin")
+        assert not policy.allows("client:admin")
+
+    def test_predicate_with_overrides(self):
+        policy = PredicateWriters(lambda c: c.endswith(":writer"))
+        assert policy.allows("a:writer")
+        assert not policy.allows("a:reader")
+        policy.authorize("a:reader")
+        assert policy.allows("a:reader")
+        policy.retract("a:writer")
+        assert not policy.allows("a:writer")
+
+    def test_config_funnels_through_policy(self):
+        cfg = make_system(f=1, seed=b"policy")
+        cfg.authorized_writers = NamespaceWriters("load:")
+        cfg.registry.open_namespace("load:")
+        assert cfg.is_authorized_writer("load:42")
+        assert not cfg.is_authorized_writer("client:ghost")
+        cfg.authorize_writer("client:admin")  # lands in policy.extra
+        cfg.registry.register("client:admin")
+        assert cfg.is_authorized_writer("client:admin")
+        cfg.revoke_writer("load:42")
+        assert not cfg.is_authorized_writer("load:42")
+        with pytest.raises(KeyRevokedError):
+            cfg.scheme.sign("load:42", b"m")
+
+    def test_callable_policy_is_read_only(self):
+        from repro.errors import QuorumConfigError
+
+        cfg = make_system(f=1, seed=b"policy2")
+        cfg.authorized_writers = lambda client: client.startswith("x:")
+        cfg.registry.register("x:1")
+        cfg.registry.register("y:1")
+        assert cfg.is_authorized_writer("x:1")
+        assert not cfg.is_authorized_writer("y:1")
+        with pytest.raises(QuorumConfigError):
+            cfg.authorize_writer("y:1")

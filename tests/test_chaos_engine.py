@@ -234,3 +234,63 @@ class TestArtifacts:
         path.write_text('{"format": "something-else/1"}', encoding="utf-8")
         with pytest.raises(SimulationError, match="not a chaos artifact"):
             load_artifact(path)
+
+
+class TestBudgetedStateCompat:
+    """Per-client state budgets under chaos: spill/rehydrate must be
+    invisible to every invariant oracle, including across crash-restarts
+    that rebuild replicas from their WALs."""
+
+    def _budgeted_factory(self, node_id, config, store):
+        from repro.core.persistence import ClientStateBudget
+        from repro.core.replica import OptimizedBftBcReplica
+
+        budgeted = dataclasses.replace(
+            config, client_state_budget=ClientStateBudget(hot_entries=2)
+        )
+        if store is not None:
+            return OptimizedBftBcReplica(node_id, budgeted, store=store)
+        return OptimizedBftBcReplica(node_id, budgeted)
+
+    def test_episode_with_spill_active_passes_all_oracles(self):
+        from repro.chaos.oracles import ORACLES
+
+        plan = EpisodePlan(
+            episode=0,
+            seed=424242,
+            variant="optimized",
+            store="filelog",
+            faults=[
+                {"op": "crash_restart", "time": 4.0, "node": "replica:1",
+                 "down_for": 6.0},
+                {"op": "crash_restart", "time": 14.0, "node": "replica:3",
+                 "down_for": 6.0},
+            ],
+            clients=6,
+            ops_per_client=4,
+            write_fraction=0.7,
+            max_time=240.0,
+        )
+        result = run_episode(plan, replica_factory=self._budgeted_factory)
+        assert set(result.verdicts) == set(ORACLES)
+        assert result.ok, f"violated: {result.violations}"
+        assert result.operations == 6 * 4
+
+    def test_budgeted_episode_matches_unbudgeted_verdicts(self):
+        plan = EpisodePlan(
+            episode=1,
+            seed=77,
+            variant="optimized",
+            store="filelog",
+            faults=[
+                {"op": "crash_restart", "time": 3.0, "node": "replica:0",
+                 "down_for": 5.0},
+            ],
+            clients=4,
+            ops_per_client=3,
+            max_time=240.0,
+        )
+        budgeted = run_episode(plan, replica_factory=self._budgeted_factory)
+        plain = run_episode(plan)
+        assert budgeted.ok and plain.ok
+        assert budgeted.operations == plain.operations

@@ -112,3 +112,46 @@ class TestChaosCli:
         assert "TCP chaos campaign" in out
         for variant in ("base", "optimized", "strong"):
             assert variant in out
+
+
+class TestLoadCli:
+    def test_load_human_output(self, capsys):
+        code = main(
+            [
+                "--seed", "3", "load", "--rate", "150", "--duration", "1",
+                "--identities", "60", "--objects", "8",
+                "--service-delay", "0.001",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "arrivals" in out
+        assert "slo" in out
+        assert "completion >=" in out  # floor metric printed as a floor
+
+    def test_load_json_output(self, capsys):
+        import json
+
+        code = main(
+            [
+                "--seed", "3", "load", "--rate", "150", "--duration", "1",
+                "--identities", "60", "--objects", "8",
+                "--budget", "4", "--secret-cache", "32", "--json",
+            ]
+        )
+        assert code == 0
+        wire = json.loads(capsys.readouterr().out)
+        assert wire["failed"] == 0
+        assert wire["distinct_identities"] == 60
+        assert wire["identity"]["client_state_spills"] > 0
+        assert all(v["ok"] for v in wire["slos"])
+
+    def test_load_burst_profile(self, capsys):
+        code = main(
+            [
+                "--seed", "4", "load", "--rate", "120", "--duration", "1.5",
+                "--identities", "50", "--burst", "3.0",
+            ]
+        )
+        assert code == 0
+        assert "arrivals" in capsys.readouterr().out

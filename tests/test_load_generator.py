@@ -1,0 +1,197 @@
+"""The open-loop generator: determinism, distributions, profile algebra."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.load import BurstPhase, LoadProfile, OpenLoopGenerator
+from repro.load.generator import zipf_weights
+
+
+def schedule(profile: LoadProfile) -> list:
+    return list(OpenLoopGenerator(profile).arrivals())
+
+
+class TestDeterminism:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        rate=st.floats(min_value=10.0, max_value=500.0),
+        skew=st.floats(min_value=0.0, max_value=2.0),
+        write_fraction=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_identical_profiles_yield_identical_schedules(
+        self, seed, rate, skew, write_fraction
+    ):
+        profile = LoadProfile(
+            rate=rate,
+            duration=2.0,
+            identities=500,
+            objects=16,
+            write_fraction=write_fraction,
+            zipf_skew=skew,
+            seed=seed,
+        )
+        assert schedule(profile) == schedule(profile)
+
+    def test_different_seeds_differ(self):
+        base = dict(rate=200.0, duration=2.0, identities=100, objects=8)
+        a = schedule(LoadProfile(seed=1, **base))
+        b = schedule(LoadProfile(seed=2, **base))
+        assert a != b
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    def test_schedule_is_well_formed(self, seed):
+        profile = LoadProfile(
+            rate=300.0, duration=1.5, identities=200, objects=8, seed=seed
+        )
+        arrivals = schedule(profile)
+        assert [a.index for a in arrivals] == list(range(len(arrivals)))
+        times = [a.at for a in arrivals]
+        assert times == sorted(times)
+        assert all(0.0 <= t < profile.duration for t in times)
+        assert all(a.kind in ("write", "read") for a in arrivals)
+
+
+class TestIdentityPolicies:
+    def test_sequential_walks_the_universe(self):
+        profile = LoadProfile(
+            rate=2000.0, duration=1.0, identities=50, objects=4, seed=5
+        )
+        arrivals = schedule(profile)
+        assert len(arrivals) > 50
+        # Round-robin: arrival i gets identity slot i mod universe.
+        for arrival in arrivals[:100]:
+            assert arrival.client == f"load:{arrival.index % 50}"
+        assert len({a.client for a in arrivals}) == 50
+
+    def test_identity_offset_shifts_coverage(self):
+        base = dict(rate=500.0, duration=1.0, identities=1000, objects=4, seed=9)
+        plain = schedule(LoadProfile(**base))
+        shifted = schedule(LoadProfile(identity_offset=100, **base))
+        assert shifted[0].client == "load:100"
+        # Same schedule, identity window slid by the offset (mod universe).
+        for a, b in zip(plain, shifted):
+            assert b.client == f"load:{(a.index + 100) % 1000}"
+            assert (b.at, b.obj, b.kind) == (a.at, a.obj, a.kind)
+
+    def test_uniform_policy_draws_repeats(self):
+        profile = LoadProfile(
+            rate=2000.0,
+            duration=1.0,
+            identities=20,
+            objects=4,
+            seed=5,
+            identity_policy="uniform",
+        )
+        arrivals = schedule(profile)
+        clients = [a.client for a in arrivals]
+        assert len(set(clients)) <= 20
+        # A uniform draw over 20 identities repeats within ~2000 arrivals.
+        assert len(clients) > len(set(clients))
+
+
+class TestZipf:
+    def test_weights_shape(self):
+        weights = zipf_weights(4, 1.0)
+        assert weights == [1.0, 0.5, pytest.approx(1 / 3), 0.25]
+        assert zipf_weights(3, 0.0) == [1.0, 1.0, 1.0]
+
+    @settings(max_examples=15, deadline=None)
+    @given(skew=st.floats(min_value=0.5, max_value=1.5))
+    def test_empirical_skew_matches_weights(self, skew):
+        objects = 8
+        profile = LoadProfile(
+            rate=4000.0,
+            duration=1.0,
+            identities=100,
+            objects=objects,
+            zipf_skew=skew,
+            seed=17,
+        )
+        arrivals = schedule(profile)
+        counts = {f"obj-{rank}": 0 for rank in range(objects)}
+        for arrival in arrivals:
+            counts[arrival.obj] += 1
+        total = len(arrivals)
+        weights = zipf_weights(objects, skew)
+        norm = sum(weights)
+        # Each object's empirical frequency tracks its zipf weight within
+        # a loose absolute tolerance (a few thousand samples).
+        for rank in range(objects):
+            expected = weights[rank] / norm
+            observed = counts[f"obj-{rank}"] / total
+            assert abs(observed - expected) < 0.05
+        # And the headline property: rank 0 strictly dominates the tail.
+        assert counts["obj-0"] > counts[f"obj-{objects - 1}"]
+
+
+class TestProfiles:
+    def test_rate_at_applies_bursts(self):
+        profile = LoadProfile.bursty(
+            100.0, 10.0, burst_multiplier=4.0, burst_fraction=0.2
+        )
+        assert profile.rate_at(0.0) == 100.0
+        assert profile.rate_at(5.0) == 400.0  # centred burst: [4, 6)
+        assert profile.rate_at(9.9) == 100.0
+        assert profile.expected_arrivals() == pytest.approx(
+            100 * 10 + 100 * 3 * 2
+        )
+
+    def test_burst_raises_arrival_density_inside_the_window(self):
+        profile = LoadProfile.bursty(
+            200.0,
+            4.0,
+            burst_multiplier=5.0,
+            burst_fraction=0.25,
+            identities=100,
+            seed=3,
+        )
+        arrivals = schedule(profile)
+        burst = [a for a in arrivals if 1.5 <= a.at < 2.5]
+        outside = [a for a in arrivals if a.at < 1.0]
+        assert len(burst) > 2 * len(outside)
+
+    def test_max_arrivals_caps_the_stream(self):
+        profile = LoadProfile(
+            rate=1000.0, duration=5.0, identities=100, seed=1, max_arrivals=37
+        )
+        assert len(schedule(profile)) == 37
+
+    def test_write_fraction_extremes(self):
+        base = dict(rate=500.0, duration=1.0, identities=50, seed=2)
+        assert all(
+            a.kind == "write"
+            for a in schedule(LoadProfile(write_fraction=1.0, **base))
+        )
+        assert all(
+            a.kind == "read"
+            for a in schedule(LoadProfile(write_fraction=0.0, **base))
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(rate=0.0),
+            dict(duration=-1.0),
+            dict(identities=0),
+            dict(objects=0),
+            dict(write_fraction=1.5),
+            dict(zipf_skew=-0.1),
+            dict(identity_policy="hot"),
+            dict(identity_offset=-1),
+        ],
+    )
+    def test_invalid_profiles_rejected(self, kwargs):
+        with pytest.raises(SimulationError):
+            LoadProfile(**kwargs)
+
+    def test_invalid_burst_rejected(self):
+        with pytest.raises(SimulationError):
+            BurstPhase(start=-1.0, duration=1.0, multiplier=2.0)
+        with pytest.raises(SimulationError):
+            BurstPhase(start=0.0, duration=1.0, multiplier=0.0)

@@ -193,3 +193,54 @@ class TestLazyCompaction:
         sched.run_until_idle()
         assert sched.pending == 0
         assert sched.cancelled_pending == 0
+
+
+class TestTimerStress:
+    """Open-loop load scale: 10^5+ pending timers with heavy churn.
+
+    The load harness arms one retransmission timer per in-flight operation
+    and cancels it on completion; at production rates that is hundreds of
+    thousands of arm/cancel cycles.  The heap must stay within a constant
+    factor of the live timer count throughout.
+    """
+
+    def test_hundred_thousand_pending_timers(self):
+        sched = Scheduler()
+        fired = []
+        handles = [
+            sched.call_later(1.0 + (i % 977) * 0.001, lambda i=i: fired.append(i))
+            for i in range(120_000)
+        ]
+        assert sched.pending >= 120_000
+        assert sched.live_pending == 120_000
+        sched.run_until_idle(max_events=500_000)
+        assert len(fired) == 120_000
+        assert sched.pending == 0
+
+    def test_churn_keeps_heap_bounded(self):
+        sched = Scheduler()
+        survivors = []
+        # 10 waves of 15k timers; ~93% cancelled per wave, like per-op
+        # retransmission timers cancelled on completion.
+        for wave in range(10):
+            handles = [
+                sched.call_later(
+                    10.0 + wave + (i % 311) * 0.01,
+                    lambda w=wave, i=i: survivors.append((w, i)),
+                )
+                for i in range(15_000)
+            ]
+            for index, handle in enumerate(handles):
+                if index % 16 != 0:
+                    handle.cancel()
+        live = sched.live_pending
+        assert live == 10 * (15_000 // 16 + 1)  # 938 kept per wave
+        # Compaction fired and kept the heap near the live population,
+        # not the 150k timers ever armed.
+        assert sched.compactions > 0
+        assert sched.pending <= max(64, 2 * live + 1)
+        assert sched.cancelled_pending <= sched.pending
+        sched.run_until_idle(max_events=500_000)
+        assert len(survivors) == live
+        assert sched.pending == 0
+        assert sched.cancelled_pending == 0

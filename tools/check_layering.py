@@ -9,7 +9,8 @@ or below, never above):
     2  repro.core.verification
     3  repro.core (everything else in core)
     4  repro.spec, repro.analysis, repro.shard
-    5  repro.baselines, repro.byzantine, repro.net, repro.sim, repro (root)
+    5  repro.baselines, repro.byzantine, repro.net, repro.sim, repro.load,
+       repro (root)
 
 The crucial edges this pins down: ``crypto`` never imports ``core``;
 ``core.verification`` sits between ``crypto`` and the rest of ``core`` and
@@ -61,6 +62,7 @@ LAYERS: dict[str, int] = {
     "repro.net": 5,
     "repro.sim": 5,
     "repro.chaos": 5,
+    "repro.load": 5,
     "repro": 5,
 }
 

@@ -79,6 +79,10 @@ MODULES = [
     "repro.chaos.artifact",
     "repro.chaos.shard",
     "repro.chaos.tcp",
+    "repro.load.profile",
+    "repro.load.generator",
+    "repro.load.harness",
+    "repro.load.tcp",
     "repro.crypto.signatures",
     "repro.crypto.rsa",
     "repro.crypto.keys",

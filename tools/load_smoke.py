@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""CI smoke for the open-loop load harness (E21's little sibling).
+
+One sim-only open-loop run, sized to finish in well under ten seconds of
+wall clock while still exercising every identity-scale mechanism at once:
+a ~10^4-identity universe admitted through a registry namespace, lazy
+secret derivation into a deliberately small LRU, per-client protocol state
+under a tight :class:`~repro.core.persistence.ClientStateBudget` (so spill
+and rehydrate actually fire), and SLO judgment over the obs histograms.
+
+Fails loudly if any SLO is violated, any operation fails, or the spill
+machinery never engaged; records the headline counters to
+``BENCH_throughput.json`` under ``load_smoke`` so the nightly dashboard can
+chart load coverage next to the throughput numbers.
+
+Usage:
+
+    python tools/load_smoke.py [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import bench_record  # noqa: E402
+
+DEFAULT_SEED = 20060625
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    args = parser.parse_args(argv)
+
+    from repro.core.persistence import ClientStateBudget
+    from repro.load import LoadProfile, SimLoadOptions, SimLoadHarness
+
+    profile = LoadProfile(
+        rate=1250.0,
+        duration=4.0,
+        identities=10_000,
+        objects=32,
+        write_fraction=0.2,
+        zipf_skew=1.1,
+        seed=args.seed,
+        identity_policy="sequential",
+    )
+    options = SimLoadOptions(
+        variant="optimized",
+        service_delay=0.0005,
+        budget=ClientStateBudget(hot_entries=8),
+        secret_cache=2048,
+    )
+    harness = SimLoadHarness(profile, options)
+    started = time.perf_counter()
+    report = harness.run()
+    wall = time.perf_counter() - started
+
+    failures = []
+    if not report.slo_ok:
+        failures.append(
+            "SLO violations: "
+            + ", ".join(v.metric for v in report.slos if not v.ok)
+        )
+    if report.failed:
+        failures.append(f"{report.failed} operations failed to complete")
+    if report.identity["client_state_spills"] == 0:
+        failures.append("client-state budget never spilled (smoke too small?)")
+    if report.identity["registry_evictions"] == 0:
+        failures.append("secret cache never evicted (smoke too small?)")
+
+    bench_record.record(
+        "load_smoke",
+        {
+            "seed": args.seed,
+            "wall_seconds": round(wall, 2),
+            "arrivals": report.arrivals,
+            "completed": report.completed,
+            "failed": report.failed,
+            "distinct_identities": report.distinct_identities,
+            "identity_universe": profile.identities,
+            "offered_rate": round(report.offered_rate, 1),
+            "predicted_capacity": round(report.predicted_capacity, 1),
+            "utilization": round(report.utilization, 3),
+            "write_p95_ms": round(report.write_p95 * 1000, 2),
+            "read_p95_ms": round(report.read_p95 * 1000, 2),
+            "tracked_entries": report.identity["tracked_entries"],
+            "client_state_spills": report.identity["client_state_spills"],
+            "client_state_rehydrations": report.identity[
+                "client_state_rehydrations"
+            ],
+            "registry_evictions": report.identity["registry_evictions"],
+            "slo_ok": report.slo_ok,
+            "ok": not failures,
+        },
+    )
+
+    print(
+        f"load smoke: {report.arrivals} arrivals, "
+        f"{report.distinct_identities} distinct identities, "
+        f"util {report.utilization:.0%}, "
+        f"write p95 {report.write_p95 * 1000:.1f} ms, "
+        f"spills {report.identity['client_state_spills']}, "
+        f"{wall:.1f}s wall"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("load smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
