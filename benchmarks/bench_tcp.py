@@ -3,52 +3,34 @@
 Not a paper experiment (the authors report no testbed numbers), but the
 number a downstream user asks first: how many operations per second does the
 implementation sustain on real sockets?  Runs the base and optimized
-protocols on localhost with four replica servers.
+protocols on localhost through the unified ``deploy()`` handle (four
+replica servers, one sequential client); ``bench_cluster.py`` (E22) covers
+the pipelined multi-process configurations.
 """
 
 from __future__ import annotations
 
-import asyncio
+import time
 
 from repro.analysis import format_table
-from repro.core import (
-    BftBcClient,
-    BftBcReplica,
-    OptimizedBftBcClient,
-    OptimizedBftBcReplica,
-    make_system,
-)
-from repro.net.asyncio_transport import AsyncClient, ReplicaServer
+from repro.cluster import DeploymentSpec, deploy
 
 from benchmarks.conftest import run_once
 
 OPS = 25
 
 
-async def _throughput(variant: str) -> tuple[float, float]:
-    config = make_system(f=1, seed=b"tcp-bench-" + variant.encode())
-    replica_cls = OptimizedBftBcReplica if variant == "optimized" else BftBcReplica
-    client_cls = OptimizedBftBcClient if variant == "optimized" else BftBcClient
-    servers, addrs = [], {}
-    for rid in config.quorums.replica_ids:
-        server = ReplicaServer(replica_cls(rid, config))
-        host, port = await server.start()
-        addrs[rid] = (host, port)
-        servers.append(server)
-    client = AsyncClient(client_cls("client:bench", config), addrs)
-    await client.connect()
-    loop = asyncio.get_running_loop()
-    start = loop.time()
-    for seq in range(OPS):
-        await client.write(("client:bench", seq, None))
-    write_elapsed = loop.time() - start
-    start = loop.time()
-    for _ in range(OPS):
-        await client.read()
-    read_elapsed = loop.time() - start
-    await client.close()
-    for server in servers:
-        await server.stop()
+def _throughput(variant: str) -> tuple[float, float]:
+    spec = DeploymentSpec(transport="tcp", variant=variant, seed=77)
+    with deploy(spec) as dep:
+        start = time.perf_counter()
+        records = dep.run_script([("write", f"bench{i}") for i in range(OPS)])
+        write_elapsed = time.perf_counter() - start
+        assert all(record.result is not None for record in records)
+        start = time.perf_counter()
+        records = dep.run_script([("read", None)] * OPS)
+        read_elapsed = time.perf_counter() - start
+        assert all(record.result == f"bench{OPS - 1}" for record in records)
     return OPS / write_elapsed, OPS / read_elapsed
 
 
@@ -56,7 +38,7 @@ def test_tcp_throughput(benchmark):
     def experiment():
         results = {}
         for variant in ("base", "optimized"):
-            results[variant] = asyncio.run(_throughput(variant))
+            results[variant] = _throughput(variant)
         rows = [
             [variant, w, r] for variant, (w, r) in results.items()
         ]

@@ -1,71 +1,79 @@
 #!/usr/bin/env python3
-"""Run BFT-BC over real TCP sockets with asyncio.
+"""Deploy BFT-BC on real sockets and real processes with ``deploy()``.
 
-The same sans-I/O replica and client state machines that power the
-deterministic simulator are deployed here behind actual network listeners:
-four replica servers on localhost, two concurrent clients doing writes and
-reads, one replica killed mid-run to show the quorum protocol riding
-through it.
+One declarative :class:`DeploymentSpec` stands up the whole system; the
+handle is the same whether the replicas live in the deterministic
+simulator, behind in-process asyncio TCP servers, or in separate OS
+processes.  This example runs two acts:
+
+1. ``transport="tcp"`` — four loopback replica servers, a pipelined
+   client keeping two operations in flight over one shared connection
+   per replica.
+2. ``transport="process"`` — one worker process per replica, one of them
+   SIGKILLed mid-run; the supervisor restarts it on its original ports,
+   its replica recovers from the write-ahead log, and every replica's
+   offline-recovered state fingerprint agrees at the end.
 
 Run:  python examples/tcp_cluster.py
 """
 
-import asyncio
 import time
 
-from repro import AsyncClient, BftBcClient, BftBcReplica, ReplicaServer, make_system
+from repro import DeploymentSpec, deploy
 
 
-async def client_workload(name: str, config, addrs, rounds: int) -> list:
-    client = AsyncClient(
-        BftBcClient(f"client:{name}", config), addrs, retransmit_interval=0.1
-    )
-    await client.connect()
-    results = []
-    for seq in range(rounds):
-        ts = await client.write((f"client:{name}", seq, f"payload-{seq}"))
-        value = await client.read()
-        results.append((ts, value))
-        print(f"  [{name}] wrote seq={seq} at ts={ts}, read back {value}")
-    await client.close()
-    return results
+def act_one_tcp() -> None:
+    spec = DeploymentSpec(transport="tcp", pipeline=2, seed=42)
+    print(f"act 1: {spec.n} asyncio TCP replicas on localhost, "
+          f"{spec.pipeline} ops in flight\n")
+    with deploy(spec) as dep:
+        for node_id, (host, port) in sorted(dep.addrs.items()):
+            print(f"  {node_id} listening on {host}:{port}")
+        start = time.perf_counter()
+        records = dep.run_script([("write", f"payload-{i}") for i in range(12)])
+        elapsed = time.perf_counter() - start
+        for record in records:
+            print(f"  [{record.client}] wrote {record.value!r} "
+                  f"at ts={record.result}")
+        print(f"  read back: {dep.read()!r}")
+        print(f"  {len(records)} writes in {elapsed:.2f}s "
+              f"({len(records) / elapsed:.0f} ops/s)\n")
 
 
-async def main() -> None:
-    config = make_system(f=1, seed=b"tcp-example")
-    print(f"deployment: {config.quorums.describe()} over TCP on localhost\n")
+def act_two_process() -> None:
+    spec = DeploymentSpec(transport="process", workers=4, pipeline=2, seed=42)
+    print(f"act 2: {spec.n} replicas, one OS process each, "
+          "kill -9 mid-run\n")
+    with deploy(spec, auto_restart=True) as dep:
+        dep.run_script([("write", f"before-{i}") for i in range(10)])
+        victim = dep.cluster.worker_for("replica:3")
+        dep.cluster.kill("replica:3")
+        print(f"  !! SIGKILLed worker {victim.index} (replica:3); "
+              "the quorum rides through")
+        dep.run_script([("write", f"after-{i}") for i in range(10)])
+        deadline = time.monotonic() + 30
+        while not (victim.restarts >= 1 and victim.alive):
+            assert time.monotonic() < deadline, "supervisor never restarted it"
+            time.sleep(0.05)
+        print(f"  supervisor restarted it on its original port "
+              f"{victim.addrs['replica:3'][1]}; replica recovered from WAL")
+        # Two sequential flushes through one client converge write_ts and
+        # clear every straggling prepare-list entry cluster-wide.
+        dep.write("final-1")
+        dep.write("final-2")
+        print(f"  read back: {dep.read()!r}")
+        time.sleep(0.5)
+        prints = dep.fingerprints()  # stops the fleet, recovers offline
+    assert len(set(prints.values())) == 1
+    print(f"  all {len(prints)} offline-recovered replica fingerprints "
+          "agree\n")
 
-    servers = {}
-    addrs = {}
-    for rid in config.quorums.replica_ids:
-        server = ReplicaServer(BftBcReplica(rid, config))
-        host, port = await server.start()
-        servers[rid] = server
-        addrs[rid] = (host, port)
-        print(f"  {rid} listening on {host}:{port}")
 
-    print("\nrunning two concurrent clients ...")
-    start = time.perf_counter()
-
-    async def kill_one_replica():
-        await asyncio.sleep(0.05)
-        await servers["replica:3"].stop()
-        print("  !! replica:3 killed mid-run (within the f=1 budget)")
-
-    results = await asyncio.gather(
-        client_workload("alpha", config, addrs, rounds=3),
-        client_workload("beta", config, addrs, rounds=3),
-        kill_one_replica(),
-    )
-    elapsed = time.perf_counter() - start
-
-    total_ops = sum(len(r) * 2 for r in results[:2])
-    print(f"\n{total_ops} operations completed in {elapsed:.2f}s "
-          f"({total_ops / elapsed:.0f} ops/s) despite the crashed replica")
-
-    for server in servers.values():
-        await server.stop()
+def main() -> None:
+    act_one_tcp()
+    act_two_process()
+    print("done: one spec, one handle, three transports (see DESIGN.md §4.10)")
 
 
 if __name__ == "__main__":
-    asyncio.run(main())
+    main()

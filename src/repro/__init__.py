@@ -80,6 +80,16 @@ from repro.core.config import (
     PredicateWriters,
 )
 from repro.core.persistence import ClientStateBudget, ClientStateTable
+from repro.cluster import (
+    Deployment,
+    DeploymentSpec,
+    ProcessCluster,
+    ProcessDeployment,
+    SimDeployment,
+    TcpDeployment,
+    WorkerHandle,
+    deploy,
+)
 from repro.crypto.commitments import ProofOfWriting
 from repro.load import (
     BurstPhase,
@@ -93,6 +103,7 @@ from repro.load import (
     run_tcp_load,
 )
 from repro.net.asyncio_transport import AsyncClient, ReplicaServer
+from repro.net.mux import MuxEndpoint, OpRecord, PipelinedClient
 from repro.net.shard_transport import AsyncShardRouter, ShardReplicaServer
 from repro.net.simnet import LinkProfile, SimNetwork
 from repro.obs import (
@@ -215,6 +226,18 @@ __all__ = [
     "ReplicaServer",
     "FileLogStore",
     "MemoryStore",
+    "MuxEndpoint",
+    "PipelinedClient",
+    "OpRecord",
+    # deployment API: one spec, three transports (sim / tcp / process)
+    "DeploymentSpec",
+    "deploy",
+    "Deployment",
+    "SimDeployment",
+    "TcpDeployment",
+    "ProcessDeployment",
+    "ProcessCluster",
+    "WorkerHandle",
     # baselines
     "build_bqs_cluster",
     "build_phalanx_cluster",

@@ -9,8 +9,12 @@ Commands:
 * ``metrics``   — run an instrumented workload; print the per-phase latency
   table or Prometheus-style text exposition.
 * ``trace``     — run an instrumented workload; dump its spans as JSON lines.
-* ``serve``     — host one durable replica over TCP, journaling to a data
-  directory and recovering from it on startup.
+* ``serve``     — host one or more durable replicas over TCP, journaling to
+  a data directory and recovering from it on startup; ``--announce`` prints
+  a JSON line per bound port for orchestrators.
+* ``cluster``   — ``up`` spawns one ``serve`` worker process per replica
+  (recording the fleet in ``cluster.json``), ``status`` shows liveness,
+  ``down`` terminates the fleet.
 * ``chaos``     — seed-deterministic fault campaigns with invariant oracles:
   ``chaos run`` sweeps simulated episodes (auto-minimizing any violation to
   a replayable artifact), ``chaos replay`` re-executes an artifact, and
@@ -211,51 +215,214 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_serve(args: argparse.Namespace) -> int:
-    import asyncio
+def _serve_config(args: argparse.Namespace):
+    """The shared ``serve``/``cluster`` system configuration.
 
+    Every worker process derives identical key material from the
+    deterministic ``cluster-seed-<seed>`` master seed, and opens the
+    requested client namespaces so signatures from clients it has never
+    met still verify (see ``KeyRegistry.open_namespace``).
+    """
     from repro.core.config import make_system
-    from repro.core.replica import BftBcReplica, OptimizedBftBcReplica
-    from repro.net.asyncio_transport import ReplicaServer
 
     config = make_system(
         args.f,
+        scheme=args.scheme,
         seed=b"cluster-seed-%d" % args.seed,
         strong=(args.variant == "strong"),
     )
-    if args.node_id not in config.quorums.replica_ids:
+    for prefix in args.open_namespace or ["client:"]:
+        config.registry.open_namespace(prefix)
+    return config
+
+
+def _serve_replica_cls(variant: str):
+    from repro.core.fast_replica import FastBftBcReplica
+    from repro.core.replica import BftBcReplica, OptimizedBftBcReplica
+
+    if variant == "optimized":
+        return OptimizedBftBcReplica
+    if variant == "fastpath":
+        return FastBftBcReplica
+    return BftBcReplica
+
+
+def _parse_ports(port: str, count: int) -> list[int]:
+    """``--port`` accepts one value or a comma list matching the node ids.
+
+    A single ``0`` fans out to every hosted replica (all ephemeral); a
+    single non-zero port only works for a single replica.
+    """
+    values = [int(part) for part in str(port).split(",")]
+    if len(values) == 1 and count > 1:
+        if values[0] != 0:
+            raise ValueError(
+                "a fixed --port cannot be shared by several replicas; "
+                "pass a comma-separated list"
+            )
+        values = values * count
+    if len(values) != count:
+        raise ValueError(
+            f"--port lists {len(values)} ports for {count} node ids"
+        )
+    return values
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.cluster.process import replica_data_dir
+    from repro.net.asyncio_transport import ReplicaServer
+
+    config = _serve_config(args)
+    unknown = [
+        node_id
+        for node_id in args.node_ids
+        if node_id not in config.quorums.replica_ids
+    ]
+    if unknown:
         print(
-            f"unknown node id {args.node_id!r}; "
-            f"expected one of {list(config.quorums.replica_ids)}",
+            f"unknown node id(s) {unknown}; "
+            f"expected among {list(config.quorums.replica_ids)}",
             file=sys.stderr,
         )
         return 1
-    replica_cls = (
-        OptimizedBftBcReplica if args.variant == "optimized" else BftBcReplica
-    )
+    try:
+        ports = _parse_ports(args.port, len(args.node_ids))
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    replica_cls = _serve_replica_cls(args.variant)
 
     async def run() -> None:
-        server = ReplicaServer.durable(
-            args.node_id,
-            config,
-            args.data_dir,
-            host=args.host,
-            port=args.port,
-            replica_cls=replica_cls,
-            fsync=args.fsync,
-        )
-        host, port = await server.start()
-        print(f"replica {args.node_id} serving on {host}:{port} "
-              f"(data dir {args.data_dir}, fsync={args.fsync})")
+        servers = []
+        for node_id, port in zip(args.node_ids, ports):
+            server = ReplicaServer.durable(
+                node_id,
+                config,
+                replica_data_dir(args.data_dir, args.node_ids, node_id),
+                host=args.host,
+                port=port,
+                replica_cls=replica_cls,
+                fsync=args.fsync,
+                batch_verify=not args.no_batch_verify,
+            )
+            host, bound_port = await server.start()
+            servers.append(server)
+            # The announcement contract: one flushed line per replica, so
+            # an orchestrator (or a human with --port 0) learns the
+            # ephemeral addresses without polling or races.
+            if args.announce:
+                print(
+                    json.dumps(
+                        {
+                            "event": "listening",
+                            "node_id": node_id,
+                            "host": host,
+                            "port": bound_port,
+                        },
+                        sort_keys=True,
+                    ),
+                    flush=True,
+                )
+            else:
+                print(
+                    f"replica {node_id} serving on {host}:{bound_port} "
+                    f"(data dir {args.data_dir}, fsync={args.fsync})",
+                    flush=True,
+                )
         try:
             await asyncio.Event().wait()
         finally:
-            await server.stop()
+            for server in servers:
+                await server.stop()
 
     try:
         asyncio.run(run())
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    import json
+    import os
+    import signal as signal_module
+
+    from repro.cluster.process import ProcessCluster
+
+    if args.cluster_command == "up":
+        cluster = ProcessCluster(
+            f=args.f,
+            seed=args.seed,
+            variant=args.variant,
+            scheme=args.scheme,
+            data_dir=args.data_dir,
+            host=args.host,
+            fsync=args.fsync,
+            workers=args.workers,
+        )
+        addrs = cluster.start()
+        # Detached by design: the workers outlive this command, the state
+        # file records them, and `cluster down` reaps them later.
+        for node_id, (host, port) in sorted(addrs.items()):
+            print(f"{node_id} listening on {host}:{port}")
+        print(f"state recorded in {os.path.join(args.data_dir, 'cluster.json')}")
+        return 0
+
+    state = ProcessCluster.read_state(args.data_dir)
+    if state is None:
+        print(f"no cluster state under {args.data_dir}", file=sys.stderr)
+        return 1
+
+    def _pid_alive(pid: int) -> bool:
+        try:
+            os.kill(pid, 0)
+        except (ProcessLookupError, PermissionError):
+            return False
+        return True
+
+    if args.cluster_command == "status":
+        rows = []
+        for worker in state["workers"]:
+            pid = worker.get("pid")
+            alive = pid is not None and _pid_alive(pid)
+            for node_id in worker["node_ids"]:
+                host, port = worker["addrs"].get(node_id, ("?", 0))
+                rows.append(
+                    [node_id, worker["index"], pid, host, port,
+                     "up" if alive else "DOWN"]
+                )
+        if args.json:
+            print(json.dumps(state, indent=2, sort_keys=True))
+        else:
+            print(
+                format_table(
+                    ["replica", "worker", "pid", "host", "port", "state"],
+                    rows,
+                    title=f"cluster under {args.data_dir} "
+                          f"(f={state['f']}, variant={state['variant']})",
+                )
+            )
+        return 0
+
+    # down
+    reaped = 0
+    for worker in state["workers"]:
+        pid = worker.get("pid")
+        if pid is None or not _pid_alive(pid):
+            continue
+        try:
+            os.kill(pid, signal_module.SIGTERM)
+            reaped += 1
+        except (ProcessLookupError, PermissionError):
+            continue
+    try:
+        os.unlink(os.path.join(args.data_dir, "cluster.json"))
+    except FileNotFoundError:
+        pass
+    print(f"terminated {reaped} worker(s)")
     return 0
 
 
@@ -532,14 +699,60 @@ def main(argv: list[str] | None = None) -> int:
     )
     trace.add_argument("--output", help="write the JSON lines here (default stdout)")
 
-    serve = sub.add_parser("serve", help="host one durable replica over TCP")
-    serve.add_argument("node_id", help="replica id, e.g. replica:0")
+    serve = sub.add_parser(
+        "serve", help="host one or more durable replicas over TCP"
+    )
+    serve.add_argument("node_ids", nargs="+", metavar="node_id",
+                       help="replica id(s), e.g. replica:0")
     serve.add_argument("--data-dir", required=True,
-                       help="directory for the WAL and snapshot")
+                       help="directory for the WAL and snapshot (per-replica "
+                            "subdirectories when hosting several)")
     serve.add_argument("--variant", choices=VARIANT_CHOICES, default="base")
+    serve.add_argument("--scheme", choices=("hmac", "rsa"), default="hmac")
     serve.add_argument("--host", default="127.0.0.1")
-    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument("--port", default="0",
+                       help="listen port, or a comma list matching the node "
+                            "ids; 0 picks an ephemeral port")
     serve.add_argument("--fsync", choices=("always", "never"), default="always")
+    serve.add_argument("--announce", action="store_true",
+                       help="print one JSON line per replica once it is "
+                            "listening (orchestrator port discovery)")
+    serve.add_argument("--open-namespace", action="append", default=None,
+                       metavar="PREFIX",
+                       help="client-id namespace(s) whose signatures verify "
+                            "without explicit registration (default: client:)")
+    serve.add_argument("--no-batch-verify", action="store_true",
+                       help="disable per-chunk amortized signature batches")
+
+    cluster = sub.add_parser(
+        "cluster", help="manage a multi-process replica cluster"
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+    cluster_up = cluster_sub.add_parser(
+        "up", help="spawn one serve worker per replica and record the fleet"
+    )
+    cluster_up.add_argument("--data-dir", required=True,
+                            help="root directory for worker data dirs and "
+                                 "the cluster state file")
+    cluster_up.add_argument("--variant", choices=VARIANT_CHOICES,
+                            default="base")
+    cluster_up.add_argument("--scheme", choices=("hmac", "rsa"),
+                            default="hmac")
+    cluster_up.add_argument("--host", default="127.0.0.1")
+    cluster_up.add_argument("--fsync", choices=("always", "never"),
+                            default="always")
+    cluster_up.add_argument("--workers", type=int, default=None,
+                            help="worker processes to spread the 3f+1 "
+                                 "replicas across (default: one each)")
+    cluster_status = cluster_sub.add_parser(
+        "status", help="show the recorded fleet and its liveness"
+    )
+    cluster_status.add_argument("--data-dir", required=True)
+    cluster_status.add_argument("--json", action="store_true")
+    cluster_down = cluster_sub.add_parser(
+        "down", help="terminate the recorded fleet"
+    )
+    cluster_down.add_argument("--data-dir", required=True)
 
     chaos = sub.add_parser(
         "chaos", help="fault campaigns with invariant oracles"
@@ -644,6 +857,7 @@ def main(argv: list[str] | None = None) -> int:
         "metrics": cmd_metrics,
         "trace": cmd_trace,
         "serve": cmd_serve,
+        "cluster": cmd_cluster,
         "chaos": cmd_chaos,
         "shard": cmd_shard,
         "load": cmd_load,

@@ -1,0 +1,439 @@
+"""``deploy()``: one declarative spec, one uniform handle, three transports.
+
+Before this module the repo had four divergent ways to stand up a system —
+sim ``ClusterOptions``, hand-wired ``ReplicaServer`` + ``AsyncClient``,
+``shard_cluster``, and the load harness.  ``deploy(DeploymentSpec(...))``
+covers the common single-group case uniformly:
+
+* ``transport="sim"``      — the deterministic virtual-time simulator.
+* ``transport="tcp"``      — in-process asyncio servers over loopback.
+* ``transport="process"``  — one OS process per worker via
+  :class:`~repro.cluster.process.ProcessCluster`.
+
+Every handle offers the same surface: ``run_script`` (a FIFO of operations
+executed ``spec.pipeline`` at a time), ``write``/``read`` convenience
+wrappers, ``fingerprints`` (per-replica durable-state digests, the
+cross-transport equivalence oracle), ``verification_stats``, and ``close``.
+The real transports drive their asyncio machinery on a private background
+loop thread, so the handle itself is synchronous everywhere.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import shutil
+import tempfile
+import threading
+from pathlib import Path
+from typing import Any, Optional, Sequence
+
+from repro.cluster.process import ProcessCluster, replica_data_dir
+from repro.cluster.spec import DeploymentSpec
+from repro.core.client import (
+    BftBcClient,
+    FastBftBcClient,
+    OptimizedBftBcClient,
+    StrongBftBcClient,
+)
+from repro.core.config import SystemConfig, make_system
+from repro.core.fast_replica import FastBftBcReplica
+from repro.core.replica import BftBcReplica, OptimizedBftBcReplica
+from repro.core.verification import VerificationStats
+from repro.errors import QuorumConfigError
+from repro.net.mux import OpRecord, PipelinedClient
+from repro.obs.instrumentation import Instrumentation
+
+__all__ = [
+    "Deployment",
+    "SimDeployment",
+    "TcpDeployment",
+    "ProcessDeployment",
+    "deploy",
+    "variant_replica_cls",
+    "variant_client_cls",
+]
+
+
+def variant_replica_cls(variant: str) -> type[BftBcReplica]:
+    """The replica class a protocol variant runs (shared by sim/serve/deploy)."""
+    if variant == "optimized":
+        return OptimizedBftBcReplica
+    if variant == "fastpath":
+        return FastBftBcReplica
+    return BftBcReplica
+
+
+def variant_client_cls(variant: str) -> type[BftBcClient]:
+    """The client class a protocol variant runs."""
+    if variant == "optimized":
+        return OptimizedBftBcClient
+    if variant == "fastpath":
+        return FastBftBcClient
+    if variant == "strong":
+        return StrongBftBcClient
+    return BftBcClient
+
+
+class Deployment:
+    """The uniform handle; concrete transports fill in the private hooks."""
+
+    def __init__(self, spec: DeploymentSpec) -> None:
+        self.spec = spec
+
+    # -- uniform surface -----------------------------------------------------
+
+    def run_script(
+        self, script: Sequence[tuple[str, Any]]
+    ) -> list[OpRecord]:
+        """Run ``[(kind, value), ...]`` with up to ``spec.pipeline`` in flight.
+
+        Returns one record per operation, in submission order.
+        """
+        raise NotImplementedError
+
+    def write(self, value: Any) -> Any:
+        """One write; returns the committed timestamp."""
+        return self.run_script([("write", value)])[0].result
+
+    def read(self) -> Any:
+        """One read; returns the value."""
+        return self.run_script([("read", None)])[0].result
+
+    def fingerprints(self) -> dict[str, str]:
+        """Per-replica durable-state digests (the equivalence oracle)."""
+        raise NotImplementedError
+
+    def verification_stats(self) -> Optional[VerificationStats]:
+        """The shared verification counters, when observable in-process."""
+        return None
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "Deployment":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class SimDeployment(Deployment):
+    """The virtual-time simulator behind the uniform surface."""
+
+    def __init__(self, spec: DeploymentSpec, **cluster_kwargs: Any) -> None:
+        super().__init__(spec)
+        from repro.sim.runner import build_cluster
+        from repro.storage import FileLogStore
+
+        options: dict[str, Any] = dict(
+            f=spec.f,
+            variant=str(spec.variant),
+            scheme=spec.scheme,
+            seed=spec.seed,
+            batching=spec.batching,
+        )
+        if spec.instrumentation:
+            options["instrumentation"] = Instrumentation()
+        self._owns_dir = False
+        if spec.store == "file":
+            data_dir = spec.data_dir
+            if data_dir is None:
+                data_dir = tempfile.mkdtemp(prefix="repro-sim-")
+                self._owns_dir = True
+            self._data_dir = data_dir
+            options["store_factory"] = lambda node_id: FileLogStore(
+                Path(data_dir) / node_id.replace(":", "_"), fsync=spec.fsync
+            )
+        options.update(spec.sim_options)
+        options.update(cluster_kwargs)
+        self.cluster = build_cluster(**options)
+        self._client_ops: dict[str, int] = {}
+
+    def run_script(
+        self, script: Sequence[tuple[str, Any]]
+    ) -> list[OpRecord]:
+        window = min(self.spec.pipeline, len(script)) or 1
+        names = [f"pipe{i}" for i in range(window)]
+        # Static round-robin deal: op i runs on logical client i % window.
+        scripts: dict[str, list[tuple[str, Any]]] = {name: [] for name in names}
+        for index, step in enumerate(script):
+            scripts[names[index % window]].append(tuple(step))
+        offsets = {
+            name: len(self._results_of(name)) for name in names
+        }
+        self.cluster.run_scripts(
+            {name: steps for name, steps in scripts.items() if steps}
+        )
+        records = []
+        for index, (kind, value) in enumerate(script):
+            name = names[index % window]
+            position = offsets[name] + index // window
+            _, result = self._results_of(name)[position]
+            records.append(
+                OpRecord(
+                    index=index,
+                    kind=kind,
+                    value=value,
+                    client=f"client:{name}",
+                    result=result,
+                )
+            )
+        return records
+
+    def _results_of(self, name: str) -> list[tuple[str, Any]]:
+        node = self.cluster.clients.get(f"client:{name}")
+        return [] if node is None else node.results
+
+    def fingerprints(self) -> dict[str, str]:
+        return {
+            node_id: replica.state_fingerprint()
+            for node_id, replica in self.cluster.replicas.items()
+        }
+
+    def verification_stats(self) -> Optional[VerificationStats]:
+        verifier = self.cluster.config.verifier
+        return None if verifier is None else verifier.stats
+
+    def close(self) -> None:
+        if self._owns_dir:
+            shutil.rmtree(self._data_dir, ignore_errors=True)
+
+
+class _LoopThread:
+    """A private asyncio loop on a daemon thread; the sync/async bridge."""
+
+    def __init__(self) -> None:
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(
+            target=self.loop.run_forever, name="deploy-loop", daemon=True
+        )
+        self.thread.start()
+
+    def run(self, coro: Any, timeout: Optional[float] = None) -> Any:
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result(timeout)
+
+    def stop(self) -> None:
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=10)
+        self.loop.close()
+
+
+def _pipeline_clients(
+    spec: DeploymentSpec, config: SystemConfig
+) -> list[BftBcClient]:
+    client_cls = variant_client_cls(str(spec.variant))
+    clients = []
+    for i in range(spec.pipeline):
+        node_id = f"client:pipe{i}"
+        config.registry.register(node_id)
+        clients.append(client_cls(node_id, config))
+    return clients
+
+
+class TcpDeployment(Deployment):
+    """In-process asyncio servers over loopback, one per replica."""
+
+    def __init__(self, spec: DeploymentSpec) -> None:
+        super().__init__(spec)
+        from repro.net.asyncio_transport import ReplicaServer
+
+        self.config = make_system(
+            spec.f,
+            scheme=spec.scheme,
+            seed=spec.master_seed,
+            strong=(str(spec.variant) == "strong"),
+        )
+        self.config.registry.open_namespace("client:")
+        self.instrumentation = (
+            Instrumentation() if spec.instrumentation else None
+        )
+        if self.instrumentation is not None:
+            assert self.config.verifier is not None
+            self.instrumentation.attach_verification(self.config.verifier.stats)
+        replica_cls = variant_replica_cls(str(spec.variant))
+        self._owns_dir = False
+        data_dir = spec.data_dir
+        if spec.store == "file" and data_dir is None:
+            data_dir = tempfile.mkdtemp(prefix="repro-tcp-")
+            self._owns_dir = True
+        self._data_dir = data_dir
+        self._loop = _LoopThread()
+        self.servers: list[ReplicaServer] = []
+        self.addrs: dict[str, tuple[str, int]] = {}
+
+        async def start() -> None:
+            for node_id in self.config.quorums.replica_ids:
+                if spec.store == "file":
+                    assert data_dir is not None
+                    server = ReplicaServer.durable(
+                        node_id,
+                        self.config,
+                        Path(data_dir) / node_id.replace(":", "_"),
+                        host=spec.host,
+                        replica_cls=replica_cls,
+                        fsync=spec.fsync,
+                        instrumentation=self.instrumentation,
+                        batch_verify=spec.batch_verify,
+                    )
+                else:
+                    server = ReplicaServer(
+                        replica_cls(
+                            node_id,
+                            self.config,
+                            instrumentation=self.instrumentation,
+                        ),
+                        host=spec.host,
+                        batch_verify=spec.batch_verify,
+                    )
+                host, port = await server.start()
+                self.servers.append(server)
+                self.addrs[node_id] = (host, port)
+
+        self._loop.run(start())
+        self._pipe = PipelinedClient(
+            _pipeline_clients(spec, self.config),
+            self.addrs,
+            verifier=self.config.verifier if spec.batch_verify else None,
+        )
+        self._loop.run(self._pipe.connect())
+
+    def run_script(
+        self, script: Sequence[tuple[str, Any]]
+    ) -> list[OpRecord]:
+        records = self._loop.run(self._pipe.run_script(list(script)))
+        return sorted(records, key=lambda record: record.index)
+
+    def fingerprints(self) -> dict[str, str]:
+        return {
+            server.replica.node_id: server.replica.state_fingerprint()
+            for server in self.servers
+        }
+
+    def verification_stats(self) -> Optional[VerificationStats]:
+        verifier = self.config.verifier
+        return None if verifier is None else verifier.stats
+
+    def close(self) -> None:
+        async def teardown() -> None:
+            await self._pipe.close()
+            for server in self.servers:
+                await server.stop()
+
+        self._loop.run(teardown())
+        self._loop.stop()
+        if self._owns_dir and self._data_dir is not None:
+            shutil.rmtree(self._data_dir, ignore_errors=True)
+
+
+class ProcessDeployment(Deployment):
+    """One OS process per worker: the real multi-core cluster."""
+
+    def __init__(
+        self, spec: DeploymentSpec, *, auto_restart: bool = False
+    ) -> None:
+        super().__init__(spec)
+        self._owns_dir = False
+        data_dir = spec.data_dir
+        if data_dir is None:
+            data_dir = tempfile.mkdtemp(prefix="repro-cluster-")
+            self._owns_dir = True
+        self._data_dir = data_dir
+        self.cluster = ProcessCluster(
+            f=spec.f,
+            seed=spec.seed,
+            variant=str(spec.variant),
+            scheme=spec.scheme,
+            data_dir=data_dir,
+            host=spec.host,
+            fsync=spec.fsync,
+            workers=spec.workers,
+            auto_restart=auto_restart,
+        )
+        self.addrs = self.cluster.start()
+        # The client side mirrors the workers' configuration exactly —
+        # deterministic key derivation from the shared master seed is what
+        # makes signatures verify across process boundaries.
+        self.config = make_system(
+            spec.f,
+            scheme=spec.scheme,
+            seed=spec.master_seed,
+            strong=(str(spec.variant) == "strong"),
+        )
+        self._loop = _LoopThread()
+        self._pipe = PipelinedClient(
+            _pipeline_clients(spec, self.config),
+            self.addrs,
+            verifier=self.config.verifier if spec.batch_verify else None,
+        )
+        self._loop.run(self._pipe.connect())
+        self._stopped = False
+
+    def run_script(
+        self, script: Sequence[tuple[str, Any]]
+    ) -> list[OpRecord]:
+        records = self._loop.run(self._pipe.run_script(list(script)))
+        return sorted(records, key=lambda record: record.index)
+
+    def stop_workers(self) -> None:
+        """Terminate the worker fleet (idempotent); connections drop."""
+        if not self._stopped:
+            self.cluster.stop()
+            self._stopped = True
+
+    def fingerprints(self) -> dict[str, str]:
+        """Recover each worker's journal offline and digest its state.
+
+        Stops the fleet first: a fingerprint of a live, mid-operation
+        replica is not meaningful.  The recovery pass builds the exact
+        configuration the worker ran and replays snapshot + WAL, so the
+        digest reflects precisely what durably survived.
+        """
+        self.stop_workers()
+        from repro.storage import FileLogStore
+
+        replica_cls = variant_replica_cls(str(self.spec.variant))
+        digests: dict[str, str] = {}
+        for worker in self.cluster.workers:
+            for node_id in worker.node_ids:
+                config = make_system(
+                    self.spec.f,
+                    scheme=self.spec.scheme,
+                    seed=self.spec.master_seed,
+                    strong=(str(self.spec.variant) == "strong"),
+                )
+                config.registry.open_namespace("client:")
+                store = FileLogStore(
+                    replica_data_dir(
+                        worker.data_dir, worker.node_ids, node_id
+                    ),
+                    fsync="never",
+                )
+                replica = replica_cls(node_id, config, store=store)
+                replica.recover()
+                digests[node_id] = replica.state_fingerprint()
+        return digests
+
+    def close(self) -> None:
+        async def teardown() -> None:
+            await self._pipe.close()
+
+        self._loop.run(teardown())
+        self._loop.stop()
+        self.stop_workers()
+        if self._owns_dir:
+            shutil.rmtree(self._data_dir, ignore_errors=True)
+
+
+def deploy(spec: DeploymentSpec, **kwargs: Any) -> Deployment:
+    """Stand up the deployment a spec describes; returns its handle.
+
+    Extra keyword arguments pass through to the transport's constructor
+    (e.g. ``auto_restart=True`` for the process transport).
+    """
+    if spec.transport == "sim":
+        return SimDeployment(spec, **kwargs)
+    if spec.transport == "tcp":
+        return TcpDeployment(spec, **kwargs)
+    if spec.transport == "process":
+        return ProcessDeployment(spec, **kwargs)
+    raise QuorumConfigError(f"unknown transport {spec.transport!r}")

@@ -48,25 +48,43 @@ async def _run_tcp_load(
     slos: tuple[SloTarget, ...],
     max_concurrency: int,
     op_timeout: float,
+    addrs: Optional[dict[str, tuple[str, int]]] = None,
+    config: Optional[SystemConfig] = None,
 ) -> LoadReport:
-    config: SystemConfig = make_system(
-        f,
-        scheme=scheme,
-        seed=b"load-seed-%d" % profile.seed,
-        strong=(variant == "strong"),
-        client_state_budget=budget,
-        authorized_writers=NamespaceWriters(profile.namespace),
-    )
+    external = addrs is not None
+    if config is None:
+        # An external cluster (``repro.cluster``) derives its keys from the
+        # ``cluster-seed-<seed>`` convention; the in-process servers keep
+        # the historical load seed so existing digests stay stable.
+        seed = (
+            b"cluster-seed-%d" % profile.seed
+            if external
+            else b"load-seed-%d" % profile.seed
+        )
+        config = make_system(
+            f,
+            scheme=scheme,
+            seed=seed,
+            strong=(variant == "strong"),
+            client_state_budget=budget,
+            authorized_writers=NamespaceWriters(profile.namespace),
+        )
     config.registry.open_namespace(profile.namespace)
     replica_cls = _replica_class(variant)
     client_cls = _client_class(variant)
-    servers = [
-        ReplicaServer(replica_cls(node_id, config))
-        for node_id in config.quorums.replica_ids
-    ]
-    addrs = {
-        server.replica.node_id: await server.start() for server in servers
-    }
+    servers = (
+        []
+        if external
+        else [
+            ReplicaServer(replica_cls(node_id, config))
+            for node_id in config.quorums.replica_ids
+        ]
+    )
+    if not external:
+        addrs = {
+            server.replica.node_id: await server.start() for server in servers
+        }
+    assert addrs is not None
 
     loop = asyncio.get_running_loop()
     started = loop.time()
@@ -169,8 +187,18 @@ def run_tcp_load(
     slos: tuple[SloTarget, ...] = DEFAULT_SLOS,
     max_concurrency: int = 64,
     op_timeout: float = 10.0,
+    addrs: Optional[dict[str, tuple[str, int]]] = None,
+    config: Optional[SystemConfig] = None,
 ) -> LoadReport:
-    """Run one open-loop profile over loopback TCP and return the report."""
+    """Run one open-loop profile over loopback TCP and return the report.
+
+    By default the harness hosts an in-process 3f+1 server group.  Pass
+    ``addrs`` (e.g. :attr:`repro.cluster.ProcessCluster.addrs`) to fire the
+    same schedule at an externally managed cluster instead — the workers
+    must share the profile's seed (the ``cluster-seed-<seed>`` convention)
+    and admit the profile's identity namespace (``--open-namespace``), or
+    supply a matching ``config`` explicitly.
+    """
     return asyncio.run(
         _run_tcp_load(
             profile,
@@ -181,5 +209,7 @@ def run_tcp_load(
             slos=slos,
             max_concurrency=max_concurrency,
             op_timeout=op_timeout,
+            addrs=addrs,
+            config=config,
         )
     )

@@ -11,7 +11,12 @@ from __future__ import annotations
 import random
 from typing import Any, Callable, Optional, Sequence
 
-from repro.core.batching import BatchCoalescer, BatchEnvelope, expand_message
+from repro.core.batching import (
+    BatchCoalescer,
+    BatchEnvelope,
+    expand_message,
+    prevalidate_batch,
+)
 from repro.core.client import BftBcClient, OptimizedBftBcClient
 from repro.core.messages import Message, message_wire_bytes
 from repro.core.operations import Send
@@ -93,9 +98,16 @@ class ReplicaNode:
     def _on_message(self, src: str, message: Message) -> None:
         """Handle one frame; a batch is unpacked and answered as one frame."""
         before = self.replica.stats.foreground_signs
+        inners = expand_message(message)
+        if len(inners) > 1:
+            # Batch-aware replicas warm their verification memo in one
+            # amortized pass before the per-message handlers run.
+            prevalidate = getattr(self.replica, "prevalidate", None)
+            if prevalidate is not None:
+                prevalidate(inners)
         replies = [
             reply
-            for inner in expand_message(message)
+            for inner in inners
             if (reply := self.replica.handle(src, inner)) is not None
         ]
         if not replies:
@@ -160,6 +172,9 @@ class ClientNode:
         #: never share a destination within a round, so for this node the
         #: coalescer is a provable pass-through (see the differential tests).
         self.coalescer = coalescer
+        #: ``(op kind, result)`` for every completed scripted operation —
+        #: the committed timestamp for writes, the value for reads.
+        self.results: list[tuple[str, Any]] = []
         self._script: list[ScriptStep] = []
         self._next_step = 0
         self._think_time = 0.0
@@ -227,8 +242,11 @@ class ClientNode:
 
     def _on_message(self, src: str, message: Message) -> None:
         was_busy = self.client.busy
+        inners = expand_message(message)
+        if len(inners) > 1:
+            prevalidate_batch(self.client.config.verifier, inners)
         sends: list[Send] = []
-        for inner in expand_message(message):
+        for inner in inners:
             sends.extend(self.client.deliver(src, inner))
         self._send_all(sends)
         if was_busy and not self.client.busy:
@@ -238,6 +256,7 @@ class ClientNode:
         self._cancel_retransmit()
         op = self.client.op
         assert op is not None
+        self.results.append((op.op_name, op.result))
         latency = self.scheduler.now - self._op_started_at
         if self.recorder is not None:
             value = op.result if op.op_name == "read" else None

@@ -1,0 +1,183 @@
+"""Batch signature verification: ``Verifier.verify_batch`` and the
+prevalidation pass (E22's per-write amortization).
+
+The unit tests pin the counter semantics — one amortized pass is one
+``verify_calls`` entry however many signatures it covers, dedup and the memo
+absorb repeats, bad signatures stay bad — and the differential test drives a
+full base write with and without prevalidation, asserting the measured
+passes match the :class:`~repro.analysis.costs.CostModel` closed forms and
+clear the E22 acceptance floor (>= 2x fewer).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.analysis.costs import CostModel
+from repro.core.batching import batch_signature_checks, prevalidate_batch
+from repro.core.client import BftBcClient
+from repro.core.config import make_system
+from repro.core.replica import BftBcReplica
+from repro.crypto.signatures import Signature
+
+
+def _signed_checks(config, signer: str, count: int):
+    """``count`` distinct (signature, statement) pairs signed by ``signer``."""
+    checks = []
+    for i in range(count):
+        statement = ("stmt", signer, i)
+        checks.append((config.scheme.sign_statement(signer, statement), statement))
+    return checks
+
+
+@pytest.fixture
+def config():
+    cfg = make_system(1, seed=b"batch-verify-test")
+    cfg.registry.register("c1")
+    return cfg
+
+
+class TestVerifyBatch:
+    def test_one_pass_one_verify_call(self, config):
+        checks = _signed_checks(config, "c1", 6)
+        stats = config.verifier.stats
+        verdicts = config.verifier.verify_batch(checks)
+        assert verdicts == [True] * 6
+        assert stats.batch_calls == 1
+        assert stats.batched_signatures == 6
+        assert stats.verify_calls == 1  # six backend verifies, one pass
+        assert stats.backend_verifies == 6
+
+    def test_second_pass_is_all_memo_hits(self, config):
+        checks = _signed_checks(config, "c1", 4)
+        config.verifier.verify_batch(checks)
+        stats = config.verifier.stats
+        before = (stats.verify_calls, stats.backend_verifies)
+        assert config.verifier.verify_batch(checks) == [True] * 4
+        # No backend work happened, so the pass does not count.
+        assert (stats.verify_calls, stats.backend_verifies) == before
+        # Individual re-verification afterwards is also free.
+        sig, statement = checks[0]
+        assert config.verifier.verify_statement(sig, statement)
+        assert (stats.verify_calls, stats.backend_verifies) == before
+
+    def test_duplicate_checks_dedup_to_one_backend_verify(self, config):
+        sig, statement = _signed_checks(config, "c1", 1)[0]
+        stats = config.verifier.stats
+        verdicts = config.verifier.verify_batch([(sig, statement)] * 5)
+        assert verdicts == [True] * 5
+        assert stats.backend_verifies == 1
+        assert stats.verify_calls == 1
+
+    def test_bad_signature_stays_bad(self, config):
+        checks = _signed_checks(config, "c1", 3)
+        good_sig, _ = checks[0]
+        forged = (
+            Signature(signer="c1", value=b"\x00" * len(good_sig.value)),
+            ("stmt", "c1", 0),
+        )
+        verdicts = config.verifier.verify_batch([forged] + checks[1:])
+        assert verdicts == [False, True, True]
+        # The False verdict is memoized too: the handler's own check fails
+        # without another backend trip.
+        stats = config.verifier.stats
+        before = stats.backend_verifies
+        assert not config.verifier.verify_statement(*forged)
+        assert stats.backend_verifies == before
+
+    def test_executor_fan_out(self, config):
+        checks = _signed_checks(config, "c1", 8)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            config.verifier.set_batch_executor(pool, min_misses=2)
+            try:
+                verdicts = config.verifier.verify_batch(checks)
+            finally:
+                config.verifier.set_batch_executor(None)
+        assert verdicts == [True] * 8
+        stats = config.verifier.stats
+        assert stats.batch_pool_tasks == 8
+        assert stats.verify_calls == 1
+
+    def test_small_batches_stay_inline(self, config):
+        checks = _signed_checks(config, "c1", 2)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            config.verifier.set_batch_executor(pool, min_misses=4)
+            try:
+                config.verifier.verify_batch(checks)
+            finally:
+                config.verifier.set_batch_executor(None)
+        assert config.verifier.stats.batch_pool_tasks == 0
+
+
+class TestPrevalidateBatch:
+    def test_trivial_batches_are_skipped(self, config):
+        assert prevalidate_batch(config.verifier, []) == 0
+        assert config.verifier.stats.batch_calls == 0
+
+    def test_unextractable_messages_contribute_nothing(self, config):
+        checks, certs = batch_signature_checks([object()])
+        assert checks == [] and certs == []
+
+
+def _run_write(prevalidate: bool):
+    """One steady-state base write, counting verification passes.
+
+    Mirrors the TCP deployment's shape: each replica prevalidates the
+    frames it received (here one per round), and the client prevalidates
+    each round's replies as one batch before delivering them.  The *first*
+    write warms certificates shared across writes; the second write is the
+    steady state the closed forms model.
+    """
+    config = make_system(1, seed=b"bv-differential")
+    config.registry.register("c1")
+    replicas = {
+        node_id: BftBcReplica(node_id, config)
+        for node_id in config.quorums.replica_ids
+    }
+    client = BftBcClient("c1", config)
+
+    def pump(sends):
+        while sends:
+            replies = []
+            for send in sends:
+                if prevalidate:
+                    replicas[send.dest].prevalidate([send.message])
+                reply = replicas[send.dest].handle("c1", send.message)
+                if reply is not None:
+                    replies.append((send.dest, reply))
+            if prevalidate:
+                prevalidate_batch(config.verifier, [r for _, r in replies])
+            sends = [
+                out
+                for dest, reply in replies
+                for out in client.deliver(dest, reply)
+            ]
+
+    pump(client.begin_write(b"v1"))
+    assert not client.busy
+    steady_start = config.verifier.stats.verify_calls
+    pump(client.begin_write(b"v2"))
+    assert not client.busy
+    return config.verifier.stats.verify_calls - steady_start
+
+
+class TestE22Differential:
+    def test_verify_calls_match_closed_forms(self):
+        unbatched = _run_write(prevalidate=False)
+        batched = _run_write(prevalidate=True)
+        model = CostModel(make_system(1, seed=b"x").quorums)
+        assert unbatched == model.write_verify_calls_unbatched() == 11
+        assert batched == model.write_verify_calls_batched() == 5
+        # The E22 acceptance floor: batching at least halves the passes.
+        assert unbatched / batched >= 2.0
+        assert model.batch_verify_reduction() == pytest.approx(unbatched / batched)
+
+    def test_reduction_scales_with_pipeline_depth(self):
+        model = CostModel(make_system(1, seed=b"x").quorums)
+        assert model.batch_verify_reduction(in_flight=4) == pytest.approx(
+            4 * model.batch_verify_reduction()
+        )
+        with pytest.raises(ValueError):
+            model.write_verify_calls_batched(in_flight=0)

@@ -1,0 +1,226 @@
+"""The deployment API and the process cluster.
+
+Fast tests cover the declarative :class:`DeploymentSpec` (validation, wire
+round-trip, key-derivation seed), the worker data-directory layout rule,
+and the ``deploy()`` dispatcher over the sim transport.  The slow-marked
+tests spawn real OS processes: a bare ``serve --port 0 --announce`` worker,
+the :class:`ProcessCluster` lifecycle, the ``cluster up/status/down`` CLI,
+and the full kill-and-recover smoke from ``tools/cluster_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.cluster import (
+    DeploymentSpec,
+    ProcessCluster,
+    SimDeployment,
+    deploy,
+)
+from repro.cluster.process import replica_data_dir
+from repro.core.timestamp import Timestamp
+from repro.errors import QuorumConfigError
+
+
+class TestDeploymentSpec:
+    def test_defaults_are_valid(self):
+        spec = DeploymentSpec()
+        assert spec.n == 4
+        assert spec.transport == "sim"
+        assert spec.master_seed == b"cluster-seed-0"
+
+    def test_master_seed_tracks_seed(self):
+        assert DeploymentSpec(seed=7).master_seed == b"cluster-seed-7"
+
+    def test_with_returns_modified_copy(self):
+        spec = DeploymentSpec(pipeline=2)
+        wider = spec.with_(pipeline=8, transport="tcp")
+        assert (wider.pipeline, wider.transport) == (8, "tcp")
+        assert (spec.pipeline, spec.transport) == (2, "sim")
+
+    def test_wire_round_trip(self):
+        spec = DeploymentSpec(
+            f=2,
+            variant="optimized",
+            seed=3,
+            transport="process",
+            store="file",
+            fsync="never",
+            pipeline=4,
+            workers=5,
+        )
+        assert DeploymentSpec.from_wire(spec.to_wire()) == spec
+        assert json.loads(json.dumps(spec.to_wire())) == spec.to_wire()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"transport": "udp"},
+            {"store": "redis"},
+            {"scheme": "ecdsa"},
+            {"fsync": "sometimes"},
+            {"f": 0},
+            {"pipeline": 0},
+            {"workers": 0},
+            {"workers": 5},  # n = 4 at f=1
+        ],
+    )
+    def test_invalid_fields_rejected(self, overrides):
+        with pytest.raises(QuorumConfigError):
+            DeploymentSpec(**overrides)
+
+
+class TestReplicaDataDir:
+    def test_single_replica_journals_in_the_worker_dir(self):
+        assert replica_data_dir("/d/worker-0", ["replica:2"], "replica:2") == (
+            "/d/worker-0"
+        )
+
+    def test_cohosted_replicas_get_subdirectories(self):
+        path = replica_data_dir(
+            "/d/worker-0", ["replica:0", "replica:3"], "replica:3"
+        )
+        assert path == str(Path("/d/worker-0") / "replica_3")
+
+
+class TestDeploySim:
+    def test_uniform_handle_over_sim(self):
+        spec = DeploymentSpec(transport="sim", pipeline=2, seed=5)
+        with deploy(spec) as dep:
+            assert isinstance(dep, SimDeployment)
+            records = dep.run_script([("write", f"v{i}") for i in range(6)])
+            assert len(records) == 6
+            assert all(isinstance(r.result, Timestamp) for r in records)
+            ts = dep.write("last")
+            assert ts == max(r.result for r in records).succ("client:pipe0")
+            assert dep.read() == "last"
+            prints = dep.fingerprints()
+        assert len(prints) == spec.n
+        assert len(set(prints.values())) == 1
+
+    def test_unknown_transport_is_rejected_at_spec_time(self):
+        with pytest.raises(QuorumConfigError, match="unknown transport"):
+            DeploymentSpec(transport="carrier-pigeon")
+
+
+def _wait(predicate, timeout: float = 30.0, interval: float = 0.05) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(interval)
+
+
+@pytest.mark.slow
+class TestServeAnnounce:
+    def test_port_zero_announces_ephemeral_address(self, tmp_path):
+        """``serve --port 0 --announce`` prints a JSON line per replica and
+        accepts connections on the announced port."""
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", "replica:0",
+                "--data-dir", str(tmp_path), "--port", "0", "--announce",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+        )
+        try:
+            assert process.stdout is not None
+            event = json.loads(process.stdout.readline())
+            assert event["event"] == "listening"
+            assert event["node_id"] == "replica:0"
+            assert event["port"] > 0
+            with socket.create_connection(
+                (event["host"], event["port"]), timeout=5
+            ):
+                pass
+        finally:
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=10)
+
+
+@pytest.mark.slow
+class TestProcessCluster:
+    def test_lifecycle_and_restart(self, tmp_path):
+        cluster = ProcessCluster(
+            f=1, seed=2, data_dir=str(tmp_path), workers=2, auto_restart=True
+        )
+        with cluster:
+            addrs = cluster.addrs
+            assert len(addrs) == 4
+            assert ProcessCluster.read_state(str(tmp_path)) is not None
+            victim = cluster.worker_for("replica:0")
+            before = dict(victim.addrs)
+            cluster.kill("replica:0")
+            _wait(lambda: victim.restarts >= 1 and victim.alive)
+            # The supervisor re-requests the originally announced ports so
+            # the other processes' address books stay valid.
+            assert victim.addrs == before
+            assert cluster.crashes >= 1
+            statuses = cluster.status()
+            assert all(row["alive"] for row in statuses)
+        assert ProcessCluster.read_state(str(tmp_path)) is None
+        for worker in cluster.workers:
+            assert not worker.alive
+
+
+@pytest.mark.slow
+class TestClusterCli:
+    def test_up_status_down(self, tmp_path, capsys):
+        data_dir = str(tmp_path)
+        assert main(["cluster", "up", "--data-dir", data_dir,
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "replica:0 listening on" in out
+        assert "cluster.json" in out
+        try:
+            assert main(["cluster", "status", "--data-dir", data_dir,
+                         "--json"]) == 0
+            state = json.loads(capsys.readouterr().out)
+            assert {w["index"] for w in state["workers"]} == {0, 1}
+            assert main(["cluster", "status", "--data-dir", data_dir]) == 0
+            table = capsys.readouterr().out
+            assert "replica:3" in table and "up" in table
+        finally:
+            assert main(["cluster", "down", "--data-dir", data_dir]) == 0
+        out = capsys.readouterr().out
+        assert "terminated 2 worker(s)" in out
+        assert not (tmp_path / "cluster.json").exists()
+        # A second down finds nothing to manage.
+        assert main(["cluster", "down", "--data-dir", data_dir]) == 1
+
+    def test_status_without_state_fails(self, tmp_path, capsys):
+        assert main(["cluster", "status", "--data-dir", str(tmp_path)]) == 1
+        assert "no cluster state" in capsys.readouterr().err
+
+
+@pytest.mark.slow
+class TestClusterSmoke:
+    def test_kill_and_recover_smoke(self, tmp_path):
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+        try:
+            from cluster_smoke import run_smoke
+        finally:
+            sys.path.pop(0)
+        result = run_smoke(
+            ops=60, data_dir=str(tmp_path), verbose=False
+        )
+        assert result["ops"] == 60
+        assert result["restarts"] >= 1
+        assert result["fingerprint"]

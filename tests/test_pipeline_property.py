@@ -1,0 +1,184 @@
+"""Pipelined writes (k logical clients in flight) keep register semantics.
+
+The pipeline window is k *serial* logical clients sharing one mux'd
+connection per replica, so concurrent writes may legitimately commit at
+colliding ``val``s under different client ids — ``(v, pipe0)`` and
+``(v, pipe3)`` are distinct, totally ordered timestamps.  The properties a
+correct pipeline must keep:
+
+* every write commits at a distinct timestamp (the total order exists);
+* each logical client's own commits are strictly increasing in its
+  submission order (clients are serial);
+* a read after the burst returns the value of the *maximum* committed
+  timestamp — the register's version order is the timestamp order;
+* the concurrent history collapses to its **winning chain** — per ``val``,
+  the maximum-timestamp commit.  Sequentially replaying exactly that chain
+  (same logical client ids, same master seed) through the deterministic
+  simulator commits the *identical timestamps*, and after a flush write
+  clears the final round's losing prepare-list entries, both runs hold the
+  same durable state per replica.  The one schedule-dependent freedom left
+  is *which* q-of-n replica signatures each client happened to assemble
+  into its certificates, so the cross-transport comparison reduces every
+  certificate to its (ts, value-hash) core; within each deployment the
+  replicas must agree on full fingerprints bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster import DeploymentSpec, deploy
+from repro.core.timestamp import Timestamp
+from repro.sim import build_cluster
+
+WINDOW = 4
+WRITES = 16
+FLUSH_VALUE = "pv-flush"
+
+
+def _script(count: int = WRITES):
+    return [("write", f"pv{i}") for i in range(count)]
+
+
+def _check_commit_properties(records, final_read):
+    """The transport-independent ordering properties of a pipelined burst."""
+    assert len(records) == WRITES
+    by_ts = {}
+    for record in records:
+        assert isinstance(record.result, Timestamp), record
+        assert record.result not in by_ts, "timestamp committed twice"
+        by_ts[record.result] = record
+    # Serial logical clients: per-client commits increase with submission.
+    per_client: dict[str, list] = {}
+    for record in sorted(records, key=lambda r: r.index):
+        per_client.setdefault(record.client, []).append(record.result)
+    assert len(per_client) <= WINDOW
+    for client, stamps in per_client.items():
+        assert stamps == sorted(stamps), f"{client} commits out of order"
+    # vals form the contiguous chain 1..V (succ-only advancement).
+    vals = sorted({ts.val for ts in by_ts})
+    assert vals == list(range(1, len(vals) + 1))
+    # The read sees the write with the maximum timestamp.
+    winner = by_ts[max(by_ts)]
+    assert final_read == winner.value
+    return by_ts
+
+
+def _winning_chain(by_ts):
+    """Per ``val``, the maximum-timestamp commit, in val order."""
+    best: dict[int, object] = {}
+    for ts, record in by_ts.items():
+        kept = best.get(ts.val)
+        if kept is None or ts > kept.result:
+            best[ts.val] = record
+    return [best[val] for val in sorted(best)]
+
+
+def _semantic_state(snapshot: dict) -> dict:
+    """Durable state modulo certificate signer sets and signing logs.
+
+    Certificates keep their (timestamp, value-hash) core; which 2f+1 of
+    the 3f+1 replica signatures a client assembled is schedule freedom the
+    protocol explicitly allows.
+    """
+
+    def cert_core(cert):
+        return None if cert is None else tuple(cert[:2])
+
+    reduced = {}
+    for key, value in snapshot.items():
+        if key in ("spr", "swr"):
+            continue  # signing logs record the schedule, not the register
+        if key.endswith("cert"):
+            reduced[key] = cert_core(value)
+        else:
+            reduced[key] = value
+    return reduced
+
+
+def _settled_fingerprints(dep, timeout: float = 5.0):
+    """Poll until every replica digests identically (late frames drain)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        prints = dep.fingerprints()
+        if len(set(prints.values())) == 1 or time.monotonic() > deadline:
+            return prints
+
+
+class TestPipelinedSim:
+    """The deterministic transport: same window, virtual time."""
+
+    def test_commit_order_properties(self):
+        spec = DeploymentSpec(transport="sim", pipeline=WINDOW, seed=31)
+        with deploy(spec) as dep:
+            records = dep.run_script(_script())
+            final = dep.read()
+            _check_commit_properties(records, final)
+            prints = dep.fingerprints()
+        assert len(set(prints.values())) == 1
+
+
+class TestPipelinedTcp:
+    """Real sockets: k in-flight over one mux'd connection per replica."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        spec = DeploymentSpec(transport="tcp", pipeline=WINDOW, seed=31)
+        with deploy(spec) as dep:
+            records = dep.run_script(_script())
+            final = dep.read()
+            # Flush twice, sequentially, through one client.  A PREPARE
+            # piggybacks the *writer's own* previous certificate, so the
+            # first flush commits above everything and the second carries
+            # that now-maximal certificate to every replica — advancing
+            # write_ts and clearing every losing prepare-list entry the
+            # concurrent burst left behind.
+            flush_ts = dep.write(FLUSH_VALUE)
+            dep.write(FLUSH_VALUE + "2")
+            prints = _settled_fingerprints(dep)
+            states = {
+                server.replica.node_id: server.replica.snapshot_wire()
+                for server in dep.servers
+            }
+        return records, final, flush_ts, prints, states
+
+    def test_commits_in_timestamp_order(self, run):
+        records, final, flush_ts, prints, _ = run
+        by_ts = _check_commit_properties(records, final)
+        assert flush_ts == max(by_ts).succ("client:pipe0")
+        assert len(set(prints.values())) == 1, "replicas diverged"
+
+    def test_winning_chain_replays_to_identical_state(self, run):
+        records, final, flush_ts, _, tcp_states = run
+        chain = _winning_chain(_check_commit_properties(records, final))
+        # Replay exactly the winning chain plus the flush, one op at a
+        # time, in the sim: same master seed, same logical client ids,
+        # strictly sequential.
+        cluster = build_cluster(f=1, seed=31)
+        flushes = [
+            (FLUSH_VALUE, flush_ts),
+            (FLUSH_VALUE + "2", flush_ts.succ("client:pipe0")),
+        ]
+        replay = [
+            (r.client.removeprefix("client:"), r.value, r.result)
+            for r in chain
+        ] + [("pipe0", value, ts) for value, ts in flushes]
+        for name, value, expected in replay:
+            cluster.run_scripts({name: [("write", value)]})
+            node = cluster.clients[f"client:{name}"]
+            _, committed = node.results[-1]
+            assert committed == expected, (
+                "sequential replay committed a different timestamp"
+            )
+        cluster.settle()
+        sim_states = {
+            node_id: replica.snapshot_wire()
+            for node_id, replica in cluster.replicas.items()
+        }
+        assert sim_states.keys() == tcp_states.keys()
+        for node_id in sim_states:
+            assert _semantic_state(sim_states[node_id]) == _semantic_state(
+                tcp_states[node_id]
+            ), f"{node_id} durable state diverged from sequential replay"

@@ -10,7 +10,7 @@ or below, never above):
     3  repro.core (everything else in core)
     4  repro.spec, repro.analysis, repro.shard
     5  repro.baselines, repro.byzantine, repro.net, repro.sim, repro.load,
-       repro (root)
+       repro.cluster, repro (root)
 
 The crucial edges this pins down: ``crypto`` never imports ``core``;
 ``core.verification`` sits between ``crypto`` and the rest of ``core`` and
@@ -63,6 +63,7 @@ LAYERS: dict[str, int] = {
     "repro.sim": 5,
     "repro.chaos": 5,
     "repro.load": 5,
+    "repro.cluster": 5,
     "repro": 5,
 }
 

@@ -70,6 +70,7 @@ MODULES = [
     "repro.storage.filelog",
     "repro.net.simnet",
     "repro.net.asyncio_transport",
+    "repro.net.mux",
     "repro.net.chaos_proxy",
     "repro.net.shard_transport",
     "repro.chaos.plan",
@@ -83,6 +84,9 @@ MODULES = [
     "repro.load.generator",
     "repro.load.harness",
     "repro.load.tcp",
+    "repro.cluster.spec",
+    "repro.cluster.process",
+    "repro.cluster.deploy",
     "repro.crypto.signatures",
     "repro.crypto.rsa",
     "repro.crypto.keys",
