@@ -1,0 +1,251 @@
+"""E23 — Self-stabilization: checksum overhead and time-to-stabilize.
+
+Two questions about the integrity layer added with the self-stabilizing
+storage work (DESIGN.md §4.11):
+
+* **What does sealing cost?**  Every WAL record and snapshot carries a
+  32-byte SHA-256 integrity tag (:mod:`repro.storage.integrity`).  The
+  first experiment times the same durable write workload with sealing on
+  versus an ablation arm whose ``seal``/``unseal`` are identity functions,
+  using E13b's discipline (warm-up, then five interleaved runs per arm,
+  best of five).  The acceptance bound is **≤ 5 %** wall-clock overhead.
+
+* **How fast does a corrupted replica heal?**  The second experiment
+  perturbs one replica's live state and measures the *virtual* time from
+  injection until the periodic self-audit has quarantined it and the
+  quorum repair completed, across a sweep of audit intervals.  The curve
+  must be monotone-ish in the interval: detection latency is one audit
+  period, repair itself is a single round trip.
+
+Both results land in ``BENCH_throughput.json`` under ``e23_stabilization``.
+
+Marked ``slow``: real files and repeated whole-cluster runs.
+"""
+
+from __future__ import annotations
+
+import math
+import pathlib
+import sys
+import time
+
+import pytest
+
+import repro.storage.filelog as filelog_module
+from repro.analysis import format_table
+from repro.sim import ClusterOptions, build_cluster, write_script
+from repro.storage import FileLogStore
+
+from benchmarks.conftest import run_once
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "tools"))
+import bench_record  # noqa: E402
+
+pytestmark = pytest.mark.slow
+
+WRITES = 30
+CLIENTS = 6
+AUDIT_INTERVALS = (0.1, 0.2, 0.4, 0.8)
+
+
+def _sealing_arm(root: pathlib.Path, *, sealed: bool, seed: int = 2300) -> dict:
+    """Time one durable workload with sealing on or ablated to identity.
+
+    The integrity layer has no runtime toggle on purpose — production
+    stores always seal — so the baseline arm patches the two names
+    :mod:`repro.storage.filelog` binds at import time.  Each arm writes a
+    fresh directory tree, so both arms are self-consistent on disk.
+    """
+    original = (filelog_module.seal, filelog_module.unseal)
+    if not sealed:
+        filelog_module.seal = lambda payload, domain: payload
+        filelog_module.unseal = lambda payload, domain: payload
+    try:
+        started = time.perf_counter()
+        cluster = build_cluster(
+            ClusterOptions(
+                seed=seed,
+                store_factory=lambda rid: FileLogStore(
+                    root / rid.replace(":", "_"), fsync="never"
+                ),
+            )
+        )
+        scripts = {
+            f"w{i}": write_script(f"client:w{i}", WRITES) for i in range(CLIENTS)
+        }
+        cluster.run_scripts(scripts, max_time=600)
+        elapsed = time.perf_counter() - started
+        ops = cluster.metrics.operations
+        for replica in cluster.replicas.values():
+            replica.store.close()
+        return {"ops": ops, "wall_seconds": elapsed}
+    finally:
+        filelog_module.seal, filelog_module.unseal = original
+
+
+def test_e23_checksum_overhead(benchmark, tmp_path):
+    """Sealing every WAL record and snapshot costs ≤ 5 % wall-clock.
+
+    One SHA-256 over a small canonical record is cheap next to the
+    signing and serialisation the workload already pays; the bound is the
+    acceptance criterion from the self-stabilizing-storage work.
+    """
+
+    def experiment():
+        counter = [0]
+
+        def fresh(arm: str) -> pathlib.Path:
+            counter[0] += 1
+            return tmp_path / f"{arm}-{counter[0]}"
+
+        _sealing_arm(fresh("warm-off"), sealed=False)  # warm imports/allocator
+        _sealing_arm(fresh("warm-on"), sealed=True)
+        runs = {False: [], True: []}
+        for _ in range(5):
+            for sealed in (False, True):
+                arm = "sealed" if sealed else "plain"
+                runs[sealed].append(_sealing_arm(fresh(arm), sealed=sealed))
+        plain = min(runs[False], key=lambda r: r["wall_seconds"])
+        sealed = min(runs[True], key=lambda r: r["wall_seconds"])
+        overhead = sealed["wall_seconds"] / plain["wall_seconds"] - 1.0
+        print()
+        print(
+            format_table(
+                ["arm", "ops", "wall seconds"],
+                [
+                    ["seal/unseal ablated", plain["ops"],
+                     round(plain["wall_seconds"], 3)],
+                    ["sealed (production)", sealed["ops"],
+                     round(sealed["wall_seconds"], 3)],
+                ],
+                title="E23: durable workload, integrity sealing off vs on",
+            )
+        )
+        print(f"checksum overhead: {overhead * 100:+.2f}% wall-clock")
+        return {
+            "plain": plain,
+            "sealed": sealed,
+            "overhead_fraction": overhead,
+        }
+
+    results = run_once(benchmark, experiment)
+    assert results["plain"]["ops"] == results["sealed"]["ops"]
+    # The acceptance bound: ≤ 5 % wall-clock for per-record SHA-256 tags.
+    assert results["overhead_fraction"] <= 0.05, results
+    bench_record.record(
+        "e23_stabilization_overhead",
+        {
+            "plain_wall_seconds": round(results["plain"]["wall_seconds"], 4),
+            "sealed_wall_seconds": round(results["sealed"]["wall_seconds"], 4),
+            "overhead_fraction": round(results["overhead_fraction"], 4),
+            "ops": results["sealed"]["ops"],
+        },
+    )
+
+
+def _time_to_stabilize(
+    root: pathlib.Path, audit_interval: float, *, seed: int = 2301
+) -> dict:
+    """Virtual time from state perturbation to completed quorum repair.
+
+    Mirrors the chaos engine's audit loop: every correct replica audits
+    once per ``audit_interval`` of virtual time; the victim's first audit
+    after the fault quarantines it and pushes the repair round onto the
+    (reliable) network, which completes within the same tick's settle.
+    """
+    cluster = build_cluster(
+        ClusterOptions(
+            seed=seed,
+            store_factory=lambda rid: FileLogStore(
+                root / rid.replace(":", "_"), fsync="never"
+            ),
+        )
+    )
+    cluster.run_scripts({"w": write_script("client:w", 6)}, max_time=600)
+    victim = cluster.replica_nodes["replica:1"]
+    scheduler = cluster.scheduler
+
+    # Audit ticks on an absolute grid (k * interval), like the chaos
+    # engine's audit loop; the fault lands just *after* a grid point so the
+    # detection delay is deterministically one full audit period.
+    ticks = [0]
+
+    def tick() -> None:
+        ticks[0] += 1
+        for node in cluster.replica_nodes.values():
+            node.audit_and_repair()
+        scheduler.call_at(scheduler.now + audit_interval, tick)
+
+    grid = math.ceil(scheduler.now / audit_interval) * audit_interval
+    scheduler.call_at(grid, tick)
+    injected = grid + audit_interval / 100.0
+    scheduler.call_at(
+        injected, lambda: victim.perturb_state(target="data", seed=9)
+    )
+
+    def stabilized() -> bool:
+        replica = victim.replica
+        return replica.stats.repairs >= 1 and not replica.quarantined
+
+    scheduler.run(
+        until=injected + 50 * audit_interval,
+        stop_when=lambda: scheduler.now > injected and stabilized(),
+    )
+    assert stabilized(), "no stabilization within 50 audit periods"
+    elapsed = scheduler.now - injected
+    for replica in cluster.replicas.values():
+        replica.store.close()
+    return {
+        "audit_interval": audit_interval,
+        "virtual_seconds": elapsed,
+        "audit_ticks": ticks[0],
+    }
+
+
+def test_e23_time_to_stabilize(benchmark, tmp_path):
+    """Time-to-stabilize is dominated by detection: one audit period.
+
+    Repair itself is a single REPAIR-REQ/REPAIR-REPLY round trip on a
+    reliable network, so halving the audit interval roughly halves the
+    healing time — the curve recorded here is what EXPERIMENTS.md E23
+    charts.
+    """
+
+    def experiment():
+        curve = []
+        for index, interval in enumerate(AUDIT_INTERVALS):
+            curve.append(
+                _time_to_stabilize(tmp_path / f"i{index}", interval)
+            )
+        print()
+        print(
+            format_table(
+                ["audit interval (s)", "time to stabilize (s)", "audit ticks"],
+                [
+                    [point["audit_interval"],
+                     round(point["virtual_seconds"], 3),
+                     point["audit_ticks"]]
+                    for point in curve
+                ],
+                title="E23: virtual time from corruption to completed repair",
+            )
+        )
+        return curve
+
+    curve = run_once(benchmark, experiment)
+    for point in curve:
+        # Detected and repaired within a couple of audit periods.
+        assert point["virtual_seconds"] <= 3 * point["audit_interval"] + 0.5, (
+            point
+        )
+    # The curve is monotone in the audit interval: slower audits, slower
+    # healing (the repair round trip itself is interval-independent).
+    times = [point["virtual_seconds"] for point in curve]
+    assert times == sorted(times), times
+    bench_record.record(
+        "e23_stabilization_curve",
+        {
+            "audit_intervals": list(AUDIT_INTERVALS),
+            "virtual_seconds": [round(t, 4) for t in times],
+        },
+    )

@@ -295,8 +295,27 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 1
     replica_cls = _serve_replica_cls(args.variant)
 
+    def peer_addrs() -> "dict[str, tuple[str, int]]":
+        """The cluster address book, re-read from the orchestrator's state
+        file on every audit tick (it may not exist yet at startup)."""
+        import pathlib
+
+        if not args.peers_file:
+            return {}
+        try:
+            state = json.loads(pathlib.Path(args.peers_file).read_text())
+        except (OSError, ValueError):
+            return {}
+        book: dict[str, tuple[str, int]] = {}
+        for worker in state.get("workers", []):
+            for node_id, addr in worker.get("addrs", {}).items():
+                if node_id not in args.node_ids and len(addr) == 2:
+                    book[node_id] = (addr[0], int(addr[1]))
+        return book
+
     async def run() -> None:
         servers = []
+        tasks = []
         for node_id, port in zip(args.node_ids, ports):
             server = ReplicaServer.durable(
                 node_id,
@@ -332,9 +351,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
                     f"(data dir {args.data_dir}, fsync={args.fsync})",
                     flush=True,
                 )
+        if args.audit_interval > 0:
+            tasks = [
+                asyncio.ensure_future(
+                    server.stabilization_loop(
+                        peer_addrs, interval=args.audit_interval
+                    )
+                )
+                for server in servers
+            ]
         try:
             await asyncio.Event().wait()
         finally:
+            for task in tasks:
+                task.cancel()
             for server in servers:
                 await server.stop()
 
@@ -493,6 +523,50 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     else:
         print(format_campaign(summary))
     return 0 if summary["ok"] else 1
+
+
+def cmd_storage(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.storage.filelog import FileLogStore
+
+    root = pathlib.Path(args.data_dir)
+    if not root.exists():
+        print(f"no such data directory: {root}", file=sys.stderr)
+        return 2
+    # A directory holding wal.bin is one store; otherwise scrub every
+    # immediate subdirectory that holds one (a cluster root).
+    if (root / "wal.bin").exists():
+        targets = [root]
+    else:
+        targets = sorted(
+            child for child in root.iterdir()
+            if child.is_dir() and (child / "wal.bin").exists()
+        )
+    if not targets:
+        print(f"no replica stores under {root}", file=sys.stderr)
+        return 2
+    reports = {}
+    clean = True
+    for directory in targets:
+        store = FileLogStore(directory, snapshot_interval=None)
+        report = store.scrub()
+        reports[str(directory)] = report
+        clean = clean and report["clean"]
+    if args.json:
+        print(json.dumps(reports, indent=2, sort_keys=True))
+        return 0 if clean else 1
+    for directory, report in reports.items():
+        verdict = "clean" if report["clean"] else "CORRUPT"
+        print(f"{directory}: {verdict}")
+        print(f"  records verified {report['records_verified']}, "
+              f"torn {report['torn_records']}, "
+              f"corrupt {report['corrupt_records']}, "
+              f"corrupt snapshots {report['corrupt_snapshots']}")
+    print("scrub clean" if clean else "scrub found damage — "
+          "quarantine the replica and repair from peers")
+    return 0 if clean else 1
 
 
 def cmd_shard(args: argparse.Namespace) -> int:
@@ -723,6 +797,12 @@ def main(argv: list[str] | None = None) -> int:
                             "without explicit registration (default: client:)")
     serve.add_argument("--no-batch-verify", action="store_true",
                        help="disable per-chunk amortized signature batches")
+    serve.add_argument("--peers-file", default=None,
+                       help="orchestrator state file (cluster.json) naming "
+                            "peer addresses; enables quarantine repair")
+    serve.add_argument("--audit-interval", type=float, default=0.0,
+                       help="seconds between periodic self-audits "
+                            "(0 disables the stabilization loop)")
 
     cluster = sub.add_parser(
         "cluster", help="manage a multi-process replica cluster"
@@ -820,6 +900,21 @@ def main(argv: list[str] | None = None) -> int:
     shard_replay.add_argument("artifact", help="path to a shard artifact JSON")
     shard_replay.add_argument("--json", action="store_true")
 
+    storage = sub.add_parser(
+        "storage", help="offline durable-store maintenance"
+    )
+    storage_sub = storage.add_subparsers(dest="storage_command", required=True)
+    storage_scrub = storage_sub.add_parser(
+        "scrub",
+        help="re-verify every WAL record and snapshot seal, read-only",
+    )
+    storage_scrub.add_argument(
+        "data_dir",
+        help="one replica's data directory, or a cluster root whose "
+             "subdirectories each hold one",
+    )
+    storage_scrub.add_argument("--json", action="store_true")
+
     load = sub.add_parser(
         "load", help="open-loop production load judged against SLOs"
     )
@@ -860,6 +955,7 @@ def main(argv: list[str] | None = None) -> int:
         "cluster": cmd_cluster,
         "chaos": cmd_chaos,
         "shard": cmd_shard,
+        "storage": cmd_storage,
         "load": cmd_load,
     }
     return handlers[args.command](args)

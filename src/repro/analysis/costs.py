@@ -427,6 +427,28 @@ class CostModel:
         members of the believed configuration plus n replies."""
         return 2 * self.quorums.n
 
+    def repair_messages(self) -> int:
+        """Messages for one quarantined replica's rebuild, reliable net.
+
+        One ``REPAIR-REQ`` to each of its ``n - 1`` peers and one
+        ``REPAIR-REPLY`` back — ``2(n - 1)``: the same shape as a joining
+        replica's bootstrap (:meth:`state_transfer_messages`) minus the
+        request a joiner would address to the slot it is filling.
+        Completion needs only ``2f + 1`` replies, but on a reliable
+        network every peer answers one pull.
+        """
+        return 2 * (self.quorums.n - 1)
+
+    def repair_verifications(self) -> int:
+        """Certificate verifications one repair performs, steady state.
+
+        Every collected candidate's embedded prepare certificate is
+        re-validated (``q`` signatures each), but identical candidates
+        from different peers collapse in the verification memo — with all
+        correct peers agreeing, that is one certificate: ``q`` checks.
+        """
+        return self.quorums.quorum_size
+
     # -- frame counts (cross-object batching) --------------------------------
 
     def workload_frames_unbatched(self, objects: int, phases: int = 3) -> int:

@@ -72,6 +72,11 @@ class EpisodeResult:
     #: Writes that abandoned the fast path for the signed protocol
     #: (always 0 outside the ``fastpath`` variant).
     fallbacks: int = 0
+    #: Self-stabilization counters, summed over the correct replicas.
+    quarantines: int = 0
+    repairs: int = 0
+    corrupt_records: int = 0
+    corrupt_snapshots: int = 0
     error: str = ""
 
     @property
@@ -110,6 +115,10 @@ class EpisodeResult:
             "dropped_by_reason": dict(sorted(self.dropped_by_reason.items())),
             "replica_crashes": self.replica_crashes,
             "fallbacks": self.fallbacks,
+            "quarantines": self.quarantines,
+            "repairs": self.repairs,
+            "corrupt_records": self.corrupt_records,
+            "corrupt_snapshots": self.corrupt_snapshots,
         }
 
 
@@ -248,6 +257,32 @@ def _instrument_schedule(
     return wrapped
 
 
+def _arm_audit_loop(cluster: Cluster, plan: EpisodePlan) -> None:
+    """Arm the periodic self-audit tick on every *correct* replica node.
+
+    Each tick runs :meth:`~repro.sim.nodes.ReplicaNode.audit_and_repair`
+    (detect by replaying the durable log into a twin; quarantined replicas
+    push repair pulls instead) and reschedules itself, so the loop spans
+    the whole episode including the settle window.  Byzantine replicas are
+    skipped — the model cannot mandate that a faulty node audits itself,
+    and quarantining a catalogue behaviour mid-attack would silently turn
+    it into a crashed one.
+    """
+    if plan.audit_interval <= 0:
+        return
+    byzantine = {f"replica:{index}" for index in plan.byzantine_replicas}
+
+    def tick() -> None:
+        for node_id, node in cluster.replica_nodes.items():
+            if node_id not in byzantine:
+                node.audit_and_repair()
+        cluster.scheduler.call_at(
+            cluster.scheduler.now + plan.audit_interval, tick
+        )
+
+    cluster.scheduler.call_at(plan.audit_interval, tick)
+
+
 # -- episode execution ----------------------------------------------------------
 
 
@@ -311,6 +346,7 @@ def run_episode(
             build_schedule(plan.faults), cluster.instrumentation
         )
         cluster.install_faults(schedule)
+        _arm_audit_loop(cluster, plan)
         attack = _start_attack(cluster, plan)
         bad_clients = attack.bad_clients
         writers = [f"client:w{i}" for i in range(plan.clients)]
@@ -358,6 +394,18 @@ def run_episode(
                 1
                 for s in cluster.metrics.by_kind("write")
                 if getattr(s, "fell_back", False)
+            ),
+            quarantines=sum(
+                r.stats.quarantines for r in cluster.replicas.values()
+            ),
+            repairs=sum(r.stats.repairs for r in cluster.replicas.values()),
+            corrupt_records=sum(
+                r.store.stats.corrupt_records
+                for r in cluster.replicas.values()
+            ),
+            corrupt_snapshots=sum(
+                r.store.stats.corrupt_snapshots
+                for r in cluster.replicas.values()
             ),
             error=error,
         )

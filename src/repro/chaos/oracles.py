@@ -20,6 +20,14 @@ to hold under *any* schedule the §2 model admits:
   fingerprint: recovery is total and the WAL captured every mutation.
 * ``wal-integrity`` — every durable store's ``load()`` is idempotent
   (two loads return identical snapshot + records).
+* ``stabilization`` — the self-stabilization loop converged: no correct
+  replica is still quarantined or running on a suspect store, every
+  correct replica passes a final self-audit, and when the plan injected
+  state corruption the periodic audits demonstrably ran.  Corruption may
+  be *silently healed* (compaction rewrote the damaged file before any
+  audit saw it, or a later write overwrote the perturbed field) — that is
+  fine precisely because the final audit proves the survivor state is the
+  replay of its own durable log.
 
 The battery returns a verdict per oracle; the engine folds these into the
 campaign summary and the minimizer uses the set of violated oracle names
@@ -46,9 +54,14 @@ __all__ = [
     "OracleVerdict",
     "ORACLES",
     "SHARD_ORACLES",
+    "CORRUPTION_OPS",
     "run_oracle_battery",
     "check_epoch_agreement",
 ]
+
+#: Fault ops that damage replica state (vs merely the network); the
+#: stabilization oracle keys its expectations off their presence.
+CORRUPTION_OPS = frozenset({"wal_bitflip", "snapshot_truncate", "state_perturb"})
 
 
 @dataclass(frozen=True)
@@ -69,6 +82,7 @@ ORACLES = (
     "lemma1",
     "recovery-fingerprint",
     "wal-integrity",
+    "stabilization",
 )
 
 #: Battery order for sharded episodes: the seven above, judged per object
@@ -138,6 +152,7 @@ def run_oracle_battery(
 
     verdicts["recovery-fingerprint"] = _check_recovery(cluster, byzantine)
     verdicts["wal-integrity"] = _check_wal(cluster, plan, byzantine)
+    verdicts["stabilization"] = _check_stabilization(cluster, plan, byzantine)
     return verdicts
 
 
@@ -179,6 +194,59 @@ def _check_wal(
         not unstable,
         "" if not unstable else (
             "non-idempotent WAL load at " + ", ".join(unstable)
+        ),
+    )
+
+
+def _check_stabilization(
+    cluster: "Cluster", plan: EpisodePlan, byzantine: frozenset[str]
+) -> OracleVerdict:
+    """Every correct replica has stabilized after the injected corruption.
+
+    A replica is *stabilized* when it is not quarantined, its store is not
+    suspect, and replaying its durable log into a twin reproduces its live
+    state (``self_audit``).  The oracle does not insist that a specific
+    detection counter fired for every injected fault: damage can be
+    legitimately absorbed before any audit sees it (compaction rewrote the
+    bit-flipped WAL; a later write overwrote the perturbed field), and the
+    final audit is exactly the proof that whatever survived is the honest
+    replay of the durable log.  What it *does* insist on, whenever the plan
+    injected corruption and scheduled a non-zero audit cadence, is that
+    the periodic audits actually ran — a campaign that never audits would
+    otherwise vacuously pass.
+    """
+    corrupted = {
+        spec["node"] for spec in plan.faults if spec.get("op") in CORRUPTION_OPS
+    }
+    audits_expected = bool(corrupted) and plan.audit_interval > 0
+    nodes = getattr(cluster, "replica_nodes", {})
+    problems: list[str] = []
+    for node_id, replica in sorted(cluster.replicas.items()):
+        if node_id in byzantine:
+            continue
+        node = nodes.get(node_id)
+        if node is not None and getattr(node, "down", False):
+            continue
+        if replica.quarantined:
+            reasons = dict(replica.stats.quarantine_reasons)
+            problems.append(f"{node_id} still quarantined ({reasons})")
+            continue
+        if getattr(replica.store, "suspect", False):
+            problems.append(f"{node_id} store still suspect")
+        if audits_expected and replica.stats.self_audits == 0:
+            # Checked before the final audit below bumps the counter.
+            problems.append(
+                f"{node_id} never self-audited despite injected corruption"
+            )
+        if not replica.self_audit():
+            problems.append(f"{node_id} fails the final self-audit")
+    return OracleVerdict(
+        "stabilization",
+        not problems,
+        "; ".join(problems) if problems else (
+            "" if not corrupted else (
+                "corruption injected at " + ", ".join(sorted(corrupted))
+            )
         ),
     )
 

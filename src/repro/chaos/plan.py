@@ -99,6 +99,10 @@ class EpisodePlan:
     think_time: float = 0.0
     stagger: float = 0.05
     max_time: float = 120.0
+    #: Virtual seconds between periodic replica self-audits (the detection
+    #: half of the self-stabilization loop); 0 disables auditing.  Old
+    #: artifacts without this key default to the standard cadence.
+    audit_interval: float = 0.25
 
     def link_profile(self) -> LinkProfile:
         return LinkProfile(**self.profile)
@@ -152,6 +156,9 @@ class CampaignConfig:
     #: Allow Byzantine replica substitutions / client attacks.
     byzantine: bool = True
     attacks: bool = True
+    #: Allow state-corruption faults (WAL bit rot, snapshot truncation,
+    #: in-memory perturbation); victims count against the same budget f.
+    corruption: bool = True
     max_time: float = 120.0
 
 
@@ -189,12 +196,44 @@ def generate_plan(config: CampaignConfig, episode: int) -> EpisodePlan:
             byzantine_replicas[str(index)] = rng.choice(behaviours)
     crash_budget = f - len(byzantine_replicas)
 
+    # State corruption: a replica whose store or memory has been damaged is
+    # faulty (it may answer from bad state) until the self-stabilization
+    # loop quarantines and repairs it, so a corruption victim spends one
+    # unit of the same budget f as a crashed or Byzantine replica — §2's
+    # assumption stays "at most f replicas faulty at any instant".  WAL /
+    # snapshot damage needs a durable store; memory perturbation works on
+    # either store kind (the durable log is the audit's ground truth).
+    faults: list[dict[str, Any]] = []
+    healthy = [i for i in range(n) if str(i) not in byzantine_replicas]
+    if config.corruption and crash_budget > 0 and rng.random() < 0.5:
+        victim = rng.choice(healthy)
+        ops = ["state_perturb"]
+        if store == "filelog":
+            ops += ["wal_bitflip", "snapshot_truncate"]
+        op = rng.choice(ops)
+        spec: dict[str, Any] = {
+            "op": op,
+            "time": round(rng.uniform(0.3, 1.2), 3),
+            "node": _node(victim),
+        }
+        if op == "wal_bitflip":
+            spec["position"] = round(rng.uniform(0.05, 0.95), 3)
+            spec["flip"] = rng.choice([0x01, 0x10, 0x80, 0xFF])
+        elif op == "snapshot_truncate":
+            spec["keep"] = round(rng.uniform(0.0, 0.9), 3)
+        else:
+            spec["target"] = rng.choice(["data", "write_ts", "plist"])
+            spec["seed"] = rng.randrange(2**16)
+        faults.append(spec)
+        # The victim is spoken for: it must not also be crash-scheduled
+        # (that could put crash_budget + 1 replicas out at one instant).
+        healthy.remove(victim)
+        crash_budget -= 1
+
     # Crash faults: only nodes outside the Byzantine set, never more than
     # crash_budget down at once, and — matching the §2 model — volatile
     # stores only lose delivery (network crash) while durable stores may
     # lose the process itself (crash_restart rebuilds from the WAL).
-    faults: list[dict[str, Any]] = []
-    healthy = [i for i in range(n) if str(i) not in byzantine_replicas]
     if crash_budget > 0 and rng.random() < 0.7:
         victims = rng.sample(healthy, min(crash_budget, 1 + rng.randint(0, 1)))
         at = rng.uniform(0.2, 1.5)
@@ -327,6 +366,9 @@ def build_schedule(faults: list[dict[str, Any]]) -> FaultSchedule:
          "profile": {LinkProfile kwargs}}
         {"op": "block_kinds",   "time": t, "node": id, "kinds": [KIND, ...]}
         {"op": "unblock_kinds", "time": t, "node": id[, "kinds": [...]]}
+        {"op": "wal_bitflip",   "time": t, "node": id[, "position": p][, "flip": m]}
+        {"op": "snapshot_truncate", "time": t, "node": id[, "keep": k]}
+        {"op": "state_perturb", "time": t, "node": id[, "target": s][, "seed": i]}
     """
     schedule = FaultSchedule()
     for spec in faults:
@@ -356,6 +398,24 @@ def build_schedule(faults: list[dict[str, Any]]) -> FaultSchedule:
             kinds = spec.get("kinds")
             schedule.unblock_kinds(
                 spec["time"], spec["node"], tuple(kinds) if kinds else None
+            )
+        elif op == "wal_bitflip":
+            schedule.wal_bitflip(
+                spec["time"],
+                spec["node"],
+                position=spec.get("position", 0.5),
+                flip=spec.get("flip", 0x01),
+            )
+        elif op == "snapshot_truncate":
+            schedule.snapshot_truncate(
+                spec["time"], spec["node"], keep=spec.get("keep", 0.5)
+            )
+        elif op == "state_perturb":
+            schedule.state_perturb(
+                spec["time"],
+                spec["node"],
+                target=spec.get("target", "data"),
+                seed=spec.get("seed", 0),
             )
         else:
             raise SimulationError(f"unknown fault op {op!r}")

@@ -277,6 +277,24 @@ def _run_shard_oracle_battery(
         not wal_bad,
         "" if not wal_bad else ("non-idempotent load at " + ", ".join(wal_bad)),
     )
+    # Shard plans schedule no state-corruption faults (the adversary here
+    # is reconfiguration), so stabilization reduces to "nobody quarantined".
+    quarantined = [
+        f"{shard}/{obj}/{state.node_id}"
+        for shard in cluster.shard_ids
+        for member in cluster.live_members(shard)
+        if member.ready
+        for obj in sorted(member.inner.objects)
+        for state in (member.inner.object_state(obj),)
+        if getattr(state, "quarantined", False)
+    ]
+    verdicts["stabilization"] = OracleVerdict(
+        "stabilization",
+        not quarantined,
+        "; ".join(quarantined) if quarantined else (
+            "no corruption faults in shard episodes"
+        ),
+    )
     verdicts["epoch-agreement"] = check_epoch_agreement(cluster)
     return verdicts
 

@@ -79,6 +79,17 @@ class TcpChaosConfig:
     #: data directory on the same port.
     crash_restart: bool = True
     down_for: float = 0.25
+    #: Flip one byte of a live replica's on-disk WAL mid-episode and drive
+    #: the self-audit / quarantine / rebuild-from-quorum loop over the real
+    #: sockets until the victim stabilizes.  The victim is always distinct
+    #: from the crash_restart victim and the faults are sequenced, so at
+    #: most one replica is faulty at any instant (f = 1 budget).
+    corruption: bool = True
+    #: Wall-clock seconds between self-audit ticks while corruption chaos
+    #: is active.
+    audit_interval: float = 0.05
+    #: Wall-clock budget for the corruption victim to stabilize.
+    stabilize_timeout: float = 15.0
     #: Byte-level fault rates applied by every replica's proxy.
     proxy: ProxyProfile = field(
         default_factory=lambda: ProxyProfile(
@@ -104,6 +115,10 @@ class TcpEpisodeResult:
     operations: int
     reconnects: int
     proxy_stats: dict[str, dict[str, int]]
+    #: Self-stabilization counters summed over the replicas.
+    quarantines: int = 0
+    repairs: int = 0
+    corrupt_records: int = 0
     error: str = ""
 
     @property
@@ -123,6 +138,9 @@ class TcpEpisodeResult:
             "violations": list(self.violations),
             "operations": self.operations,
             "reconnects": self.reconnects,
+            "quarantines": self.quarantines,
+            "repairs": self.repairs,
+            "corrupt_records": self.corrupt_records,
             "proxy": {
                 node: dict(sorted(stats.items()))
                 for node, stats in sorted(self.proxy_stats.items())
@@ -214,6 +232,78 @@ async def _crash_restart(
     servers[victim] = reborn
 
 
+def _flip_wal_byte(replica: BftBcReplica, rng: random.Random) -> bool:
+    """XOR one byte of the replica's on-disk WAL; False when there is no
+    WAL byte to damage yet."""
+    path = getattr(replica.store, "wal_path", None)
+    if path is None or not path.exists():
+        return False
+    size = path.stat().st_size
+    if size == 0:
+        return False
+    offset = rng.randrange(size)
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        original = fh.read(1)
+        fh.seek(offset)
+        fh.write(bytes([original[0] ^ 0x80]))
+    return True
+
+
+async def _corruption_chaos(
+    servers: dict[str, ReplicaServer],
+    victim: str,
+    addrs: dict[str, tuple[str, int]],
+    config: TcpChaosConfig,
+    rng: random.Random,
+    injected: list[dict[str, Any]],
+    crash_task: Optional[asyncio.Task],
+) -> None:
+    """Inject WAL bit rot at ``victim`` and run the self-stabilization loop.
+
+    Waits for the crash_restart fault (if any) to finish first so the two
+    faults are sequenced within the f = 1 budget, flips a WAL byte once
+    the victim has journalled something, then ticks every live replica's
+    ``self_audit`` — pushing the victim's repair pulls over TCP — until
+    the victim is clean again or the stabilize budget runs out (which the
+    stabilization oracle then reports).
+    """
+    if crash_task is not None:
+        try:
+            await asyncio.shield(crash_task)
+        except Exception:  # noqa: BLE001 — the episode body re-raises it
+            pass
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + config.stabilize_timeout
+    while loop.time() < deadline:
+        if _flip_wal_byte(servers[victim].replica, rng):
+            injected.append({"op": "wal_bitflip", "time": 0.0, "node": victim})
+            break
+        await asyncio.sleep(config.audit_interval)
+    else:
+        return
+    while loop.time() < deadline:
+        await asyncio.sleep(config.audit_interval)
+        stable = True
+        for rid, server in servers.items():
+            if server._server is None:  # stopped (crash window)
+                continue
+            replica = server.replica
+            if not replica.quarantined:
+                if not replica.self_audit():
+                    stable = False
+            if replica.quarantined:
+                stable = False
+                sends = (
+                    replica.repair_retransmit()
+                    if replica.repair.active
+                    else replica.begin_repair()
+                )
+                await server.repair_pull(sends, addrs)
+        if stable:
+            return
+
+
 async def _run_episode(
     config: TcpChaosConfig, variant: str, data_dir: Path
 ) -> TcpEpisodeResult:
@@ -235,6 +325,7 @@ async def _run_episode(
     error = ""
     operations = 0
     chaos_task: Optional[asyncio.Task] = None
+    corruption_task: Optional[asyncio.Task] = None
     try:
         for index, rid in enumerate(system.quorums.replica_ids):
             server = ReplicaServer.durable(
@@ -266,11 +357,27 @@ async def _run_episode(
             await client.connect()
             clients.append(client)
 
+        crash_victim: Optional[str] = None
         if config.crash_restart:
-            victim = rng.choice(list(servers))
+            crash_victim = rng.choice(list(servers))
             chaos_task = asyncio.create_task(
                 _crash_restart(
-                    servers, victim, system, data_dir, config, replica_cls
+                    servers, crash_victim, system, data_dir, config, replica_cls
+                )
+            )
+
+        injected: list[dict[str, Any]] = []
+        if config.corruption:
+            candidates = [rid for rid in servers if rid != crash_victim]
+            corruption_task = asyncio.create_task(
+                _corruption_chaos(
+                    servers,
+                    rng.choice(candidates),
+                    addrs,
+                    config,
+                    rng,
+                    injected,
+                    chaos_task,
                 )
             )
 
@@ -296,6 +403,9 @@ async def _run_episode(
         if chaos_task is not None:
             await chaos_task
             chaos_task = None
+        if corruption_task is not None:
+            await corruption_task
+            corruption_task = None
 
         plan = EpisodePlan(
             episode=0,
@@ -303,6 +413,7 @@ async def _run_episode(
             variant=variant,
             f=config.f,
             store="filelog",
+            faults=list(injected),
             clients=config.clients,
             ops_per_client=config.ops_per_client,
         )
@@ -321,15 +432,23 @@ async def _run_episode(
             proxy_stats={
                 rid: proxy.stats.as_dict() for rid, proxy in proxies.items()
             },
+            quarantines=sum(
+                s.replica.stats.quarantines for s in servers.values()
+            ),
+            repairs=sum(s.replica.stats.repairs for s in servers.values()),
+            corrupt_records=sum(
+                s.replica.store.stats.corrupt_records for s in servers.values()
+            ),
             error=error,
         )
     finally:
-        if chaos_task is not None:
-            chaos_task.cancel()
-            try:
-                await chaos_task
-            except (asyncio.CancelledError, Exception):
-                pass
+        for task in (chaos_task, corruption_task):
+            if task is not None:
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, Exception):
+                    pass
         for client in clients:
             await client.close()
         for proxy in proxies.values():

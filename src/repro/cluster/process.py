@@ -112,6 +112,7 @@ class ProcessCluster:
         start_timeout: float = 30.0,
         python: str = sys.executable,
         open_namespaces: tuple[str, ...] = ("client:",),
+        audit_interval: float = 1.0,
     ) -> None:
         self.f = f
         self.seed = seed
@@ -127,6 +128,10 @@ class ProcessCluster:
         #: Client-id namespaces each worker admits wholesale (the load
         #: harness needs its ``load:`` identities verifiable cluster-side).
         self.open_namespaces = tuple(open_namespaces)
+        #: Seconds between each worker's periodic self-audits; a worker
+        #: that recovers onto a corrupted data directory quarantines and
+        #: repairs from the peers named in ``cluster.json`` (0 disables).
+        self.audit_interval = audit_interval
         node_ids = QuorumSystem.bft_bc(f).replica_ids
         count = len(node_ids) if workers is None else workers
         # Partition the n replicas across the workers round-robin; with the
@@ -205,6 +210,11 @@ class ProcessCluster:
         ]
         for namespace in self.open_namespaces:
             cmd.extend(["--open-namespace", namespace])
+        if self.audit_interval > 0:
+            cmd.extend([
+                "--peers-file", str(self._state_path()),
+                "--audit-interval", str(self.audit_interval),
+            ])
         worker.log_path = str(Path(worker.data_dir) / "worker.log")
         log = open(worker.log_path, "ab")
         try:

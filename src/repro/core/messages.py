@@ -49,6 +49,8 @@ __all__ = [
     "FastPrepReply",
     "FastWriteRequest",
     "FastWriteReply",
+    "RepairRequest",
+    "RepairReply",
 ]
 
 
@@ -671,4 +673,78 @@ class FastWriteReply(Message):
             row=_macvec(wire["row"]),
             nonce=wire["nonce"],
             mac=wire["mac"],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Quarantine-and-rebuild repair (self-stabilizing storage)
+# ---------------------------------------------------------------------------
+
+
+@register_message
+@dataclass(frozen=True)
+class RepairRequest(Message):
+    """A quarantined replica's pull for a full-state snapshot.
+
+    Sent to every peer when a replica detects corruption (a suspect store
+    on recovery, or a failed self-audit).  The ``nonce`` binds replies to
+    this repair round so stale retransmissions cannot satisfy a later one.
+    """
+
+    KIND: ClassVar[str] = "REPAIR-REQ"
+    replica: str
+    nonce: bytes
+
+    def to_wire(self) -> dict[str, Any]:
+        return {"replica": self.replica, "nonce": self.nonce}
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "RepairRequest":
+        if not (
+            isinstance(wire.get("replica"), str)
+            and isinstance(wire.get("nonce"), bytes)
+        ):
+            raise ProtocolError(f"malformed REPAIR-REQ wire value: {wire!r}")
+        return cls(replica=wire["replica"], nonce=wire["nonce"])
+
+
+@register_message
+@dataclass(frozen=True)
+class RepairReply(Message):
+    """One peer's full-state snapshot plus its fingerprint.
+
+    The receiver trusts neither field: it replays the snapshot through a
+    scratch state machine, recomputes the fingerprint, and validates the
+    embedded prepare certificates before adopting anything — up to *f*
+    repliers may be Byzantine.
+    """
+
+    KIND: ClassVar[str] = "REPAIR-REPLY"
+    replica: str
+    nonce: bytes
+    snapshot: dict[str, Any]
+    fingerprint: bytes
+
+    def to_wire(self) -> dict[str, Any]:
+        return {
+            "replica": self.replica,
+            "nonce": self.nonce,
+            "snapshot": self.snapshot,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict[str, Any]) -> "RepairReply":
+        if not (
+            isinstance(wire.get("replica"), str)
+            and isinstance(wire.get("nonce"), bytes)
+            and isinstance(wire.get("snapshot"), dict)
+            and isinstance(wire.get("fingerprint"), bytes)
+        ):
+            raise ProtocolError(f"malformed REPAIR-REPLY wire value: {wire!r}")
+        return cls(
+            replica=wire["replica"],
+            nonce=wire["nonce"],
+            snapshot=wire["snapshot"],
+            fingerprint=wire["fingerprint"],
         )

@@ -47,10 +47,14 @@ from repro.core.messages import (
     ReadTsPrepRequest,
     ReadTsReply,
     ReadTsRequest,
+    RepairReply,
+    RepairRequest,
     WriteReply,
     WriteRequest,
 )
 from repro.core.persistence import DurableReplicaState, PlistEntry
+from repro.core.phases import Send
+from repro.core.repair import StateRepair
 from repro.core.statements import (
     prepare_reply_statement,
     prepare_request_statement,
@@ -81,6 +85,10 @@ class ReplicaStats:
     background_signs: int = 0
     vouch_signs: int = 0
     writes_installed: int = 0
+    quarantines: int = 0
+    quarantine_reasons: Counter = field(default_factory=Counter)
+    repairs: int = 0
+    self_audits: int = 0
 
     def discard(self, reason: str) -> None:
         self.discards[reason] += 1
@@ -120,6 +128,19 @@ class BftBcReplica:
         # §3.3.2: WRITE-REPLY signatures pre-computed at prepare time.
         # Volatile by design — a recovered replica simply re-signs.
         self._presigned: dict[Timestamp, Signature] = {}
+        #: True while this replica's state is known-bad: protocol requests
+        #: are discarded (reason ``quarantined``) until repair completes.
+        self.quarantined = False
+        #: Sans-I/O quarantine-repair driver; transports move its Sends.
+        #: Candidates are certificate-checked through this replica's own
+        #: acceptance hook, so the fast variant's proof-evidence (own MAC
+        #: column) certificates validate during repair too.
+        self.repair = StateRepair(
+            node_id,
+            config,
+            self._install_repaired_state,
+            cert_check=self._certificate_valid,
+        )
 
     # -- state access (all reads go through the durable state) -------------
 
@@ -166,9 +187,16 @@ class BftBcReplica:
         Idempotent, including under a torn final WAL record (the store
         truncates it).  The presigned-signature cache is volatile and is
         dropped; recovered replicas re-sign on demand.
+
+        If the store had to quarantine corrupt bytes to produce its result
+        (:attr:`~repro.storage.ReplicaStore.suspect`), the recovered state
+        may trail writes this replica acknowledged — the replica enters
+        quarantine and must :meth:`begin_repair` before serving.
         """
         self._state.recover()
         self._presigned.clear()
+        if getattr(self.store, "suspect", False):
+            self.enter_quarantine("corrupt-storage")
 
     def state_fingerprint(self, *, include_signing_logs: bool = False) -> bytes:
         """Digest of the durable state, for differential recovery tests."""
@@ -195,6 +223,104 @@ class BftBcReplica:
         (``repro.shard``); the receiver revalidates it independently.
         """
         return self._state.snapshot_wire()
+
+    # -- self-stabilization ------------------------------------------------
+
+    def enter_quarantine(self, reason: str) -> None:
+        """Stop serving protocol traffic until repair completes.
+
+        Idempotent per episode of corruption: re-detecting the same damage
+        while already quarantined does not count a second quarantine.
+        """
+        self.stats.quarantine_reasons[reason] += 1
+        if not self.quarantined:
+            self.quarantined = True
+            self.stats.quarantines += 1
+
+    def self_audit(self) -> bool:
+        """Verify the live state against an independent replay of the store.
+
+        A scratch twin recovers from the same store and its exact
+        fingerprint (signing logs included) is compared against the live
+        state.  This catches both silent in-memory perturbation (live
+        state no longer matches what the durable log reproduces) and
+        latent disk corruption (the store flags itself ``suspect`` during
+        the twin's load).  Returns True when clean; on failure the replica
+        enters quarantine and should repair from peers.
+        """
+        self.stats.self_audits += 1
+        store = self.store
+        saved_source = store.snapshot_source
+        try:
+            twin = type(self)(self.node_id, self.config, store=store)
+            try:
+                twin.recover()
+            except Exception:
+                self.enter_quarantine("audit-replay-failed")
+                return False
+        finally:
+            store.snapshot_source = saved_source
+        if getattr(store, "suspect", False):
+            self.enter_quarantine("corrupt-storage")
+            return False
+        live = self.state_fingerprint(include_signing_logs=True)
+        replayed = twin.state_fingerprint(include_signing_logs=True)
+        if live != replayed:
+            self.enter_quarantine("audit-mismatch")
+            return False
+        return True
+
+    def begin_repair(self) -> list[Send]:
+        """Start pulling replacement state from peers; returns the requests.
+
+        Only meaningful while quarantined — a healthy replica has nothing
+        to repair and gets an empty batch.
+        """
+        if not self.quarantined:
+            return []
+        return self.repair.begin()
+
+    def repair_retransmit(self) -> list[Send]:
+        """Re-issue repair pulls to peers that have not answered yet."""
+        if not self.quarantined:
+            return []
+        return self.repair.retransmit()
+
+    def _install_repaired_state(self, snapshot: dict[str, Any]) -> None:
+        """Adopt a validated peer snapshot, keeping our own signing logs.
+
+        Signing logs record what *this* replica signed; importing a peer's
+        would double-count signatures in the Lemma 1 accounting, while our
+        own surviving prefix can only undercount (safe — see PROTOCOL.md).
+        ``fastc`` rides with them: its MAC rows are replica-local secrets.
+
+        The surviving logs are taken from a fresh replay of the durable
+        store, not from live memory — when the quarantine was triggered by
+        an in-memory perturbation, the store still holds the true logs.
+        """
+        self._state.recover()
+        own = self._state.snapshot_wire()
+        merged = dict(snapshot)
+        merged["swr"] = own["swr"]
+        merged["spr"] = own["spr"]
+        merged["fastc"] = own["fastc"]
+        self.store.write_snapshot(merged)
+        self.recover()
+        self.quarantined = False
+        self.stats.repairs += 1
+
+    def _handle_repair_request(self, message: RepairRequest) -> Optional[Message]:
+        """Serve our full state to a repairing peer (never while quarantined —
+        known-bad state must not propagate)."""
+        if self.quarantined:
+            self.stats.discard("quarantined")
+            return None
+        return RepairReply(
+            replica=self.node_id,
+            nonce=message.nonce,
+            snapshot=self.snapshot_wire(),
+            fingerprint=self.state_fingerprint(),
+        )
 
     # -- helpers ----------------------------------------------------------
 
@@ -286,7 +412,27 @@ class BftBcReplica:
         When instrumented, the whole dispatch runs inside a handler span
         (series ``handler.<KIND>``); the uninstrumented path goes straight
         to :meth:`_dispatch`.
+
+        Repair traffic is routed ahead of the quarantine gate: a
+        quarantined replica still *receives* repair replies (that is how it
+        heals) and still answers repair pulls from others with a refusal —
+        everything else is discarded with the ``quarantined`` reason until
+        repair completes.
         """
+        if isinstance(message, RepairRequest):
+            self.stats.handled[message.KIND] += 1
+            reply = self._handle_repair_request(message)
+            if reply is not None:
+                self.stats.replies += 1
+            return reply
+        if isinstance(message, RepairReply):
+            self.stats.handled[message.KIND] += 1
+            self.repair.on_reply(sender, message)
+            return None
+        if self.quarantined:
+            self.stats.handled[message.KIND] += 1
+            self.stats.discard("quarantined")
+            return None
         instr = self.instrumentation
         if not instr.enabled:
             return self._dispatch(sender, message)

@@ -14,7 +14,7 @@ from __future__ import annotations
 import struct
 from typing import Iterator
 
-from repro.errors import EncodingError
+from repro.errors import EncodingError, IncompleteFrameError
 
 __all__ = ["encode_frame", "decode_frame", "FrameDecoder", "MAX_FRAME_SIZE"]
 
@@ -37,10 +37,13 @@ def decode_frame(data: bytes) -> tuple[bytes, bytes]:
     """Decode one frame from ``data``; return ``(payload, remainder)``.
 
     Raises:
-        EncodingError: if the header is malformed or the frame is incomplete.
+        IncompleteFrameError: if ``data`` ends before the declared frame
+            does (a stream needing more bytes, or a torn log tail).
+        EncodingError: if the header itself is malformed (bad magic or an
+            impossible length) — the bytes can never become a valid frame.
     """
     if len(data) < _HEADER.size:
-        raise EncodingError("incomplete frame header")
+        raise IncompleteFrameError("incomplete frame header")
     magic, length = _HEADER.unpack_from(data)
     if magic != _MAGIC:
         raise EncodingError(f"bad frame magic {magic!r}")
@@ -48,7 +51,7 @@ def decode_frame(data: bytes) -> tuple[bytes, bytes]:
         raise EncodingError(f"frame length {length} exceeds limit")
     end = _HEADER.size + length
     if len(data) < end:
-        raise EncodingError("incomplete frame payload")
+        raise IncompleteFrameError("incomplete frame payload")
     return data[_HEADER.size : end], data[end:]
 
 

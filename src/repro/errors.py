@@ -16,6 +16,15 @@ class EncodingError(ReproError):
     """A value could not be canonically encoded or decoded."""
 
 
+class IncompleteFrameError(EncodingError):
+    """A frame ends before its declared length (more bytes may be coming).
+
+    Distinguished from the other :class:`EncodingError` cases because the
+    write-ahead log uses it to tell a *torn tail* (an append cut short by a
+    crash — truncate and move on) from mid-file corruption (quarantine and
+    repair)."""
+
+
 class CryptoError(ReproError):
     """Base class for cryptographic failures."""
 
@@ -58,6 +67,10 @@ class NetworkError(ReproError):
 
 class StorageError(ReproError):
     """A replica store was misused or its backing medium failed."""
+
+
+class IntegrityError(StorageError):
+    """A durable record or snapshot failed its integrity tag check."""
 
 
 class SimulationError(ReproError):

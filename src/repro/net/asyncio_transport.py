@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import asyncio
 import os
-from typing import Any, Optional, Union
+from typing import Any, Callable, Optional, Union
 
 from repro.core.batching import expand_message
 from repro.core.client import BftBcClient
@@ -138,6 +138,78 @@ class ReplicaServer:
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
         return self.host, self.port
+
+    async def repair_pull(
+        self, sends: list[Send], addrs: dict[str, tuple[str, int]]
+    ) -> None:
+        """Deliver repair pulls over real sockets and feed the replies back.
+
+        One short-lived connection per peer: write the REPAIR-REQ envelope,
+        read until the REPAIR-REPLY lands or a timeout/connection error
+        ends the attempt — the next audit tick retransmits to unanswered
+        peers, so losses here only cost latency (fair-loss, like every
+        other message).
+        """
+        replica = self.replica
+        for send in sends:
+            addr = addrs.get(send.dest)
+            if addr is None:
+                continue
+            try:
+                reader, writer = await asyncio.open_connection(*addr)
+            except OSError:
+                continue
+            try:
+                writer.write(_encode_envelope(replica.node_id, send.message))
+                await writer.drain()
+                decoder = FrameDecoder()
+                answered = False
+                while not answered:
+                    chunk = await asyncio.wait_for(reader.read(65536), 2.0)
+                    if not chunk:
+                        break
+                    for payload in decoder.feed(chunk):
+                        src, message = _decode_envelope(payload)
+                        replica.handle(src, message)
+                        answered = True
+            except (OSError, asyncio.TimeoutError, EncodingError, ProtocolError):
+                pass
+            finally:
+                writer.close()
+
+    async def stabilization_loop(
+        self,
+        peer_addrs: "Callable[[], dict[str, tuple[str, int]]]",
+        interval: float = 1.0,
+    ) -> None:
+        """Periodic self-audit; pull repair from peers while quarantined.
+
+        Runs until the server stops.  ``peer_addrs`` is re-read every tick
+        so an orchestrator can publish (or update) the address book after
+        the worker starts — a restarted worker whose data directory rotted
+        while it was down repairs itself as soon as the book names its
+        peers.  Maintenance must never take the listener down with it, so
+        audit/repair errors are swallowed and retried next tick.
+        """
+        while True:
+            await asyncio.sleep(interval)
+            if self._server is None:
+                return
+            replica = self.replica
+            try:
+                if not replica.quarantined:
+                    replica.self_audit()
+                if replica.quarantined:
+                    sends = (
+                        replica.repair_retransmit()
+                        if replica.repair.active
+                        else replica.begin_repair()
+                    )
+                    await self.repair_pull(sends, peer_addrs())
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                continue
 
     async def stop(self) -> None:
         """Stop listening and drop every established connection — the

@@ -249,6 +249,20 @@ class Instrumentation:
                 )
             storage[node_id] = stats
 
+    def attach_stabilization(self, stats_by_replica: dict[str, Any]) -> None:
+        """Expose per-replica self-stabilization counters (E23): quarantine
+        transitions, completed repairs, and self-audit ticks; per-id double
+        attach raises.  The full :class:`~repro.core.replica.ReplicaStats`
+        is narrowed to just those counters so the exporter does not
+        re-publish every protocol counter under this source's name."""
+        table = self.sources.setdefault("stabilization", {})
+        for node_id, stats in stats_by_replica.items():
+            if node_id in table:
+                raise ObservabilityError(
+                    f"stabilization stats for {node_id!r} are already attached"
+                )
+            table[node_id] = _StabilizationView(stats)
+
     def attach_keys(self, stats: Any) -> None:
         """Expose the key registry's lazy-derivation cache counters (E21)."""
         self.attach("keys", stats)
@@ -266,6 +280,27 @@ class Instrumentation:
                     f"client-state stats for {node_id!r} are already attached"
                 )
             table[node_id] = stats
+
+
+class _StabilizationView:
+    """Live read-only view of one replica's self-stabilization counters."""
+
+    __slots__ = ("_stats",)
+
+    def __init__(self, stats: Any) -> None:
+        self._stats = stats
+
+    @property
+    def quarantines(self) -> int:
+        return self._stats.quarantines
+
+    @property
+    def repairs(self) -> int:
+        return self._stats.repairs
+
+    @property
+    def self_audits(self) -> int:
+        return self._stats.self_audits
 
 
 class _TimedVerifier:
@@ -343,6 +378,15 @@ class _TimedStore:
 
     def __getattr__(self, name: str) -> Any:
         return getattr(self._inner, name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        # The state layer writes store attributes through the proxy
+        # (``snapshot_source``, ``suspect``); forward anything that is not
+        # one of our own slots so the proxy stays transparent both ways.
+        if name in _TimedStore.__slots__:
+            object.__setattr__(self, name, value)
+        else:
+            setattr(self._inner, name, value)
 
 
 #: Shared disabled handle used as the default by clients, replicas, and

@@ -42,10 +42,10 @@ from repro.core.multiobject import (
     ScopedSignatureScheme,
 )
 from repro.core.operations import Send
-from repro.core.persistence import DurableReplicaState
+from repro.core.repair import validate_repair_candidate
 from repro.core.replica import BftBcReplica
 from repro.crypto.hashing import hash_value
-from repro.errors import ProtocolError, StorageError
+from repro.errors import ProtocolError
 from repro.obs import Instrumentation
 from repro.shard.directory import DirectoryEntry, ShardConfig, ShardDirectory
 from repro.shard.messages import (
@@ -58,7 +58,7 @@ from repro.shard.messages import (
     StateTransferReply,
     StateTransferRequest,
 )
-from repro.storage.base import MemoryStore, ReplicaStore
+from repro.storage.base import ReplicaStore
 
 __all__ = ["ShardReplica"]
 
@@ -346,24 +346,13 @@ class ShardReplica:
     ):
         """Revalidate one peer's snapshot; ``(write ts, snapshot)`` or None.
 
-        The fingerprint recomputation catches transfer corruption and any
-        snapshot the state layer cannot even rebuild; the prepare
-        certificate check is the unforgeable part — a Byzantine peer cannot
-        mint a certified timestamp the old membership never prepared.
+        Delegates to the shared :func:`validate_repair_candidate` (also the
+        core of whole-state quarantine repair), scoping the signature
+        scheme to this object the way every other per-object check does.
         """
-        snapshot = candidate.get("snapshot")
-        claimed = candidate.get("fingerprint")
-        scratch = DurableReplicaState(MemoryStore(snapshot_interval=None))
-        scratch.store.write_snapshot(snapshot)
-        try:
-            scratch.recover()
-        except (StorageError, ProtocolError, KeyError, TypeError, ValueError):
-            return None
-        if scratch.fingerprint() != claimed:
-            return None
-        pcert = scratch.pcert
-        if not pcert.is_genesis:
-            scoped = ScopedSignatureScheme(self.system.scheme, obj)
-            if not pcert.is_valid(scoped, quorums):
-                return None
-        return pcert.ts, snapshot
+        return validate_repair_candidate(
+            candidate.get("snapshot"),
+            candidate.get("fingerprint"),
+            ScopedSignatureScheme(self.system.scheme, obj),
+            quorums,
+        )

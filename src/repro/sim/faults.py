@@ -192,6 +192,85 @@ class FaultSchedule:
         )
         return self
 
+    def wal_bitflip(
+        self, time: float, node_id: str, *, position: float = 0.5, flip: int = 0x01
+    ) -> "FaultSchedule":
+        """XOR one byte of ``node_id``'s on-disk WAL at ``time``.
+
+        ``position`` is a fraction of the file size at fire time (robust to
+        the log growing between plan generation and injection); ``flip`` is
+        the XOR mask.  Models bit rot: the live replica keeps running on
+        its in-memory state until a self-audit or restart replays the log
+        and the integrity seal exposes the damage.  Requires a file-backed
+        store (no-op on a volatile one).
+        """
+        if not 0.0 <= position <= 1.0:
+            raise SimulationError(
+                f"wal_bitflip position must be in [0, 1], got {position}"
+            )
+        if not 1 <= flip <= 0xFF:
+            raise SimulationError(
+                f"wal_bitflip mask must be a non-zero byte, got {flip}"
+            )
+        self.node_actions.append(
+            NodeFaultAction(
+                time,
+                f"wal_bitflip {node_id} @{position:.2f}",
+                node_id,
+                lambda node: node.corrupt_wal(position=position, flip=flip),
+            )
+        )
+        return self
+
+    def snapshot_truncate(
+        self, time: float, node_id: str, *, keep: float = 0.5
+    ) -> "FaultSchedule":
+        """Truncate ``node_id``'s on-disk snapshot to a ``keep`` fraction.
+
+        Models a partially-written or rotted snapshot file; the checksum
+        footer fails on the next load and recovery falls back to the
+        previous generation or WAL-only replay.  Requires a file-backed
+        store (no-op on a volatile one).
+        """
+        if not 0.0 <= keep < 1.0:
+            raise SimulationError(
+                f"snapshot_truncate keep must be in [0, 1), got {keep}"
+            )
+        self.node_actions.append(
+            NodeFaultAction(
+                time,
+                f"snapshot_truncate {node_id} keep={keep:.2f}",
+                node_id,
+                lambda node: node.corrupt_snapshot(keep=keep),
+            )
+        )
+        return self
+
+    def state_perturb(
+        self, time: float, node_id: str, *, target: str = "data", seed: int = 0
+    ) -> "FaultSchedule":
+        """Mutate one Figure-2 field of ``node_id``'s *live* in-memory state.
+
+        Models a memory fault: the durable log still holds the truth, so a
+        periodic self-audit (replaying the store into a twin) detects the
+        divergence and quarantines the replica.  ``target`` picks the
+        field: ``data`` (the object value), ``write_ts`` (regressed to
+        zero) or ``plist`` (prepare list forgotten).
+        """
+        if target not in ("data", "write_ts", "plist"):
+            raise SimulationError(
+                f"state_perturb target must be data/write_ts/plist, got {target!r}"
+            )
+        self.node_actions.append(
+            NodeFaultAction(
+                time,
+                f"state_perturb {node_id} {target}",
+                node_id,
+                lambda node: node.perturb_state(target=target, seed=seed),
+            )
+        )
+        return self
+
     def reconfigure(
         self,
         time: float,

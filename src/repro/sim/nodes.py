@@ -21,6 +21,7 @@ from repro.core.client import BftBcClient, OptimizedBftBcClient
 from repro.core.messages import Message, message_wire_bytes
 from repro.core.operations import Send
 from repro.core.replica import BftBcReplica
+from repro.core.timestamp import ZERO_TS
 from repro.net.simnet import SimNetwork
 from repro.sim.metrics import MetricsCollector, OperationSample
 from repro.sim.recorder import HistoryRecorder
@@ -71,6 +72,10 @@ class ReplicaNode:
         )
         self.crashes = 0
         self.restarts = 0
+        #: True while crashed (no audits run — the process is dead).
+        self.down = False
+        #: Corruption injections performed against this node (chaos).
+        self.corruptions = 0
         network.register(replica.node_id, self._on_message)
 
     # -- crash / restart ----------------------------------------------------
@@ -83,6 +88,7 @@ class ReplicaNode:
         self.network.crash(self.node_id)
         self.replica.store.crash()
         self.crashes += 1
+        self.down = True
 
     def restart(self) -> None:
         """Bring the replica back: a *fresh* state machine is built around
@@ -94,6 +100,100 @@ class ReplicaNode:
         self.replica = replica
         self.network.recover(self.node_id)
         self.restarts += 1
+        self.down = False
+
+    # -- corruption injection (chaos) ---------------------------------------
+
+    def corrupt_wal(self, *, position: float = 0.5, flip: int = 0x01) -> None:
+        """XOR one byte of the on-disk WAL (no-op on a volatile store).
+
+        The live replica keeps serving from memory; the damage surfaces
+        when a self-audit or restart replays the log and the record's
+        integrity seal fails.
+        """
+        path = getattr(self.replica.store, "wal_path", None)
+        if path is None or not path.exists():
+            return
+        size = path.stat().st_size
+        if size == 0:
+            return
+        offset = min(int(size * position), size - 1)
+        with open(path, "r+b") as fh:
+            fh.seek(offset)
+            original = fh.read(1)
+            fh.seek(offset)
+            fh.write(bytes([original[0] ^ flip]))
+        self.corruptions += 1
+
+    def corrupt_snapshot(self, *, keep: float = 0.5) -> None:
+        """Truncate the on-disk snapshot (no-op on a volatile store).
+
+        Short episodes usually have not compacted yet, so if no snapshot
+        file exists one is forced first (from the live, consistent state —
+        the same call ``maybe_compact`` would make) and then damaged; the
+        fault models "the snapshot that existed rotted".
+        """
+        store = self.replica.store
+        path = getattr(store, "snapshot_path", None)
+        if path is None:
+            return
+        if (not path.exists() or path.stat().st_size == 0) and (
+            store.snapshot_source is not None
+        ):
+            store.write_snapshot(store.snapshot_source())
+        if not path.exists():
+            return
+        size = path.stat().st_size
+        if size == 0:
+            return
+        with open(path, "r+b") as fh:
+            fh.truncate(max(0, int(size * keep)))
+        self.corruptions += 1
+
+    def perturb_state(self, *, target: str = "data", seed: int = 0) -> None:
+        """Mutate one live Figure-2 field, leaving the durable log intact.
+
+        Models a memory fault; a later self-audit replays the store into a
+        twin and the fingerprint mismatch quarantines the replica.
+        """
+        state = self.replica._state
+        if target == "data":
+            state._data = ("perturbed", self.node_id, seed)
+        elif target == "write_ts":
+            state._write_ts = ZERO_TS
+        elif target == "plist":
+            state.plist._clear_silent()
+        else:
+            raise ValueError(f"unknown perturb target {target!r}")
+        self.corruptions += 1
+
+    # -- self-stabilization loop --------------------------------------------
+
+    def audit_and_repair(self) -> bool:
+        """One tick of the periodic self-audit; returns True when clean.
+
+        A healthy replica runs :meth:`~repro.core.replica.BftBcReplica.self_audit`;
+        a quarantined one (whether this tick quarantined it or an earlier
+        recovery did) gets its repair pulls pushed onto the network —
+        :meth:`~repro.core.replica.BftBcReplica.begin_repair` on the first
+        tick, retransmissions to unanswered peers on later ones.
+        """
+        if self.down:
+            return True
+        replica = self.replica
+        clean = True
+        if not replica.quarantined:
+            clean = replica.self_audit()
+        else:
+            clean = False
+        if replica.quarantined:
+            if replica.repair.active:
+                sends = replica.repair_retransmit()
+            else:
+                sends = replica.begin_repair()
+            for send in sends:
+                self.network.send(self.node_id, send.dest, send.message)
+        return clean
 
     def _on_message(self, src: str, message: Message) -> None:
         """Handle one frame; a batch is unpacked and answered as one frame."""

@@ -179,6 +179,7 @@ class Cluster:
         replica_cls = self._replica_class()
         storage_stats = {}
         client_state_stats = {}
+        stabilization_stats = {}
         for index, node_id in enumerate(self.config.quorums.replica_ids):
             factory = self.options.replica_overrides.get(index)
             if factory is not None:
@@ -196,6 +197,7 @@ class Cluster:
                     node_id, self.config, instrumentation=self.instrumentation
                 )
             storage_stats[node_id] = replica.store.stats
+            stabilization_stats[node_id] = replica.stats
             client_state = getattr(replica, "client_state", None)
             if client_state is not None:
                 client_state_stats[node_id] = client_state.stats
@@ -206,6 +208,7 @@ class Cluster:
                 sign_delay=self.options.sign_delay,
             )
         self.instrumentation.attach_storage(storage_stats)
+        self.instrumentation.attach_stabilization(stabilization_stats)
         if client_state_stats:
             self.instrumentation.attach_client_state(client_state_stats)
 

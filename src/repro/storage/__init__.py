@@ -11,7 +11,11 @@ state-change records plus a snapshot, with two backends:
   wipes it.
 * :class:`FileLogStore` — a length-prefixed canonical-codec write-ahead
   log with periodic snapshot compaction and configurable fsync policy.
-  Survives crashes; recovery tolerates a torn final record.
+  Every record and snapshot carries a domain-separated SHA-256 seal
+  (:mod:`repro.storage.integrity`), so recovery distinguishes a *torn*
+  final record (crash mid-append: truncate) from mid-file *corruption*
+  (bit rot or hostile bytes: quarantine, count, and flag the store
+  ``suspect`` so the replica repairs from peers).
 
 The layer sits *below* ``repro.core`` (enforced by
 ``tools/check_layering.py``): stores traffic only in canonically encodable
@@ -21,5 +25,24 @@ state and wire records lives in :mod:`repro.core.persistence`.
 
 from repro.storage.base import MemoryStore, ReplicaStore, StorageStats
 from repro.storage.filelog import FileLogStore
+from repro.storage.integrity import (
+    SNAPSHOT_DOMAIN,
+    TAG_SIZE,
+    WAL_RECORD_DOMAIN,
+    integrity_tag,
+    seal,
+    unseal,
+)
 
-__all__ = ["ReplicaStore", "StorageStats", "MemoryStore", "FileLogStore"]
+__all__ = [
+    "ReplicaStore",
+    "StorageStats",
+    "MemoryStore",
+    "FileLogStore",
+    "TAG_SIZE",
+    "WAL_RECORD_DOMAIN",
+    "SNAPSHOT_DOMAIN",
+    "integrity_tag",
+    "seal",
+    "unseal",
+]

@@ -48,7 +48,10 @@ class StorageStats:
     0 for the zero-copy memory backend), ``fsyncs`` the stable-storage
     barriers actually issued, ``snapshots`` the compactions.  Recovery
     reports how much log it replayed and whether a torn final record was
-    dropped.
+    dropped.  The corruption counters separate a *torn* tail (an append cut
+    short by a crash — expected, truncated silently) from records or
+    snapshots that failed their integrity tag (bit rot or hostile bytes —
+    quarantined, and the replica must repair before serving).
     """
 
     appends: int = 0
@@ -60,6 +63,9 @@ class StorageStats:
     records_replayed: int = 0
     torn_records_dropped: int = 0
     crashes: int = 0
+    corrupt_records: int = 0
+    corrupt_snapshots: int = 0
+    scrub_passes: int = 0
 
     def reset(self) -> None:
         self.appends = 0
@@ -71,6 +77,9 @@ class StorageStats:
         self.records_replayed = 0
         self.torn_records_dropped = 0
         self.crashes = 0
+        self.corrupt_records = 0
+        self.corrupt_snapshots = 0
+        self.scrub_passes = 0
 
     def add(self, other: "StorageStats") -> None:
         """Accumulate ``other`` into this block (metrics aggregation)."""
@@ -83,6 +92,9 @@ class StorageStats:
         self.records_replayed += other.records_replayed
         self.torn_records_dropped += other.torn_records_dropped
         self.crashes += other.crashes
+        self.corrupt_records += other.corrupt_records
+        self.corrupt_snapshots += other.corrupt_snapshots
+        self.scrub_passes += other.scrub_passes
 
 
 class ReplicaStore(ABC):
@@ -94,6 +106,12 @@ class ReplicaStore(ABC):
         #: Callback returning the full current state in wire form; installed
         #: by the state layer so the store can compact autonomously.
         self.snapshot_source: Optional[Callable[[], Any]] = None
+        #: Set by :meth:`load` when it had to quarantine corrupt bytes to
+        #: produce its result.  The returned state is the best *verified*
+        #: prefix, but it may trail what the replica once acknowledged —
+        #: callers (the replica recovery path) must treat the store as
+        #: needing repair from peers rather than serving from it directly.
+        self.suspect = False
         self._records_since_snapshot = 0
 
     # -- the durable contract ------------------------------------------------
@@ -120,6 +138,24 @@ class ReplicaStore(ABC):
 
     def close(self) -> None:  # pragma: no cover - trivial default
         """Release any backing resources (file handles)."""
+
+    def scrub(self) -> dict[str, Any]:
+        """Re-verify every stored byte without mutating anything.
+
+        Returns a report dict with at least ``clean`` (bool) and the
+        per-category problem counts.  Backends without integrity tags (the
+        memory store) trivially report clean — there is nothing on disk to
+        rot.  File-backed stores override this to re-check every seal.
+        """
+        self.stats.scrub_passes += 1
+        return {
+            "clean": True,
+            "snapshot_ok": True,
+            "records_verified": 0,
+            "torn_records": 0,
+            "corrupt_records": 0,
+            "corrupt_snapshots": 0,
+        }
 
     # -- state transfer ----------------------------------------------------
 

@@ -1,15 +1,20 @@
-"""Write-ahead file log with snapshot compaction.
+"""Write-ahead file log with snapshot compaction and integrity tags.
 
 Layout inside the store directory::
 
-    snapshot.bin   one framed canonical value: the last compacted state
-    wal.bin        framed canonical records appended since that snapshot
+    snapshot.bin        one framed, sealed canonical value: the last
+                        compacted state
+    snapshot.prev.bin   the previous snapshot generation (fallback when
+                        the current one fails its integrity check)
+    wal.bin             framed, sealed canonical records appended since
+                        the current snapshot
+    wal.quarantine.*    corrupt WAL tails preserved for post-mortem
 
-Both files reuse the transport's wire machinery: payloads are
-:func:`repro.encoding.canonical_encode` values wrapped in the
-length-prefixed frames of :mod:`repro.encoding.codec`, so a WAL is
-byte-compatible with what travels on the network and the same decoder
-drives recovery.
+Payloads are :func:`repro.encoding.canonical_encode` values *sealed* with a
+domain-separated SHA-256 tag (:mod:`repro.storage.integrity`) and wrapped in
+the length-prefixed frames of :mod:`repro.encoding.codec`, so the same
+decoder that drives the transport drives recovery — plus a constant-time
+integrity check per record.
 
 Durability model:
 
@@ -19,16 +24,30 @@ Durability model:
   tail, which :meth:`FileLogStore.crash` simulates by truncating to the
   last synced offset.
 
-Recovery (:meth:`FileLogStore.load`) tolerates a *torn final record* — an
-append cut short by the crash — by truncating the log back to the last
-complete frame.  Anything before the tear is intact (frames are
-self-delimiting), so recovery is idempotent: loading twice, or crashing
-during recovery and loading again, yields the same state.
+Recovery (:meth:`FileLogStore.load`) distinguishes two failure shapes:
 
-Snapshot compaction writes the new snapshot to a temp file, fsyncs, then
-atomically renames over ``snapshot.bin`` before truncating the WAL; a crash
-between the two leaves a valid snapshot plus a WAL whose records re-apply
-idempotently.
+* **Torn tail** — an append cut short by a crash leaves a strict prefix of
+  a valid frame at EOF (:class:`~repro.errors.IncompleteFrameError`).
+  Expected; the log is truncated back to the last complete record, exactly
+  as before.
+* **Corruption** — bad frame magic mid-file, an impossible length, or a
+  complete frame whose integrity tag or canonical encoding fails.  A crash
+  cannot produce these (appends are sequential), so the store quarantines
+  the bad record *and everything after it* (order matters: a record after
+  the damage may depend on state the damaged record carried), moves the
+  bad tail to a ``wal.quarantine.<offset>.bin`` file, bumps
+  ``stats.corrupt_records`` and raises the :attr:`~ReplicaStore.suspect`
+  flag.  The replica layer sees ``suspect`` and repairs from peers instead
+  of serving the (verified but possibly trailing) prefix.
+
+Snapshots carry the same seal.  ``write_snapshot`` keeps the previous
+generation as ``snapshot.prev.bin``; if the current snapshot fails its
+check on load, recovery quarantines it and falls back to the previous
+generation, and failing that to WAL-only replay — always raising
+``suspect`` so the state is repaired, never trusted silently.
+
+:meth:`FileLogStore.scrub` re-verifies every stored byte read-only, for
+periodic self-audit and the ``python -m repro storage scrub`` CLI.
 """
 
 from __future__ import annotations
@@ -38,12 +57,14 @@ import pathlib
 from typing import Any, Optional, Union
 
 from repro.encoding import canonical_decode, canonical_encode, decode_frame, encode_frame
-from repro.errors import EncodingError, StorageError
+from repro.errors import EncodingError, IncompleteFrameError, IntegrityError, StorageError
 from repro.storage.base import ReplicaStore
+from repro.storage.integrity import SNAPSHOT_DOMAIN, WAL_RECORD_DOMAIN, seal, unseal
 
 __all__ = ["FileLogStore"]
 
 _SNAPSHOT = "snapshot.bin"
+_SNAPSHOT_PREV = "snapshot.prev.bin"
 _WAL = "wal.bin"
 
 
@@ -65,15 +86,26 @@ class FileLogStore(ReplicaStore):
         self.fsync = fsync
         self._wal_path = self.directory / _WAL
         self._snapshot_path = self.directory / _SNAPSHOT
+        self._snapshot_prev_path = self.directory / _SNAPSHOT_PREV
         self._wal = open(self._wal_path, "ab")
         #: Bytes of the WAL known to be on stable storage; a simulated
         #: crash truncates back to here.
         self._synced_size = self._wal_path.stat().st_size
 
+    @property
+    def wal_path(self) -> pathlib.Path:
+        """Location of the write-ahead log (chaos injection targets this)."""
+        return self._wal_path
+
+    @property
+    def snapshot_path(self) -> pathlib.Path:
+        """Location of the current snapshot generation."""
+        return self._snapshot_path
+
     # -- appending ---------------------------------------------------------
 
     def append(self, record: Any) -> None:
-        frame = encode_frame(canonical_encode(record))
+        frame = encode_frame(seal(canonical_encode(record), WAL_RECORD_DOMAIN))
         self._wal.write(frame)
         self._wal.flush()
         if self.fsync == "always":
@@ -93,12 +125,16 @@ class FileLogStore(ReplicaStore):
     # -- snapshots ---------------------------------------------------------
 
     def write_snapshot(self, state: Any) -> None:
-        frame = encode_frame(canonical_encode(state))
+        frame = encode_frame(seal(canonical_encode(state), SNAPSHOT_DOMAIN))
         tmp_path = self.directory / (_SNAPSHOT + ".tmp")
         with open(tmp_path, "wb") as tmp:
             tmp.write(frame)
             tmp.flush()
             os.fsync(tmp.fileno())
+        # Keep the outgoing snapshot as the previous generation; if the new
+        # one rots on disk, recovery falls back to prev + (truncated) WAL.
+        if self._snapshot_path.exists():
+            os.replace(self._snapshot_path, self._snapshot_prev_path)
         os.replace(tmp_path, self._snapshot_path)
         self._fsync_directory()
         # The snapshot now subsumes every logged record: truncate the WAL.
@@ -126,27 +162,64 @@ class FileLogStore(ReplicaStore):
     # -- recovery ----------------------------------------------------------
 
     def load(self) -> tuple[Any, list[Any]]:
-        """Read snapshot + log, truncating a torn final record if present."""
+        """Read snapshot + log, sorting torn tails from real corruption.
+
+        Always returns the best fully *verified* state.  If any byte failed
+        its integrity check on the way, :attr:`suspect` is True and the
+        caller must repair from peers before serving — the verified prefix
+        may trail writes this replica already acknowledged.
+        """
         self.stats.loads += 1
+        self.suspect = False
         snapshot = self._load_snapshot()
-        records, good_size, torn = self._scan_wal()
-        if torn:
-            # Cut the log back to its last complete record so the torn
-            # tail can never resurface; recovery is idempotent after this.
-            self.stats.torn_records_dropped += 1
-            self._wal.close()
-            with open(self._wal_path, "r+b") as wal:
-                wal.truncate(good_size)
-                wal.flush()
-                os.fsync(wal.fileno())
-            self._wal = open(self._wal_path, "ab")
-            self._synced_size = min(self._synced_size, good_size)
+        records, good_size, verdict = self._scan_wal()
+        if verdict is not None:
+            if verdict == "corrupt":
+                self.stats.corrupt_records += 1
+                self.suspect = True
+                self._quarantine_wal_tail(good_size)
+            else:
+                self.stats.torn_records_dropped += 1
+            # Cut the log back to its last good record so the bad tail can
+            # never resurface; recovery is idempotent after this.
+            self._truncate_wal(good_size)
         self.stats.records_replayed += len(records)
         return snapshot, records
 
+    def _truncate_wal(self, good_size: int) -> None:
+        self._wal.close()
+        with open(self._wal_path, "r+b") as wal:
+            wal.truncate(good_size)
+            wal.flush()
+            os.fsync(wal.fileno())
+        self._wal = open(self._wal_path, "ab")
+        self._synced_size = min(self._synced_size, good_size)
+
+    def _quarantine_wal_tail(self, good_size: int) -> None:
+        """Preserve the corrupt tail for post-mortem before truncating."""
+        raw = self._wal_path.read_bytes()
+        quarantine = self.directory / f"wal.quarantine.{good_size}.bin"
+        quarantine.write_bytes(raw[good_size:])
+
     def _load_snapshot(self) -> Any:
+        """Best verified snapshot: current, else previous generation, else None.
+
+        A missing current snapshot with an existing previous one is the
+        crash window inside ``write_snapshot`` (after the outgoing snapshot
+        moved to prev, before the new one landed): the prev generation plus
+        the still-untruncated WAL is exactly the pre-snapshot state, so
+        falling back is silent.  A current snapshot that *fails its seal* is
+        corruption: quarantine it, count it, raise ``suspect``, then try the
+        previous generation before giving up and replaying the WAL alone.
+        """
+        current = self._read_snapshot_file(self._snapshot_path)
+        if current is not None:
+            return current
+        return self._read_snapshot_file(self._snapshot_prev_path)
+
+    def _read_snapshot_file(self, path: pathlib.Path) -> Any:
         try:
-            raw = self._snapshot_path.read_bytes()
+            raw = path.read_bytes()
         except FileNotFoundError:
             return None
         if not raw:
@@ -155,31 +228,101 @@ class FileLogStore(ReplicaStore):
             payload, rest = decode_frame(raw)
             if rest:
                 raise EncodingError("trailing bytes after snapshot frame")
-            return canonical_decode(payload)
-        except EncodingError as exc:
-            # Snapshots are written atomically, so a bad one means real
-            # on-disk corruption — refuse to guess.
-            raise StorageError(f"corrupt snapshot at {self._snapshot_path}") from exc
+            return canonical_decode(unseal(payload, SNAPSHOT_DOMAIN))
+        except (EncodingError, IntegrityError):
+            # Snapshots are written atomically (tmp + fsync + rename), so a
+            # bad one means real on-disk corruption, never a torn write.
+            self.stats.corrupt_snapshots += 1
+            self.suspect = True
+            os.replace(path, path.with_suffix(".quarantine"))
+            return None
 
-    def _scan_wal(self) -> tuple[list[Any], int, bool]:
-        """Decode records; return (records, bytes_of_complete_frames, torn?)."""
+    def _scan_wal(self) -> tuple[list[Any], int, Optional[str]]:
+        """Decode records; return (records, bytes_of_good_frames, verdict).
+
+        ``verdict`` is ``None`` (clean), ``"torn"`` (incomplete final frame
+        — a crash mid-append) or ``"corrupt"`` (a complete frame that fails
+        its seal, undecodable sealed bytes, or a mangled header).
+        """
         self._wal.flush()
         raw = self._wal_path.read_bytes()
         records: list[Any] = []
         offset = 0
         while offset < len(raw):
             try:
-                payload, rest = decode_frame(raw[offset:])
+                sealed, rest = decode_frame(raw[offset:])
+            except IncompleteFrameError:
+                return records, offset, "torn"
             except EncodingError:
-                return records, offset, True
+                return records, offset, "corrupt"
             try:
-                records.append(canonical_decode(payload))
-            except EncodingError:
-                # A complete frame with an undecodable payload: the tail of
-                # the payload was lost to the same tear.
-                return records, offset, True
+                records.append(canonical_decode(unseal(sealed, WAL_RECORD_DOMAIN)))
+            except (EncodingError, IntegrityError):
+                # A complete frame whose contents fail verification: the
+                # seal rules out a torn write, so these bytes were changed
+                # after they were written.
+                return records, offset, "corrupt"
             offset = len(raw) - len(rest)
-        return records, offset, False
+        return records, offset, None
+
+    # -- integrity audit ---------------------------------------------------
+
+    def scrub(self) -> dict[str, Any]:
+        """Re-verify snapshot generations and every WAL record, read-only.
+
+        Unlike :meth:`load`, nothing is truncated or quarantined — this is
+        the observation half of the self-stabilization loop, safe to run on
+        a live store or offline via ``python -m repro storage scrub``.
+        """
+        self.stats.scrub_passes += 1
+        report: dict[str, Any] = {
+            "clean": True,
+            "snapshot_ok": True,
+            "records_verified": 0,
+            "torn_records": 0,
+            "corrupt_records": 0,
+            "corrupt_snapshots": 0,
+        }
+        for path in (self._snapshot_path, self._snapshot_prev_path):
+            try:
+                raw = path.read_bytes()
+            except FileNotFoundError:
+                continue
+            if not raw:
+                continue
+            try:
+                payload, rest = decode_frame(raw)
+                if rest:
+                    raise EncodingError("trailing bytes after snapshot frame")
+                canonical_decode(unseal(payload, SNAPSHOT_DOMAIN))
+            except (EncodingError, IntegrityError):
+                report["corrupt_snapshots"] += 1
+                report["clean"] = False
+                if path == self._snapshot_path:
+                    report["snapshot_ok"] = False
+        self._wal.flush()
+        raw = self._wal_path.read_bytes()
+        offset = 0
+        while offset < len(raw):
+            try:
+                sealed, rest = decode_frame(raw[offset:])
+            except IncompleteFrameError:
+                report["torn_records"] += 1
+                report["clean"] = False
+                break
+            except EncodingError:
+                report["corrupt_records"] += 1
+                report["clean"] = False
+                break
+            try:
+                canonical_decode(unseal(sealed, WAL_RECORD_DOMAIN))
+            except (EncodingError, IntegrityError):
+                report["corrupt_records"] += 1
+                report["clean"] = False
+                break
+            report["records_verified"] += 1
+            offset = len(raw) - len(rest)
+        return report
 
     # -- crash simulation --------------------------------------------------
 

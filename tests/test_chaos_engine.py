@@ -294,3 +294,98 @@ class TestBudgetedStateCompat:
         plain = run_episode(plan)
         assert budgeted.ok and plain.ok
         assert budgeted.operations == plain.operations
+
+
+class TestStabilization:
+    """The PR-10 self-stabilization loop under injected state corruption."""
+
+    def _plan(self, spec, *, store="filelog", seed=31, audit_interval=0.2):
+        base = generate_plan(
+            CampaignConfig(
+                seed=seed,
+                episodes=1,
+                byzantine=False,
+                attacks=False,
+                corruption=False,
+                stores=(store,),
+            ),
+            0,
+        )
+        return base.replace(faults=[spec], audit_interval=audit_interval)
+
+    def test_wal_bitflip_episode_stabilizes(self):
+        spec = {
+            "op": "wal_bitflip",
+            "time": 0.5,
+            "node": "replica:1",
+            "position": 0.5,
+            "flip": 0x80,
+        }
+        result = run_episode(self._plan(spec))
+        assert all(v.ok for v in result.verdicts.values())
+        assert result.repairs == result.quarantines
+
+    def test_state_perturb_episode_stabilizes(self):
+        spec = {
+            "op": "state_perturb",
+            "time": 0.5,
+            "node": "replica:2",
+            "target": "data",
+            "seed": 5,
+        }
+        result = run_episode(self._plan(spec, store="memory"))
+        assert all(v.ok for v in result.verdicts.values())
+        assert result.repairs == result.quarantines
+
+    def test_snapshot_truncate_episode_stabilizes(self):
+        spec = {
+            "op": "snapshot_truncate",
+            "time": 0.6,
+            "node": "replica:0",
+            "keep": 0.2,
+        }
+        result = run_episode(self._plan(spec))
+        assert all(v.ok for v in result.verdicts.values())
+
+    def test_oracle_flags_unrepaired_quarantine(self):
+        from repro.chaos.oracles import _check_stabilization
+        from repro.sim.runner import build_cluster
+
+        cluster = build_cluster(f=1, seed=1)
+        cluster.run_scripts({"alice": [("write", ("v", 0))]}, max_time=60)
+        plan = self._plan(
+            {"op": "state_perturb", "time": 0.5, "node": "replica:0",
+             "target": "data", "seed": 1},
+            store="memory",
+        )
+        cluster.replicas["replica:0"].enter_quarantine("test")
+        verdict = _check_stabilization(cluster, plan, set())
+        assert not verdict.ok
+        assert "quarantined" in verdict.detail
+
+    def test_audit_loop_ticks_on_every_correct_replica(self):
+        from repro.chaos.engine import _arm_audit_loop
+        from repro.sim.runner import build_cluster
+
+        cluster = build_cluster(f=1, seed=2)
+        plan = self._plan(
+            {"op": "state_perturb", "time": 9999.0, "node": "replica:0",
+             "target": "data", "seed": 1},
+            store="memory",
+            audit_interval=0.1,
+        )
+        _arm_audit_loop(cluster, plan)
+        cluster.run_scripts(
+            {"alice": [("write", ("v", i)) for i in range(3)]}, max_time=60
+        )
+        assert all(
+            replica.stats.self_audits > 0
+            for replica in cluster.replicas.values()
+        )
+
+    def test_corruption_campaign_passes_all_oracles(self):
+        campaign = run_campaign(CampaignConfig(seed=29, episodes=10))
+        assert not campaign.violations
+        detected = sum(r.quarantines for r in campaign.results)
+        repaired = sum(r.repairs for r in campaign.results)
+        assert detected == repaired

@@ -151,3 +151,102 @@ class TestBuildSchedule:
     def test_unknown_op_raises(self):
         with pytest.raises(SimulationError, match="unknown fault op"):
             build_schedule([{"op": "meteor", "time": 0.1}])
+
+
+class TestCorruptionFaults:
+    """The PR-10 state-corruption ops stay inside the §2 fault budget."""
+
+    def test_victim_spends_a_unit_of_f(self):
+        """A corrupted replica counts against the same budget as crashes
+        and Byzantine substitutions: at most one victim per episode, never
+        also Byzantine, never also crashed."""
+        from repro.chaos.oracles import CORRUPTION_OPS
+
+        for seed in range(6):
+            config = CampaignConfig(seed=seed, episodes=20)
+            for episode in range(20):
+                plan = generate_plan(config, episode)
+                corrupted = [
+                    s for s in plan.faults if s["op"] in CORRUPTION_OPS
+                ]
+                assert len(corrupted) <= 1
+                crashed = {
+                    s["node"]
+                    for s in plan.faults
+                    if s["op"] in ("crash", "crash_restart")
+                }
+                byzantine = {
+                    f"replica:{index}" for index in plan.byzantine_replicas
+                }
+                for spec in corrupted:
+                    assert spec["node"] not in crashed
+                    assert spec["node"] not in byzantine
+                assert (
+                    len(byzantine) + len(corrupted) + (1 if crashed else 0)
+                    <= plan.f
+                )
+
+    def test_disk_ops_only_with_durable_store(self):
+        for seed in range(8):
+            config = CampaignConfig(seed=seed, episodes=20)
+            for episode in range(20):
+                plan = generate_plan(config, episode)
+                for spec in plan.faults:
+                    if spec["op"] in ("wal_bitflip", "snapshot_truncate"):
+                        assert plan.store == "filelog"
+
+    def test_corruption_can_be_disabled(self):
+        from repro.chaos.oracles import CORRUPTION_OPS
+
+        config = CampaignConfig(seed=7, episodes=30, corruption=False)
+        for episode in range(30):
+            plan = generate_plan(config, episode)
+            assert not any(s["op"] in CORRUPTION_OPS for s in plan.faults)
+
+    def test_generator_emits_corruption_sometimes(self):
+        from repro.chaos.oracles import CORRUPTION_OPS
+
+        config = CampaignConfig(seed=7, episodes=40)
+        hits = sum(
+            1
+            for episode in range(40)
+            if any(
+                s["op"] in CORRUPTION_OPS
+                for s in generate_plan(config, episode).faults
+            )
+        )
+        assert hits > 0
+
+    def test_from_json_defaults_audit_interval(self):
+        """Artifacts recorded before the stabilization loop load cleanly."""
+        data = generate_plan(CampaignConfig(seed=9), 0).to_json()
+        del data["audit_interval"]
+        plan = EpisodePlan.from_json(data)
+        assert plan.audit_interval == 0.25
+
+    def test_build_schedule_materialises_corruption_ops(self):
+        schedule = build_schedule(
+            [
+                {
+                    "op": "wal_bitflip",
+                    "time": 0.4,
+                    "node": "replica:1",
+                    "position": 0.25,
+                    "flip": 0x80,
+                },
+                {
+                    "op": "snapshot_truncate",
+                    "time": 0.5,
+                    "node": "replica:2",
+                    "keep": 0.3,
+                },
+                {
+                    "op": "state_perturb",
+                    "time": 0.6,
+                    "node": "replica:3",
+                    "target": "write_ts",
+                    "seed": 17,
+                },
+            ]
+        )
+        assert len(schedule.node_actions) == 3

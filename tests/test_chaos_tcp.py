@@ -13,6 +13,7 @@ import asyncio
 
 import pytest
 
+from repro.chaos.oracles import ORACLES
 from repro.chaos.tcp import TcpChaosConfig, run_tcp_campaign, run_tcp_episode
 from repro.errors import SimulationError
 from repro.net.chaos_proxy import ChaosProxy, ProxyProfile
@@ -144,12 +145,4 @@ class TestTcpCampaignAcceptance:
             TcpChaosConfig(seed=9, crash_restart=False), "base", tmp_path
         )
         assert result.ok, (result.violations, result.error)
-        assert set(result.verdicts) == {
-            "no-exception",
-            "liveness",
-            "bft-linearizable",
-            "lurking-bound",
-            "lemma1",
-            "recovery-fingerprint",
-            "wal-integrity",
-        }
+        assert set(result.verdicts) == set(ORACLES)

@@ -16,7 +16,13 @@ from hypothesis import strategies as st
 
 from repro.encoding import canonical_encode, encode_frame
 from repro.errors import StorageError
-from repro.storage import FileLogStore, MemoryStore, StorageStats
+from repro.storage import (
+    WAL_RECORD_DOMAIN,
+    FileLogStore,
+    MemoryStore,
+    StorageStats,
+    seal,
+)
 
 
 def records_for(n):
@@ -124,14 +130,33 @@ class TestFileLogStore:
         assert records == [("r", 4)]
         reopened.close()
 
-    def test_corrupt_snapshot_refuses(self, tmp_path):
+    def test_corrupt_snapshot_quarantined_and_flagged(self, tmp_path):
         store = FileLogStore(tmp_path)
         store.write_snapshot({"v": 1})
         store.close()
         (tmp_path / "snapshot.bin").write_bytes(b"\x00garbage")
         reopened = FileLogStore(tmp_path)
-        with pytest.raises(StorageError):
-            reopened.load()
+        # No previous generation and no WAL: recovery yields the empty
+        # state, but never silently — the store is marked suspect and the
+        # bad file is preserved for post-mortem.
+        assert reopened.load() == (None, [])
+        assert reopened.suspect
+        assert reopened.stats.corrupt_snapshots == 1
+        assert (tmp_path / "snapshot.quarantine").exists()
+        reopened.close()
+
+    def test_corrupt_snapshot_falls_back_to_previous_generation(self, tmp_path):
+        store = FileLogStore(tmp_path)
+        store.write_snapshot({"v": 1})
+        store.write_snapshot({"v": 2})  # {"v": 1} becomes snapshot.prev.bin
+        store.close()
+        (tmp_path / "snapshot.bin").write_bytes(b"\x00garbage")
+        reopened = FileLogStore(tmp_path)
+        snapshot, records = reopened.load()
+        assert snapshot == {"v": 1}
+        assert records == []
+        assert reopened.suspect  # prev may trail: repair is still required
+        assert reopened.stats.corrupt_snapshots == 1
         reopened.close()
 
     def test_counts_bytes_and_fsyncs(self, tmp_path):
@@ -164,7 +189,7 @@ class TestTornFinalRecord:
         # Which records remain fully framed at this cut?
         expected, offset = [], 0
         for record in records:
-            frame = encode_frame(canonical_encode(record))
+            frame = encode_frame(seal(canonical_encode(record), WAL_RECORD_DOMAIN))
             if offset + len(frame) <= cut:
                 expected.append(record)
             offset += len(frame)

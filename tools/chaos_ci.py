@@ -66,6 +66,74 @@ def _run_shard_smoke(seed: int):
     return run_shard_episode(plan)
 
 
+def _run_corruption_smoke(seed: int) -> dict:
+    """Deterministic state-corruption episodes across every fault op.
+
+    One episode per (corruption op, store) pairing, each with the periodic
+    self-audit armed: the stabilization oracle requires every correct
+    replica to exit quarantine (or prove it silently healed) before the
+    episode passes.
+    """
+    from repro.chaos import CampaignConfig, generate_plan, run_episode
+
+    specs = [
+        (
+            "filelog",
+            {"op": "wal_bitflip", "time": 0.5, "node": "replica:1",
+             "position": 0.5, "flip": 0x80},
+        ),
+        (
+            "filelog",
+            {"op": "snapshot_truncate", "time": 0.6, "node": "replica:2",
+             "keep": 0.2},
+        ),
+        (
+            "memory",
+            {"op": "state_perturb", "time": 0.5, "node": "replica:3",
+             "target": "data", "seed": 11},
+        ),
+        (
+            "filelog",
+            {"op": "state_perturb", "time": 0.4, "node": "replica:0",
+             "target": "write_ts", "seed": 3},
+        ),
+    ]
+    episodes = 0
+    violations = []
+    quarantines = repairs = corrupt_records = 0
+    for index, (store, spec) in enumerate(specs):
+        base = generate_plan(
+            CampaignConfig(
+                seed=seed + index,
+                episodes=1,
+                byzantine=False,
+                attacks=False,
+                corruption=False,
+                stores=(store,),
+            ),
+            0,
+        )
+        result = run_episode(
+            base.replace(faults=[spec], audit_interval=0.2)
+        )
+        episodes += 1
+        quarantines += result.quarantines
+        repairs += result.repairs
+        corrupt_records += result.corrupt_records
+        violations.extend(
+            f"{spec['op']}/{name}"
+            for name, verdict in result.verdicts.items()
+            if not verdict.ok
+        )
+    return {
+        "episodes": episodes,
+        "violations": violations,
+        "quarantines": quarantines,
+        "repairs": repairs,
+        "corrupt_records": corrupt_records,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     from repro.analysis import format_campaign
     from repro.chaos import CampaignConfig, run_campaign
@@ -102,6 +170,31 @@ def main(argv: list[str] | None = None) -> int:
             + f"{shard_result.stats.get('epoch_changes')} epoch changes)"
         )
 
+    started = time.time()
+    corruption = _run_corruption_smoke(args.seed)
+    corruption_seconds = time.time() - started
+    print()
+    print(
+        "corruption smoke: "
+        + ("ok" if not corruption["violations"]
+           else f"VIOLATIONS {corruption['violations']}")
+        + f" ({corruption['episodes']} episodes, "
+        + f"{corruption['quarantines']} quarantines, "
+        + f"{corruption['repairs']} repairs)"
+    )
+    bench_record.record(
+        "chaos_corruption_smoke",
+        {
+            "seed": args.seed,
+            "episodes": corruption["episodes"],
+            "violations": len(corruption["violations"]),
+            "quarantines": corruption["quarantines"],
+            "repairs": corruption["repairs"],
+            "corrupt_records": corruption["corrupt_records"],
+            "seconds": round(corruption_seconds, 3),
+        },
+    )
+
     tcp_summary = None
     if not args.skip_tcp:
         started = time.time()
@@ -134,6 +227,7 @@ def main(argv: list[str] | None = None) -> int:
     failed = (
         summary["violations"] > 0
         or shard_ok is False
+        or bool(corruption["violations"])
         or (tcp_summary is not None and not tcp_summary["ok"])
     )
     if failed:

@@ -51,8 +51,10 @@ LAYERS: dict[str, int] = {
     "repro.crypto": 1,
     "repro.obs": 1,
     "repro.storage": 1,
+    "repro.storage.integrity": 1,
     "repro.core.verification": 2,
     "repro.core.batching": 3,
+    "repro.core.repair": 3,
     "repro.core": 3,
     "repro.spec": 4,
     "repro.analysis": 4,

@@ -13,6 +13,14 @@ state from snapshot + WAL), finishes the workload, and asserts:
   fingerprint is identical — the crashed worker's journal converged with
   the survivors'.
 
+A second stage then corrupts a different replica's WAL on disk (one byte
+flipped inside a sealed record payload) and SIGKILLs its worker: the
+restarted worker detects the bad seal during recovery, quarantines the
+WAL tail, and its stabilization loop rebuilds the state from the peers
+named in ``cluster.json`` — evidenced by the quarantine artifact plus the
+repair-written snapshot, and by the same bit-identical offline
+fingerprints at teardown.
+
 Run:  python tools/cluster_smoke.py [--ops 200] [--data-dir DIR]
 Exits 0 on success, 1 on any violated assertion.  The slow-marked tier-1
 test ``tests/test_cluster.py::TestClusterSmoke`` runs this in-process.
@@ -37,6 +45,8 @@ def run_smoke(
     pipeline: int = 4,
     data_dir: str | None = None,
     kill_node: str = "replica:1",
+    corrupt_node: str = "replica:2",
+    stabilize_timeout: float = 30.0,
     verbose: bool = True,
 ) -> dict:
     """Run the campaign; returns a result dict (raises AssertionError on bugs)."""
@@ -87,6 +97,66 @@ def run_smoke(
             f"{ops} ops committed through the kill; "
             f"{restarts} restart(s); final ts {flush_ts}"
         )
+
+        # -- stage 2: state corruption, quarantine, rebuild from quorum --
+        from repro.cluster.process import replica_data_dir
+        from repro.encoding import decode_frame
+
+        cvictim = dep.cluster.worker_for(corrupt_node)
+        cdir = Path(
+            replica_data_dir(cvictim.data_dir, cvictim.node_ids, corrupt_node)
+        )
+        wal = cdir / "wal.bin"
+        raw = wal.read_bytes()
+        assert raw, f"{corrupt_node} journalled nothing to corrupt"
+        # Flip one byte in the middle of the first record's *sealed
+        # payload* — guaranteed to fail the integrity tag (a flip in a
+        # frame header could masquerade as a torn tail instead).
+        sealed, rest = decode_frame(raw)
+        header = len(raw) - len(rest) - len(sealed)
+        offset = header + len(sealed) // 2
+        with open(wal, "r+b") as fh:
+            fh.seek(offset)
+            original = fh.read(1)
+            fh.seek(offset)
+            fh.write(bytes([original[0] ^ 0x80]))
+        say(
+            f"flipped WAL byte {offset} of {corrupt_node} "
+            f"({cdir}); kill -9 worker {cvictim.index}"
+        )
+        crestarts = cvictim.restarts
+        dep.cluster.kill(corrupt_node)
+        deadline = time.monotonic() + stabilize_timeout
+        while not (cvictim.restarts > crestarts and cvictim.alive):
+            assert time.monotonic() < deadline, "corrupt victim never restarted"
+            time.sleep(0.05)
+        # Recovery quarantines the sealed-but-mangled record and everything
+        # after it; the worker's stabilization loop then pulls replacement
+        # state from the peers in cluster.json.  Both steps leave durable
+        # evidence: the quarantine artifact and the repair-written snapshot.
+        while True:
+            quarantined = list(cdir.glob("wal.quarantine.*.bin"))
+            repaired = (cdir / "snapshot.bin").exists()
+            if quarantined and repaired:
+                break
+            assert time.monotonic() < deadline, (
+                f"stabilization incomplete: quarantine={bool(quarantined)} "
+                f"repaired={repaired}"
+            )
+            time.sleep(0.2)
+        say(
+            f"{corrupt_node} quarantined its WAL tail and rebuilt from "
+            f"peers ({quarantined[0].name})"
+        )
+        # Converge once more so the repaired replica also holds the final
+        # writes, then check agreement offline.
+        dep.write("smoke-flush-3")
+        final = "smoke-flush-4"
+        flush_ts = dep.write(final)
+        read = dep.read()
+        assert read == final, f"read {read!r} != last write {final!r}"
+        restarts = sum(worker.restarts for worker in dep.cluster.workers)
+
         # The flush completed with 2f+1 replies; give the straggler's last
         # WRITE frame a beat to land before tearing the fleet down.
         time.sleep(0.5)

@@ -35,6 +35,7 @@ MODULES = [
     "repro.core.strong_operations",
     "repro.core.fast_operations",
     "repro.core.fast_replica",
+    "repro.core.repair",
     "repro.core.client",
     "repro.core.multiobject",
     "repro.baselines.statements",
@@ -67,6 +68,7 @@ MODULES = [
     "repro.shard.router",
     "repro.shard.reconfig",
     "repro.storage.base",
+    "repro.storage.integrity",
     "repro.storage.filelog",
     "repro.net.simnet",
     "repro.net.asyncio_transport",
@@ -164,7 +166,14 @@ def document_module(module_name: str) -> list[str]:
         else:
             lines.append(f"### `{name}`")
             lines.append("")
-            lines.append(f"Constant: `{obj!r}`"[:120])
+            if isinstance(obj, (set, frozenset)):
+                # Set reprs follow per-process hash order; sort for a
+                # deterministic document.
+                body = ", ".join(repr(item) for item in sorted(obj, key=repr))
+                rendered = f"{type(obj).__name__}({{{body}}})"
+            else:
+                rendered = repr(obj)
+            lines.append(f"Constant: `{rendered}`"[:120])
             lines.append("")
     return lines
 
